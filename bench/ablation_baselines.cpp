@@ -1,0 +1,53 @@
+/// \file ablation_baselines.cpp
+/// \brief Extended baseline zoo: every governor in the library on the
+///        Table I workload, including baselines that post-date the paper
+///        (schedutil) and non-learning adaptive control (PID on slack), plus
+///        the thermally-capped RTM.
+///
+/// Places the paper's comparison in a wider context: the RL RTM's advantage
+/// over ondemand is not an artefact of the 2006-era baseline choice - the
+/// utilisation-driven schedutil shares ondemand's deadline-blindness, and the
+/// PID controller tracks the deadline but cannot anticipate workload
+/// structure the way the predictive Q-table does.
+///
+/// Usage: ablation_baselines [frames=2000] [seed=42]
+#include <iostream>
+
+#include "common/config.hpp"
+#include "hw/platform.hpp"
+#include "sim/experiment.hpp"
+#include "sim/report.hpp"
+
+int main(int argc, char** argv) {
+  using namespace prime;
+
+  common::Config cfg;
+  cfg.parse_args(argc, argv);
+
+  const auto platform = hw::Platform::odroid_xu3_a15();
+  sim::ExperimentSpec spec;
+  spec.workload = "h264";
+  spec.fps = 25.0;
+  spec.frames = static_cast<std::size_t>(cfg.get_int("frames", 2000));
+  spec.seed = static_cast<std::uint64_t>(cfg.get_int("seed", 42));
+  const wl::Application app = sim::make_application(spec, *platform);
+
+  std::cout << "=== Extended baseline comparison (h264 @ 25 fps, "
+            << spec.frames << " frames) ===\n\n";
+
+  const sim::Comparison cmp = sim::compare_governors(
+      *platform, app,
+      {"performance", "powersave", "ondemand", "conservative", "schedutil",
+       "pid", "shen-rl", "mcdvfs", "rtm-manycore", "rtm-thermal"});
+  sim::print_table(std::cout,
+                   sim::make_comparison_table(
+                       "Normalised energy & performance (Oracle = 1.0)",
+                       cmp.rows));
+
+  std::cout << "\nReading guide: deadline-blind governors (performance,"
+            " ondemand, schedutil) over-perform and waste energy; powersave"
+            " misses everything; PID tracks the deadline reactively; the"
+            " Q-learning RTM additionally predicts workload, yielding the"
+            " lowest energy at acceptable misses.\n";
+  return 0;
+}

@@ -1,0 +1,107 @@
+/// \file ablation_policy.cpp
+/// \brief Ablation: exploration policy (EPD vs UPD vs none) and slack
+///        averaging mode (eq. 5 cumulative vs exponential).
+///
+/// Separates the paper's two exploration claims: (a) the EPD steers
+/// exploration safely — fewer deadline misses *during* learning than UPD at
+/// identical epsilon schedules; (b) disabling exploration entirely (pure
+/// greedy from an empty table) gets stuck in poor policies. Also contrasts
+/// the literal cumulative slack average of eq. (5) with the exponentially
+/// weighted variant the governor defaults to.
+///
+/// Usage: ablation_policy [frames=2000] [seed=42]
+#include <iostream>
+
+#include "common/config.hpp"
+#include "common/strings.hpp"
+#include "hw/platform.hpp"
+#include "rtm/manycore.hpp"
+#include "sim/experiment.hpp"
+#include "sim/report.hpp"
+
+namespace {
+
+struct Variant {
+  const char* label;
+  prime::rtm::ManycoreRtmParams params;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace prime;
+
+  common::Config cfg;
+  cfg.parse_args(argc, argv);
+  const auto frames = static_cast<std::size_t>(cfg.get_int("frames", 2000));
+  const auto seed = static_cast<std::uint64_t>(cfg.get_int("seed", 42));
+
+  std::vector<Variant> variants;
+  {
+    Variant v;
+    v.label = "EPD (proposed)";
+    variants.push_back(v);
+  }
+  {
+    Variant v;
+    v.label = "UPD (prior work)";
+    v.params.base.policy = "upd";
+    variants.push_back(v);
+  }
+  {
+    Variant v;
+    v.label = "No exploration (greedy)";
+    v.params.base.epsilon.epsilon0 = 0.0;
+    v.params.base.epsilon.epsilon_min = 0.0;
+    variants.push_back(v);
+  }
+  {
+    Variant v;
+    v.label = "EPD + cumulative slack (eq.5 literal)";
+    v.params.base.slack_mode = rtm::SlackAveraging::kCumulative;
+    variants.push_back(v);
+  }
+
+  std::cout << "=== Ablation: exploration policy & slack averaging ===\n"
+            << "h264 @ 25 fps, " << frames << " frames\n\n";
+
+  sim::TextTable t;
+  t.headers = {"Variant", "Norm. energy", "Norm. perf", "Miss rate",
+               "Misses in first 150 epochs", "Explorations"};
+
+  for (auto& variant : variants) {
+    auto platform = hw::Platform::odroid_xu3_a15();
+    sim::ExperimentSpec spec;
+    spec.workload = "h264";
+    spec.fps = 25.0;
+    spec.frames = frames;
+    spec.seed = seed;
+    const wl::Application app = sim::make_application(spec, *platform);
+
+    const sim::RunResult oracle = [&] {
+      const auto g = sim::make_governor("oracle");
+      return sim::run_simulation(*platform, app, *g);
+    }();
+
+    variant.params.base.seed = seed;
+    rtm::ManycoreRtmGovernor g(variant.params);
+    const sim::RunResult run = sim::run_simulation(*platform, app, g);
+    const sim::NormalizedMetrics m = sim::normalize_against(run, oracle);
+
+    std::size_t early_misses = 0;
+    for (std::size_t i = 0; i < run.epochs.size() && i < 150; ++i) {
+      if (!run.epochs[i].deadline_met) ++early_misses;
+    }
+
+    t.rows.push_back({variant.label,
+                      common::format_double(m.normalized_energy, 3),
+                      common::format_double(m.normalized_performance, 3),
+                      common::format_double(m.miss_rate, 3),
+                      std::to_string(early_misses),
+                      std::to_string(g.exploration_count())});
+  }
+  sim::print_table(std::cout, t);
+  std::cout << "\nExpected shape: EPD explores as much as UPD but misses"
+               " fewer deadlines while doing so (slack-directed sampling).\n";
+  return 0;
+}

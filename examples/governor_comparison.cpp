@@ -1,0 +1,116 @@
+/// \file governor_comparison.cpp
+/// \brief Compare every governor on one workload, with per-governor detail.
+///
+/// Runs each available governor on the same calibrated application and prints
+/// the Table-I-style normalised comparison plus frequency/slack diagnostics
+/// (mean OPP early vs late, late-window miss rate) that show *how* each
+/// governor behaves, not just its totals.
+///
+/// Usage: governor_comparison [key=value ...]
+///   app.workload=h264 app.fps=25 app.frames=3000 app.seed=42
+///   gov.list=ondemand,mcdvfs,rtm-manycore   (comma-separated subset)
+#include <iostream>
+
+#include "common/config.hpp"
+#include "common/stats.hpp"
+#include "common/strings.hpp"
+#include "hw/platform.hpp"
+#include "sim/experiment.hpp"
+#include "sim/report.hpp"
+
+namespace {
+
+/// Frequency and slack behaviour of one run, split into early (learning) and
+/// late (converged) halves.
+struct Diagnostics {
+  double mean_opp_early = 0.0;
+  double mean_opp_late = 0.0;
+  double mean_freq_late_mhz = 0.0;
+  double late_miss_rate = 0.0;
+  double mean_slack_late = 0.0;
+};
+
+Diagnostics diagnose(const prime::sim::RunResult& run) {
+  Diagnostics d;
+  const std::size_t n = run.epochs.size();
+  if (n == 0) return d;
+  const std::size_t half = n / 2;
+  prime::common::RunningStats opp_early;
+  prime::common::RunningStats opp_late;
+  prime::common::RunningStats freq_late;
+  prime::common::RunningStats slack_late;
+  std::size_t late_misses = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto& e = run.epochs[i];
+    if (i < half) {
+      opp_early.add(static_cast<double>(e.opp_index));
+    } else {
+      opp_late.add(static_cast<double>(e.opp_index));
+      freq_late.add(prime::common::to_mhz(e.frequency));
+      slack_late.add(e.slack);
+      if (!e.deadline_met) ++late_misses;
+    }
+  }
+  d.mean_opp_early = opp_early.mean();
+  d.mean_opp_late = opp_late.mean();
+  d.mean_freq_late_mhz = freq_late.mean();
+  d.mean_slack_late = slack_late.mean();
+  d.late_miss_rate =
+      n - half == 0 ? 0.0
+                    : static_cast<double>(late_misses) / static_cast<double>(n - half);
+  return d;
+}
+
+void add_row(prime::sim::TextTable& table, const std::string& name,
+             const Diagnostics& d) {
+  using prime::common::format_double;
+  table.rows.push_back({name, format_double(d.mean_opp_early, 1),
+                        format_double(d.mean_opp_late, 1),
+                        format_double(d.mean_freq_late_mhz, 0),
+                        format_double(d.late_miss_rate, 3),
+                        format_double(d.mean_slack_late, 3)});
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace prime;
+
+  common::Config cfg;
+  cfg.parse_args(argc, argv);
+
+  const auto platform = hw::Platform::odroid_xu3_a15();
+
+  sim::ExperimentSpec spec;
+  spec.workload = cfg.get_string("app.workload", "h264");
+  spec.fps = cfg.get_double("app.fps", 25.0);
+  spec.frames = static_cast<std::size_t>(cfg.get_int("app.frames", 3000));
+  spec.seed = static_cast<std::uint64_t>(cfg.get_int("app.seed", 42));
+  const wl::Application app = sim::make_application(spec, *platform);
+
+  std::vector<std::string> names;
+  const std::string list = cfg.get_string(
+      "gov.list", "performance,powersave,ondemand,conservative,shen-rl,"
+                  "mcdvfs,rtm,rtm-manycore");
+  for (auto& n : common::split(list, ',')) {
+    if (!n.empty()) names.push_back(common::trim(n));
+  }
+
+  std::cout << "Workload " << app.name() << " (" << app.frame_count()
+            << " frames @ " << spec.fps << " fps), platform "
+            << platform->name() << "\n\n";
+
+  const sim::Comparison cmp = sim::compare_governors(*platform, app, names);
+  sim::print_table(std::cout, sim::make_comparison_table(
+                                  "Normalised comparison (Oracle = 1.0)",
+                                  cmp.rows));
+
+  sim::TextTable diag;
+  diag.title = "\nDiagnostics (late half of the run = converged behaviour)";
+  diag.headers = {"Governor", "Mean OPP 1st half", "Mean OPP 2nd half",
+                  "Mean f 2nd half (MHz)", "Late miss rate", "Late mean slack"};
+  add_row(diag, "oracle", diagnose(cmp.oracle_run));
+  for (const auto& run : cmp.runs) add_row(diag, run.governor, diagnose(run));
+  sim::print_table(std::cout, diag);
+  return 0;
+}

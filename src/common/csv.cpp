@@ -1,0 +1,93 @@
+#include "common/csv.hpp"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "common/strings.hpp"
+
+namespace prime::common {
+
+void CsvWriter::header(std::initializer_list<std::string> names) {
+  header(std::vector<std::string>(names));
+}
+
+void CsvWriter::header(const std::vector<std::string>& names) {
+  write_cells(names);
+}
+
+void CsvWriter::row(const std::vector<double>& values) {
+  std::vector<std::string> cells;
+  cells.reserve(values.size());
+  for (double v : values) {
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%.9g", v);
+    cells.emplace_back(buf);
+  }
+  write_cells(cells);
+  ++rows_;
+}
+
+void CsvWriter::row_strings(const std::vector<std::string>& cells) {
+  write_cells(cells);
+  ++rows_;
+}
+
+void CsvWriter::write_cells(const std::vector<std::string>& cells) {
+  bool first = true;
+  for (const auto& c : cells) {
+    if (!first) *out_ << ',';
+    *out_ << c;
+    first = false;
+  }
+  *out_ << '\n';
+}
+
+int CsvTable::column_index(const std::string& name) const {
+  for (std::size_t i = 0; i < header.size(); ++i) {
+    if (header[i] == name) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+std::vector<double> CsvTable::column_as_double(const std::string& name) const {
+  const int idx = column_index(name);
+  std::vector<double> out;
+  if (idx < 0) return out;
+  out.reserve(rows.size());
+  for (const auto& r : rows) {
+    const auto col = static_cast<std::size_t>(idx);
+    out.push_back(col < r.size() ? std::strtod(r[col].c_str(), nullptr) : 0.0);
+  }
+  return out;
+}
+
+CsvTable parse_csv(const std::string& text) {
+  CsvTable table;
+  std::istringstream in(text);
+  std::string line;
+  bool first = true;
+  while (std::getline(in, line)) {
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (line.empty()) continue;
+    auto cells = split(line, ',');
+    if (first) {
+      table.header = std::move(cells);
+      first = false;
+    } else {
+      table.rows.push_back(std::move(cells));
+    }
+  }
+  return table;
+}
+
+CsvTable read_csv_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("read_csv_file: cannot open " + path);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return parse_csv(ss.str());
+}
+
+}  // namespace prime::common

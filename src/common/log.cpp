@@ -1,0 +1,35 @@
+#include "common/log.hpp"
+
+#include <iostream>
+
+namespace prime::common {
+namespace {
+LogLevel g_level = LogLevel::kWarn;
+std::ostream* g_sink = nullptr;
+}  // namespace
+
+void Log::set_level(LogLevel level) noexcept { g_level = level; }
+
+LogLevel Log::level() noexcept { return g_level; }
+
+void Log::set_sink(std::ostream* sink) noexcept { g_sink = sink; }
+
+void Log::write(LogLevel level, const std::string& message) {
+  if (level < g_level || g_level == LogLevel::kOff) return;
+  std::ostream& out = g_sink != nullptr ? *g_sink : std::cerr;
+  out << '[' << level_name(level) << "] " << message << '\n';
+}
+
+const char* Log::level_name(LogLevel level) noexcept {
+  switch (level) {
+    case LogLevel::kTrace: return "TRACE";
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO";
+    case LogLevel::kWarn: return "WARN";
+    case LogLevel::kError: return "ERROR";
+    case LogLevel::kOff: return "OFF";
+  }
+  return "?";
+}
+
+}  // namespace prime::common

@@ -1,0 +1,61 @@
+/// \file log.hpp
+/// \brief Lightweight leveled logger.
+///
+/// The simulator is a library first: logging defaults to warnings-and-above on
+/// stderr and can be silenced entirely by tests. No global mutable state other
+/// than the process-wide level/sink, which mirrors the kernel `printk` model
+/// the original governor logged through.
+#pragma once
+
+#include <ostream>
+#include <sstream>
+#include <string>
+
+namespace prime::common {
+
+/// \brief Severity levels, lowest to highest.
+enum class LogLevel { kTrace = 0, kDebug, kInfo, kWarn, kError, kOff };
+
+/// \brief Process-wide logging facade.
+class Log {
+ public:
+  /// \brief Set the minimum level that will be emitted.
+  static void set_level(LogLevel level) noexcept;
+  /// \brief Current minimum level.
+  [[nodiscard]] static LogLevel level() noexcept;
+  /// \brief Redirect output (default: std::cerr). Pass nullptr to restore.
+  static void set_sink(std::ostream* sink) noexcept;
+  /// \brief Emit a message at the given level (no-op if below threshold).
+  static void write(LogLevel level, const std::string& message);
+  /// \brief Human-readable level name.
+  [[nodiscard]] static const char* level_name(LogLevel level) noexcept;
+};
+
+namespace detail {
+/// \brief Stream-style accumulator that emits on destruction.
+class LogLine {
+ public:
+  explicit LogLine(LogLevel level) : level_(level) {}
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+  ~LogLine() { Log::write(level_, stream_.str()); }
+  template <typename T>
+  LogLine& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+}  // namespace detail
+
+/// \brief Stream-style helpers: `log_info() << "epoch " << i;`
+[[nodiscard]] inline detail::LogLine log_trace() { return detail::LogLine(LogLevel::kTrace); }
+[[nodiscard]] inline detail::LogLine log_debug() { return detail::LogLine(LogLevel::kDebug); }
+[[nodiscard]] inline detail::LogLine log_info() { return detail::LogLine(LogLevel::kInfo); }
+[[nodiscard]] inline detail::LogLine log_warn() { return detail::LogLine(LogLevel::kWarn); }
+[[nodiscard]] inline detail::LogLine log_error() { return detail::LogLine(LogLevel::kError); }
+
+}  // namespace prime::common

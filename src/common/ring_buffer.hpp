@@ -1,0 +1,81 @@
+/// \file ring_buffer.hpp
+/// \brief Fixed-capacity circular buffer template.
+///
+/// Used for workload history windows (EWMA inputs, ondemand sampling history)
+/// where the RTM only ever needs the most recent K observations. Overwrites
+/// the oldest element when full, mirroring how the kernel governors keep a
+/// bounded sample history.
+#pragma once
+
+#include <cstddef>
+#include <stdexcept>
+#include <vector>
+
+namespace prime::common {
+
+/// \brief Bounded FIFO that overwrites its oldest element when full.
+/// \tparam T Element type (copyable).
+template <typename T>
+class RingBuffer {
+ public:
+  /// \brief Construct with the given capacity (>= 1).
+  explicit RingBuffer(std::size_t capacity)
+      : buf_(capacity == 0 ? 1 : capacity) {}
+
+  /// \brief Append an element, evicting the oldest if at capacity.
+  void push(const T& value) {
+    buf_[(head_ + size_) % buf_.size()] = value;
+    if (size_ == buf_.size()) {
+      head_ = (head_ + 1) % buf_.size();
+    } else {
+      ++size_;
+    }
+  }
+
+  /// \brief Element \p i, where 0 is the oldest retained element.
+  [[nodiscard]] const T& operator[](std::size_t i) const {
+    if (i >= size_) throw std::out_of_range("RingBuffer index");
+    return buf_[(head_ + i) % buf_.size()];
+  }
+
+  /// \brief Most recently pushed element. Requires non-empty.
+  [[nodiscard]] const T& back() const {
+    if (size_ == 0) throw std::out_of_range("RingBuffer::back on empty");
+    return (*this)[size_ - 1];
+  }
+
+  /// \brief Oldest retained element. Requires non-empty.
+  [[nodiscard]] const T& front() const {
+    if (size_ == 0) throw std::out_of_range("RingBuffer::front on empty");
+    return (*this)[0];
+  }
+
+  /// \brief Number of elements currently stored.
+  [[nodiscard]] std::size_t size() const noexcept { return size_; }
+  /// \brief Maximum number of elements.
+  [[nodiscard]] std::size_t capacity() const noexcept { return buf_.size(); }
+  /// \brief True when no elements are stored.
+  [[nodiscard]] bool empty() const noexcept { return size_ == 0; }
+  /// \brief True when at capacity (next push evicts).
+  [[nodiscard]] bool full() const noexcept { return size_ == buf_.size(); }
+  /// \brief Remove all elements (capacity unchanged).
+  void clear() noexcept {
+    head_ = 0;
+    size_ = 0;
+  }
+
+  /// \brief Copy the retained elements oldest-first into a vector.
+  [[nodiscard]] std::vector<T> to_vector() const {
+    std::vector<T> out;
+    out.reserve(size_);
+    for (std::size_t i = 0; i < size_; ++i) out.push_back((*this)[i]);
+    return out;
+  }
+
+ private:
+  std::vector<T> buf_;
+  std::size_t head_ = 0;
+  std::size_t size_ = 0;
+};
+
+}  // namespace prime::common

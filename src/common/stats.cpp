@@ -1,0 +1,148 @@
+#include "common/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace prime::common {
+
+void RunningStats::add(double x) noexcept {
+  if (n_ == 0) {
+    min_ = x;
+    max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+void RunningStats::merge(const RunningStats& other) noexcept {
+  if (other.n_ == 0) return;
+  if (n_ == 0) {
+    *this = other;
+    return;
+  }
+  const double delta = other.mean_ - mean_;
+  const auto na = static_cast<double>(n_);
+  const auto nb = static_cast<double>(other.n_);
+  const double nt = na + nb;
+  m2_ += other.m2_ + delta * delta * na * nb / nt;
+  mean_ += delta * nb / nt;
+  n_ += other.n_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+void RunningStats::reset() noexcept { *this = RunningStats{}; }
+
+double RunningStats::variance() const noexcept {
+  if (n_ < 2) return 0.0;
+  return m2_ / static_cast<double>(n_ - 1);
+}
+
+double RunningStats::stddev() const noexcept { return std::sqrt(variance()); }
+
+double RunningStats::cv() const noexcept {
+  return mean_ == 0.0 ? 0.0 : stddev() / std::abs(mean_);
+}
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), hi_(hi), width_((hi - lo) / static_cast<double>(bins)),
+      counts_(bins, 0) {
+  if (bins == 0) throw std::invalid_argument("Histogram: bins must be >= 1");
+  if (!(hi > lo)) throw std::invalid_argument("Histogram: hi must exceed lo");
+}
+
+void Histogram::add(double x) noexcept {
+  std::size_t idx;
+  if (x < lo_) {
+    idx = 0;
+  } else if (x >= hi_) {
+    idx = counts_.size() - 1;
+  } else {
+    idx = static_cast<std::size_t>((x - lo_) / width_);
+    if (idx >= counts_.size()) idx = counts_.size() - 1;
+  }
+  ++counts_[idx];
+  ++total_;
+}
+
+std::size_t Histogram::bin_count(std::size_t i) const { return counts_.at(i); }
+
+double Histogram::bin_lo(std::size_t i) const {
+  if (i >= counts_.size()) throw std::out_of_range("Histogram::bin_lo");
+  return lo_ + width_ * static_cast<double>(i);
+}
+
+double Histogram::percentile(double p) const {
+  if (total_ == 0) return lo_;
+  p = std::clamp(p, 0.0, 100.0);
+  const double target = p / 100.0 * static_cast<double>(total_);
+  double cum = 0.0;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    const double next = cum + static_cast<double>(counts_[i]);
+    if (next >= target) {
+      const double frac =
+          counts_[i] == 0 ? 0.0 : (target - cum) / static_cast<double>(counts_[i]);
+      return bin_lo(i) + frac * width_;
+    }
+    cum = next;
+  }
+  return hi_;
+}
+
+MovingAverage::MovingAverage(std::size_t window)
+    : buf_(window == 0 ? 1 : window, 0.0) {}
+
+void MovingAverage::add(double x) noexcept {
+  if (size_ == buf_.size()) {
+    sum_ -= buf_[head_];
+  } else {
+    ++size_;
+  }
+  buf_[head_] = x;
+  sum_ += x;
+  head_ = (head_ + 1) % buf_.size();
+}
+
+double MovingAverage::mean() const noexcept {
+  return size_ == 0 ? 0.0 : sum_ / static_cast<double>(size_);
+}
+
+void MovingAverage::reset() noexcept {
+  std::fill(buf_.begin(), buf_.end(), 0.0);
+  head_ = 0;
+  size_ = 0;
+  sum_ = 0.0;
+}
+
+double percentile_of(std::vector<double> samples, double p) {
+  if (samples.empty()) return 0.0;
+  std::sort(samples.begin(), samples.end());
+  p = std::clamp(p, 0.0, 100.0);
+  const double rank = p / 100.0 * static_cast<double>(samples.size() - 1);
+  const auto lo = static_cast<std::size_t>(rank);
+  const std::size_t hi = std::min(lo + 1, samples.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return samples[lo] + frac * (samples[hi] - samples[lo]);
+}
+
+double mape(const std::vector<double>& actual,
+            const std::vector<double>& predicted) {
+  const std::size_t n = std::min(actual.size(), predicted.size());
+  double total = 0.0;
+  std::size_t used = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (actual[i] == 0.0) continue;
+    total += std::abs(actual[i] - predicted[i]) / std::abs(actual[i]);
+    ++used;
+  }
+  return used == 0 ? 0.0 : total / static_cast<double>(used);
+}
+
+}  // namespace prime::common

@@ -1,0 +1,114 @@
+/// \file stats.hpp
+/// \brief Streaming statistics used by the metrics collector and tests.
+///
+/// `RunningStats` implements Welford's numerically-stable online algorithm;
+/// `Histogram` is a fixed-bin-count histogram with percentile queries;
+/// `MovingAverage` is a sliding-window mean used by reactive governors.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace prime::common {
+
+/// \brief Online mean/variance/min/max accumulator (Welford).
+class RunningStats {
+ public:
+  /// \brief Add one observation.
+  void add(double x) noexcept;
+  /// \brief Merge another accumulator into this one (parallel-safe combine).
+  void merge(const RunningStats& other) noexcept;
+  /// \brief Reset to the empty state.
+  void reset() noexcept;
+
+  /// \brief Number of observations accumulated.
+  [[nodiscard]] std::size_t count() const noexcept { return n_; }
+  /// \brief Arithmetic mean (0 if empty).
+  [[nodiscard]] double mean() const noexcept { return mean_; }
+  /// \brief Unbiased sample variance (0 if fewer than two samples).
+  [[nodiscard]] double variance() const noexcept;
+  /// \brief Sample standard deviation.
+  [[nodiscard]] double stddev() const noexcept;
+  /// \brief Smallest observation (+inf if empty).
+  [[nodiscard]] double min() const noexcept { return min_; }
+  /// \brief Largest observation (-inf if empty).
+  [[nodiscard]] double max() const noexcept { return max_; }
+  /// \brief Sum of all observations.
+  [[nodiscard]] double sum() const noexcept { return mean_ * static_cast<double>(n_); }
+  /// \brief Coefficient of variation (stddev/mean; 0 when mean is 0).
+  [[nodiscard]] double cv() const noexcept;
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// \brief Fixed-range, fixed-bin-count histogram with linear interpolation
+///        percentile queries. Values outside [lo, hi) clamp to edge bins.
+class Histogram {
+ public:
+  /// \brief Construct covering [lo, hi) with \p bins equal-width bins.
+  ///        Requires bins >= 1 and hi > lo.
+  Histogram(double lo, double hi, std::size_t bins);
+
+  /// \brief Record one observation.
+  void add(double x) noexcept;
+  /// \brief Total number of recorded observations.
+  [[nodiscard]] std::size_t count() const noexcept { return total_; }
+  /// \brief Count in bin \p i.
+  [[nodiscard]] std::size_t bin_count(std::size_t i) const;
+  /// \brief Number of bins.
+  [[nodiscard]] std::size_t bins() const noexcept { return counts_.size(); }
+  /// \brief Lower edge of bin \p i.
+  [[nodiscard]] double bin_lo(std::size_t i) const;
+  /// \brief Approximate value at percentile \p p in [0, 100].
+  [[nodiscard]] double percentile(double p) const;
+
+ private:
+  double lo_;
+  double hi_;
+  double width_;
+  std::vector<std::size_t> counts_;
+  std::size_t total_ = 0;
+};
+
+/// \brief Sliding-window arithmetic mean over the last N samples.
+class MovingAverage {
+ public:
+  /// \brief Construct with window capacity \p window (>= 1).
+  explicit MovingAverage(std::size_t window);
+
+  /// \brief Push a new sample, evicting the oldest once the window is full.
+  void add(double x) noexcept;
+  /// \brief Current mean over the populated window (0 if empty).
+  [[nodiscard]] double mean() const noexcept;
+  /// \brief Number of samples currently in the window.
+  [[nodiscard]] std::size_t size() const noexcept { return size_; }
+  /// \brief Window capacity.
+  [[nodiscard]] std::size_t capacity() const noexcept { return buf_.size(); }
+  /// \brief True once the window holds `capacity()` samples.
+  [[nodiscard]] bool full() const noexcept { return size_ == buf_.size(); }
+  /// \brief Clear the window.
+  void reset() noexcept;
+
+ private:
+  std::vector<double> buf_;
+  std::size_t head_ = 0;
+  std::size_t size_ = 0;
+  double sum_ = 0.0;
+};
+
+/// \brief Exact percentile of a copied sample vector (nearest-rank with
+///        linear interpolation). Returns 0 on empty input.
+[[nodiscard]] double percentile_of(std::vector<double> samples, double p);
+
+/// \brief Mean absolute percentage error between two equally-sized series,
+///        skipping entries where the reference is zero. Returns 0 if nothing
+///        comparable.
+[[nodiscard]] double mape(const std::vector<double>& actual,
+                          const std::vector<double>& predicted);
+
+}  // namespace prime::common

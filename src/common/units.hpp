@@ -1,0 +1,59 @@
+/// \file units.hpp
+/// \brief Physical-unit vocabulary types used throughout PRiME-RTM.
+///
+/// The simulator deals in frequencies, voltages, powers, energies, times and
+/// cycle counts. We use plain arithmetic aliases (not heavyweight unit
+/// libraries) but give every quantity a *named* alias and provide conversion
+/// helpers so call sites document their units. All floating quantities are SI
+/// base units: hertz, volts, watts, joules, seconds, kelvin.
+#pragma once
+
+#include <cstdint>
+
+namespace prime::common {
+
+/// Frequency in hertz. OPP tables store MHz-derived values via mhz().
+using Hertz = double;
+/// Supply voltage in volts.
+using Volt = double;
+/// Power in watts.
+using Watt = double;
+/// Energy in joules.
+using Joule = double;
+/// Time in seconds.
+using Seconds = double;
+/// Temperature in degrees Celsius (the XU3 sensors report Celsius).
+using Celsius = double;
+/// CPU clock cycles (PMU cycle-counter units).
+using Cycles = std::uint64_t;
+
+/// \brief Convert megahertz to Hertz.
+[[nodiscard]] constexpr Hertz mhz(double m) noexcept { return m * 1.0e6; }
+/// \brief Convert gigahertz to Hertz.
+[[nodiscard]] constexpr Hertz ghz(double g) noexcept { return g * 1.0e9; }
+/// \brief Convert Hertz to megahertz (for reporting).
+[[nodiscard]] constexpr double to_mhz(Hertz f) noexcept { return f / 1.0e6; }
+/// \brief Convert milliseconds to seconds.
+[[nodiscard]] constexpr Seconds ms(double m) noexcept { return m * 1.0e-3; }
+/// \brief Convert microseconds to seconds.
+[[nodiscard]] constexpr Seconds us(double u) noexcept { return u * 1.0e-6; }
+/// \brief Convert seconds to milliseconds (for reporting).
+[[nodiscard]] constexpr double to_ms(Seconds s) noexcept { return s * 1.0e3; }
+/// \brief Convert millijoules to joules.
+[[nodiscard]] constexpr Joule mj(double m) noexcept { return m * 1.0e-3; }
+/// \brief Convert joules to millijoules (for reporting).
+[[nodiscard]] constexpr double to_mj(Joule j) noexcept { return j * 1.0e3; }
+/// \brief Convert milliwatts to watts.
+[[nodiscard]] constexpr Watt mw(double m) noexcept { return m * 1.0e-3; }
+
+/// \brief Number of cycles a core at frequency \p f executes in \p t seconds.
+[[nodiscard]] constexpr Cycles cycles_at(Hertz f, Seconds t) noexcept {
+  return static_cast<Cycles>(f * t);
+}
+
+/// \brief Wall-clock time to retire \p c cycles at frequency \p f.
+[[nodiscard]] constexpr Seconds time_for(Cycles c, Hertz f) noexcept {
+  return static_cast<double>(c) / f;
+}
+
+}  // namespace prime::common

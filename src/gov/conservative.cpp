@@ -1,0 +1,32 @@
+#include "gov/conservative.hpp"
+
+#include <algorithm>
+
+namespace prime::gov {
+
+std::size_t ConservativeGovernor::decide(
+    const DecisionContext& ctx, const std::optional<EpochObservation>& last) {
+  const hw::OppTable& opps = *ctx.opps;
+  if (index_ < 0) index_ = static_cast<long long>(opps.size() / 2);
+  if (!last) return opps.clamp_index(index_);
+
+  const hw::Opp& ran_at = opps.at(last->opp_index);
+  double max_load = 0.0;
+  for (common::Cycles c : last->core_cycles) {
+    const double busy = common::time_for(c, ran_at.frequency);
+    const double load = last->window > 0.0 ? busy / last->window : 0.0;
+    max_load = std::max(max_load, load);
+  }
+
+  if (max_load > params_.up_threshold) {
+    index_ += static_cast<long long>(params_.freq_step);
+  } else if (max_load < params_.down_threshold) {
+    index_ -= static_cast<long long>(params_.freq_step);
+  }
+  index_ = static_cast<long long>(opps.clamp_index(index_));
+  return static_cast<std::size_t>(index_);
+}
+
+void ConservativeGovernor::reset() { index_ = -1; }
+
+}  // namespace prime::gov

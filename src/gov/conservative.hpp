@@ -1,0 +1,39 @@
+/// \file conservative.hpp
+/// \brief Reimplementation of the Linux "conservative" governor.
+///
+/// Like ondemand but steps one OPP at a time instead of jumping to maximum,
+/// trading responsiveness for smoother power. Included as an additional
+/// reactive baseline for ablation benches (the paper's classification of
+/// reactive online DVFS).
+#pragma once
+
+#include "gov/governor.hpp"
+
+namespace prime::gov {
+
+/// \brief Tunables mirroring the kernel's conservative governor.
+struct ConservativeParams {
+  double up_threshold = 0.80;   ///< Step up when load exceeds this.
+  double down_threshold = 0.40; ///< Step down when load falls below this.
+  std::size_t freq_step = 1;    ///< OPP indices moved per decision.
+};
+
+/// \brief Stepwise reactive governor.
+class ConservativeGovernor final : public Governor {
+ public:
+  /// \brief Construct with kernel-default-like parameters.
+  explicit ConservativeGovernor(const ConservativeParams& params = {}) noexcept
+      : params_(params) {}
+
+  [[nodiscard]] std::string name() const override { return "conservative"; }
+  [[nodiscard]] std::size_t decide(
+      const DecisionContext& ctx,
+      const std::optional<EpochObservation>& last) override;
+  void reset() override;
+
+ private:
+  ConservativeParams params_;
+  long long index_ = -1;
+};
+
+}  // namespace prime::gov

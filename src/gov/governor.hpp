@@ -1,0 +1,98 @@
+/// \file governor.hpp
+/// \brief The power-governor interface between the run-time layer and the
+///        hardware.
+///
+/// Mirrors the Linux cpufreq governor contract the paper's RTM plugs into:
+/// once per decision epoch the OS hands the governor what the hardware
+/// reported for the epoch that just finished (`EpochObservation`) plus the
+/// requirement for the epoch about to start (`DecisionContext`), and the
+/// governor returns the OPP index to apply. Governors must be deterministic
+/// given their seed so experiments replay exactly.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/units.hpp"
+#include "hw/opp.hpp"
+
+namespace prime::gov {
+
+/// \brief Hardware/application feedback for one completed decision epoch.
+struct EpochObservation {
+  std::size_t epoch = 0;            ///< Index of the completed epoch.
+  common::Seconds period = 0.0;     ///< Deadline (Tref) that applied to it.
+  common::Seconds frame_time = 0.0; ///< Time to finish the frame (inc. stall).
+  common::Seconds window = 0.0;     ///< Wall-clock epoch length.
+  common::Cycles total_cycles = 0;  ///< Cycles summed over all cores (the paper's CC).
+  std::vector<common::Cycles> core_cycles; ///< Per-core cycle counts.
+  std::size_t opp_index = 0;        ///< OPP that executed the epoch.
+  common::Watt avg_power = 0.0;     ///< Sensor-measured average power.
+  common::Celsius temperature = 0.0;///< Die temperature after the epoch.
+  bool deadline_met = true;         ///< frame_time <= period.
+
+  /// \brief Slack ratio of this single epoch: (Tref - Ti)/Tref (negative on a
+  ///        miss). Governors that track *average* slack maintain their own
+  ///        running estimate per the paper's eq. (5).
+  [[nodiscard]] double slack_ratio() const noexcept {
+    return period <= 0.0 ? 0.0 : (period - frame_time) / period;
+  }
+};
+
+/// \brief Everything known about the epoch that is about to run.
+struct DecisionContext {
+  std::size_t epoch = 0;               ///< Index of the upcoming epoch.
+  common::Seconds period = 0.0;        ///< Deadline (Tref) for it.
+  std::size_t cores = 1;               ///< Cores available in the cluster.
+  const hw::OppTable* opps = nullptr;  ///< The action space.
+};
+
+/// \brief Abstract power governor.
+class Governor {
+ public:
+  virtual ~Governor() = default;
+
+  /// \brief Display name used in reports ("ondemand", "rtm-qlearning", ...).
+  [[nodiscard]] virtual std::string name() const = 0;
+
+  /// \brief Choose the OPP index for the upcoming epoch. \p last is empty for
+  ///        the very first epoch.
+  [[nodiscard]] virtual std::size_t decide(
+      const DecisionContext& ctx,
+      const std::optional<EpochObservation>& last) = 0;
+
+  /// \brief Per-epoch processing overhead charged to the frame time (the
+  ///        paper's T_OVH processing component). Default: a PMU register
+  ///        read's worth of time.
+  [[nodiscard]] virtual common::Seconds epoch_overhead() const {
+    return common::us(2.0);
+  }
+
+  /// \brief Restore the governor to its initial (untrained) state.
+  virtual void reset() = 0;
+};
+
+/// \brief Oracle knowledge of the frame about to run.
+struct FramePreview {
+  common::Cycles max_core_cycles = 0;  ///< Largest per-core cycle share.
+  common::Cycles total_cycles = 0;     ///< Total frame demand.
+  /// Fraction of the frame's execution time spent in memory stalls at the
+  /// reference frequency (stall time is frequency-independent, so observed
+  /// cycle counts grow with f).
+  double mem_fraction = 0.0;
+  common::Hertz ref_frequency = 1.0e9; ///< Frequency at which mem_fraction holds.
+};
+
+/// \brief Interface for governors that receive oracle knowledge of the next
+///        frame before deciding (used only by the Oracle baseline; the
+///        simulation engine feeds it when present).
+class Clairvoyant {
+ public:
+  virtual ~Clairvoyant() = default;
+  /// \brief Announce the true demand of the upcoming frame.
+  virtual void preview_next_frame(const FramePreview& preview) = 0;
+};
+
+}  // namespace prime::gov

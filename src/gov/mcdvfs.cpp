@@ -1,0 +1,148 @@
+#include "gov/mcdvfs.hpp"
+
+#include <algorithm>
+
+namespace prime::gov {
+
+MulticoreDvfsGovernor::MulticoreDvfsGovernor(const McdvfsParams& params)
+    : params_(params), rng_(params.seed), epsilon_(params.epsilon0) {}
+
+void MulticoreDvfsGovernor::ensure_initialised(const DecisionContext& ctx) {
+  if (!agents_.empty() && actions_ == ctx.opps->size() &&
+      agents_.size() == ctx.cores) {
+    return;
+  }
+  actions_ = ctx.opps->size();
+  agents_.assign(ctx.cores, CoreAgent{});
+  for (auto& a : agents_) {
+    a.q.assign(params_.util_levels * actions_, params_.optimistic_q0);
+  }
+}
+
+std::size_t MulticoreDvfsGovernor::state_of(double utilisation) const noexcept {
+  const double u = std::clamp(utilisation, 0.0, 1.0);
+  auto level = static_cast<std::size_t>(u * static_cast<double>(params_.util_levels));
+  return std::min(level, params_.util_levels - 1);
+}
+
+double& MulticoreDvfsGovernor::q_at(CoreAgent& a, std::size_t s,
+                                    std::size_t act) {
+  return a.q[s * actions_ + act];
+}
+
+std::size_t MulticoreDvfsGovernor::argmax_action(const CoreAgent& a,
+                                                 std::size_t s) const {
+  std::size_t best = 0;
+  double best_q = a.q[s * actions_];
+  for (std::size_t act = 1; act < actions_; ++act) {
+    const double q = a.q[s * actions_ + act];
+    if (q > best_q) {
+      best_q = q;
+      best = act;
+    }
+  }
+  return best;
+}
+
+std::size_t MulticoreDvfsGovernor::decide(
+    const DecisionContext& ctx, const std::optional<EpochObservation>& last) {
+  ensure_initialised(ctx);
+
+  // --- Learn from the completed epoch (one update per core, per-core table).
+  std::vector<std::size_t> next_states(agents_.size(), 0);
+  if (last) {
+    const hw::Opp& ran_at = ctx.opps->at(last->opp_index);
+    for (std::size_t i = 0; i < agents_.size(); ++i) {
+      const common::Cycles c =
+          i < last->core_cycles.size() ? last->core_cycles[i] : 0;
+      const double busy = common::time_for(c, ran_at.frequency);
+      const double util = last->window > 0.0 ? busy / last->window : 0.0;
+      next_states[i] = state_of(util);
+
+      CoreAgent& agent = agents_[i];
+      if (agent.has_last) {
+        // Reward: a miss is heavily penalised; inside the comfortable band
+        // the reward grows with utilisation (slower = better, as long as the
+        // deadline holds); below the band the core is wasting energy at an
+        // unnecessarily high V-F and earns nothing.
+        double reward;
+        if (!last->deadline_met) {
+          reward = -params_.miss_penalty;
+        } else if (util >= params_.target_util_lo &&
+                   util <= params_.target_util_hi) {
+          reward = util;
+        } else {
+          reward = 0.0;
+        }
+        double best_next = agent.q[next_states[i] * actions_];
+        for (std::size_t act = 1; act < actions_; ++act) {
+          best_next = std::max(best_next, agent.q[next_states[i] * actions_ + act]);
+        }
+        double& q = q_at(agent, agent.last_state, agent.last_action);
+        q = (1.0 - params_.learning_rate) * q +
+            params_.learning_rate * (reward + params_.discount * best_next);
+      }
+    }
+  }
+
+  // --- Choose per-core actions (UPD epsilon-greedy) and take the max.
+  bool any_explored = false;
+  std::size_t cluster_action = 0;
+  for (std::size_t i = 0; i < agents_.size(); ++i) {
+    CoreAgent& agent = agents_[i];
+    const std::size_t s = last ? next_states[i] : params_.util_levels - 1;
+    std::size_t action;
+    if (rng_.bernoulli(epsilon_)) {
+      action = static_cast<std::size_t>(
+          rng_.uniform_int(0, static_cast<std::int64_t>(actions_) - 1));
+      any_explored = true;
+    } else {
+      action = argmax_action(agent, s);
+    }
+    agent.last_state = s;
+    agent.last_action = action;
+    agent.has_last = true;
+    cluster_action = std::max(cluster_action, action);
+  }
+  // The A15 cores share one V-F domain, so every core experiences the
+  // *applied* (max-requested) OPP; credit the update to that action, not to
+  // the per-core request the hardware never executed.
+  for (auto& agent : agents_) agent.last_action = cluster_action;
+  if (any_explored) ++exploration_epochs_;
+  ++epoch_;
+  epsilon_ *= params_.epsilon_decay;
+  if (epsilon_ <= params_.epsilon_min) {
+    epsilon_ = params_.epsilon_min;
+    if (convergence_epoch_ == 0) convergence_epoch_ = epoch_;
+  }
+  return cluster_action;
+}
+
+common::Seconds MulticoreDvfsGovernor::epoch_overhead() const {
+  // Sensor read + one table lookup and one Bellman update *per core*.
+  const double cores = static_cast<double>(std::max<std::size_t>(1, agents_.size()));
+  return common::us(2.0) + common::us(12.0) * cores;
+}
+
+void MulticoreDvfsGovernor::reset() {
+  agents_.clear();
+  actions_ = 0;
+  epsilon_ = params_.epsilon0;
+  epoch_ = 0;
+  convergence_epoch_ = 0;
+  exploration_epochs_ = 0;
+  rng_ = common::Rng(params_.seed);
+}
+
+std::vector<std::size_t> MulticoreDvfsGovernor::greedy_policy() const {
+  std::vector<std::size_t> policy;
+  policy.reserve(agents_.size() * params_.util_levels);
+  for (const auto& agent : agents_) {
+    for (std::size_t s = 0; s < params_.util_levels; ++s) {
+      policy.push_back(argmax_action(agent, s));
+    }
+  }
+  return policy;
+}
+
+}  // namespace prime::gov

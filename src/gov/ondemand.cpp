@@ -1,0 +1,55 @@
+#include "gov/ondemand.hpp"
+
+#include <algorithm>
+
+namespace prime::gov {
+
+std::size_t OndemandGovernor::decide(const DecisionContext& ctx,
+                                     const std::optional<EpochObservation>& last) {
+  const hw::OppTable& opps = *ctx.opps;
+  if (!last || !initialised_) {
+    // Kernel behaviour at governor start: begin at the current (mid) OPP;
+    // we start high to avoid an initial miss, as ondemand effectively does
+    // after its first sample of a busy system.
+    initialised_ = true;
+    last_index_ = opps.size() - 1;
+    return last_index_;
+  }
+
+  if (++epochs_since_sample_ < params_.sampling_epochs) {
+    return last_index_;  // between samples, hold frequency
+  }
+  epochs_since_sample_ = 0;
+
+  // Load of the busiest CPU over the last window (busy/window), computed from
+  // per-core cycle counts at the frequency that executed them.
+  const hw::Opp& ran_at = opps.at(last->opp_index);
+  double max_load = 0.0;
+  for (common::Cycles c : last->core_cycles) {
+    const double busy = common::time_for(c, ran_at.frequency);
+    const double load = last->window > 0.0 ? busy / last->window : 0.0;
+    max_load = std::max(max_load, load);
+  }
+  max_load = std::min(max_load, 1.0);
+
+  if (max_load > params_.up_threshold) {
+    last_index_ = opps.size() - 1;
+    return last_index_;
+  }
+
+  // Scale down proportionally with hysteresis: pick the lowest frequency that
+  // keeps the observed busy work under (up_threshold - down_differential).
+  const double busy_hz = max_load * ran_at.frequency;
+  const double target_hz =
+      busy_hz / std::max(0.05, params_.up_threshold - params_.down_differential);
+  last_index_ = opps.lowest_at_least(target_hz);
+  return last_index_;
+}
+
+void OndemandGovernor::reset() {
+  last_index_ = 0;
+  epochs_since_sample_ = 0;
+  initialised_ = false;
+}
+
+}  // namespace prime::gov

@@ -1,0 +1,46 @@
+/// \file oracle.hpp
+/// \brief Offline-optimal oracle governor (the paper's normalisation baseline).
+///
+/// Table I normalises energy "with respect to Oracle (through offline
+/// determination of optimized V-F for the observed CPU workloads)". The
+/// oracle is clairvoyant: it is told each frame's true demand before choosing
+/// the OPP, and it picks the *slowest* frequency that still meets the
+/// deadline (lowest V-F = minimum energy under a deadline for a convex power
+/// curve). It is unrealisable at run time — it exists purely as the
+/// lower-bound denominator.
+#pragma once
+
+#include "gov/governor.hpp"
+
+namespace prime::gov {
+
+/// \brief Oracle tunables.
+struct OracleParams {
+  /// Fraction of the period reserved for DVFS stall and OS jitter when
+  /// solving for the minimum frequency (0 = razor-thin deadlines).
+  double guard_band = 0.02;
+};
+
+/// \brief Clairvoyant minimum-frequency-meeting-deadline governor.
+class OracleGovernor final : public Governor, public Clairvoyant {
+ public:
+  /// \brief Construct with the given guard band.
+  explicit OracleGovernor(const OracleParams& params = {}) noexcept
+      : params_(params) {}
+
+  [[nodiscard]] std::string name() const override { return "oracle"; }
+  [[nodiscard]] std::size_t decide(
+      const DecisionContext& ctx,
+      const std::optional<EpochObservation>& last) override;
+  void preview_next_frame(const FramePreview& preview) override;
+  /// \brief The oracle performs no run-time learning.
+  [[nodiscard]] common::Seconds epoch_overhead() const override { return 0.0; }
+  void reset() override;
+
+ private:
+  OracleParams params_;
+  FramePreview preview_{};
+  bool has_preview_ = false;
+};
+
+}  // namespace prime::gov

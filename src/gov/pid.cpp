@@ -1,0 +1,33 @@
+#include "gov/pid.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace prime::gov {
+
+std::size_t PidGovernor::decide(const DecisionContext& ctx,
+                                const std::optional<EpochObservation>& last) {
+  const hw::OppTable& opps = *ctx.opps;
+  if (index_ < 0.0) index_ = static_cast<double>(opps.size() - 1);
+  if (!last) return opps.clamp_index(static_cast<long long>(std::lround(index_)));
+
+  // Error: positive when we are too slow (slack below the setpoint), in which
+  // case the OPP index must rise.
+  const double error = params_.setpoint - last->slack_ratio();
+  integral_ = std::clamp(integral_ + error, -params_.integral_clamp,
+                         params_.integral_clamp);
+  const double derivative = error - last_error_;
+  last_error_ = error;
+
+  index_ += params_.kp * error + params_.ki * integral_ + params_.kd * derivative;
+  index_ = std::clamp(index_, 0.0, static_cast<double>(opps.size() - 1));
+  return opps.clamp_index(static_cast<long long>(std::lround(index_)));
+}
+
+void PidGovernor::reset() {
+  integral_ = 0.0;
+  last_error_ = 0.0;
+  index_ = -1.0;
+}
+
+}  // namespace prime::gov

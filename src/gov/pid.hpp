@@ -1,0 +1,51 @@
+/// \file pid.hpp
+/// \brief Control-theoretic DVS baseline: a PID controller on slack.
+///
+/// Represents the "control theory-based DVS" line of prior work the paper
+/// cites [4] (Gu & Chakraborty, DAC'08): no learning, just a PID loop that
+/// drives the per-frame slack ratio to a setpoint by moving the OPP index.
+/// Unlike the RL governor it adapts instantly but cannot exploit recurring
+/// workload structure, which is exactly the contrast the ablation benches
+/// surface.
+#pragma once
+
+#include "gov/governor.hpp"
+
+namespace prime::gov {
+
+/// \brief PID gains and setpoint.
+struct PidParams {
+  double setpoint = 0.10;  ///< Target slack ratio (small positive).
+  double kp = 12.0;        ///< Proportional gain (OPP indices per unit slack).
+  double ki = 2.0;         ///< Integral gain.
+  double kd = 4.0;         ///< Derivative gain.
+  double integral_clamp = 2.0;  ///< Anti-windup clamp on the integral term.
+};
+
+/// \brief Slack-setpoint PID governor.
+class PidGovernor final : public Governor {
+ public:
+  /// \brief Construct with the given gains.
+  explicit PidGovernor(const PidParams& params = {}) noexcept
+      : params_(params) {}
+
+  [[nodiscard]] std::string name() const override { return "pid-slack"; }
+  [[nodiscard]] std::size_t decide(
+      const DecisionContext& ctx,
+      const std::optional<EpochObservation>& last) override;
+  /// \brief Three multiply-adds: cheapest adaptive governor here.
+  [[nodiscard]] common::Seconds epoch_overhead() const override {
+    return common::us(3.0);
+  }
+  void reset() override;
+  /// \brief Access the gains.
+  [[nodiscard]] const PidParams& params() const noexcept { return params_; }
+
+ private:
+  PidParams params_;
+  double integral_ = 0.0;
+  double last_error_ = 0.0;
+  double index_ = -1.0;  // continuous controller state, quantised on output
+};
+
+}  // namespace prime::gov

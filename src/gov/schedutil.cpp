@@ -1,0 +1,48 @@
+#include "gov/schedutil.hpp"
+
+#include <algorithm>
+
+namespace prime::gov {
+
+std::size_t SchedutilGovernor::decide(const DecisionContext& ctx,
+                                      const std::optional<EpochObservation>& last) {
+  const hw::OppTable& opps = *ctx.opps;
+  if (!last || !initialised_) {
+    initialised_ = true;
+    last_index_ = opps.size() - 1;  // boot busy: start fast, settle down
+    return last_index_;
+  }
+
+  // Busiest-CPU utilisation over the last window.
+  const hw::Opp& ran_at = opps.at(last->opp_index);
+  double max_load = 0.0;
+  for (common::Cycles c : last->core_cycles) {
+    const double busy = common::time_for(c, ran_at.frequency);
+    const double load = last->window > 0.0 ? busy / last->window : 0.0;
+    max_load = std::max(max_load, load);
+  }
+  max_load = std::min(max_load, 1.0);
+
+  // schedutil's frequency-invariant formula: the utilisation measured at
+  // ran_at scales to capacity units, then f = headroom * util_cap * f_max.
+  const double util_cap = max_load * ran_at.frequency / opps.max().frequency;
+  const double target_hz = params_.headroom * util_cap * opps.max().frequency;
+  const std::size_t target = opps.lowest_at_least(target_hz);
+
+  if (target >= last_index_) {
+    last_index_ = target;  // ramp up immediately
+    epochs_since_down_ = 0;
+  } else if (++epochs_since_down_ >= params_.down_rate_epochs) {
+    last_index_ = target;  // rate-limited ramp down
+    epochs_since_down_ = 0;
+  }
+  return last_index_;
+}
+
+void SchedutilGovernor::reset() {
+  last_index_ = 0;
+  epochs_since_down_ = 0;
+  initialised_ = false;
+}
+
+}  // namespace prime::gov

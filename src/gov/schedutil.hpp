@@ -1,0 +1,41 @@
+/// \file schedutil.hpp
+/// \brief Modern Linux "schedutil" governor reimplementation.
+///
+/// The successor of ondemand: picks `f = headroom * f_max * util` directly
+/// from the utilisation signal each sampling period, with an instantaneous
+/// ramp-up and a rate-limited ramp-down. Included as an additional reactive
+/// baseline (post-dating the paper) so benches can show the RTM's advantage
+/// is not an artefact of comparing against 2006-era governors only.
+#pragma once
+
+#include "gov/governor.hpp"
+
+namespace prime::gov {
+
+/// \brief Tunables mirroring schedutil's behaviour.
+struct SchedutilParams {
+  double headroom = 1.25;          ///< The kernel's "util is 80 % of capacity".
+  std::size_t down_rate_epochs = 2;///< Epochs between permitted down-steps.
+};
+
+/// \brief Utilisation-proportional governor with asymmetric rate limiting.
+class SchedutilGovernor final : public Governor {
+ public:
+  /// \brief Construct with kernel-default-like parameters.
+  explicit SchedutilGovernor(const SchedutilParams& params = {}) noexcept
+      : params_(params) {}
+
+  [[nodiscard]] std::string name() const override { return "schedutil"; }
+  [[nodiscard]] std::size_t decide(
+      const DecisionContext& ctx,
+      const std::optional<EpochObservation>& last) override;
+  void reset() override;
+
+ private:
+  SchedutilParams params_;
+  std::size_t last_index_ = 0;
+  std::size_t epochs_since_down_ = 0;
+  bool initialised_ = false;
+};
+
+}  // namespace prime::gov

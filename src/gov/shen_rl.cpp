@@ -1,0 +1,119 @@
+#include "gov/shen_rl.hpp"
+
+#include <algorithm>
+
+namespace prime::gov {
+
+ShenRlGovernor::ShenRlGovernor(const ShenRlParams& params)
+    : params_(params), rng_(params.seed), epsilon_(params.epsilon0) {}
+
+void ShenRlGovernor::ensure_initialised(const DecisionContext& ctx) {
+  const std::size_t wanted_states =
+      params_.workload_levels * params_.slack_levels;
+  if (actions_ == ctx.opps->size() && states_ == wanted_states) return;
+  actions_ = ctx.opps->size();
+  states_ = wanted_states;
+  q_.assign(states_ * actions_, 0.0);
+}
+
+std::size_t ShenRlGovernor::state_of(common::Cycles cycles,
+                                     double slack) const noexcept {
+  const double frac =
+      std::clamp(static_cast<double>(cycles) / max_cycles_seen_, 0.0, 1.0);
+  auto w = static_cast<std::size_t>(frac * static_cast<double>(params_.workload_levels));
+  w = std::min(w, params_.workload_levels - 1);
+
+  const double s01 =
+      std::clamp((slack + params_.slack_clip) / (2.0 * params_.slack_clip), 0.0, 1.0);
+  auto l = static_cast<std::size_t>(s01 * static_cast<double>(params_.slack_levels));
+  l = std::min(l, params_.slack_levels - 1);
+  return w * params_.slack_levels + l;
+}
+
+std::size_t ShenRlGovernor::argmax_action(std::size_t s) const {
+  std::size_t best = 0;
+  double best_q = q_[s * actions_];
+  for (std::size_t a = 1; a < actions_; ++a) {
+    if (q_[s * actions_ + a] > best_q) {
+      best_q = q_[s * actions_ + a];
+      best = a;
+    }
+  }
+  return best;
+}
+
+std::size_t ShenRlGovernor::decide(const DecisionContext& ctx,
+                                   const std::optional<EpochObservation>& last) {
+  ensure_initialised(ctx);
+
+  std::size_t state = states_ - 1;  // pessimistic start: heavy workload
+  if (last) {
+    max_cycles_seen_ =
+        std::max(max_cycles_seen_, static_cast<double>(last->total_cycles));
+    state = state_of(last->total_cycles, last->slack_ratio());
+
+    if (has_last_) {
+      // Reward: -(normalised power) - violation penalty, per the original.
+      const hw::Opp& fastest = ctx.opps->at(ctx.opps->size() - 1);
+      const hw::Opp& ran_at = ctx.opps->at(last->opp_index);
+      const double pnorm =
+          (ran_at.voltage * ran_at.voltage * ran_at.frequency) /
+          (fastest.voltage * fastest.voltage * fastest.frequency);
+      const double violation =
+          last->deadline_met ? 0.0 : -last->slack_ratio();  // positive amount
+      const double reward = -params_.power_weight * pnorm -
+                            params_.violation_weight * violation;
+      double best_next = q_[state * actions_];
+      for (std::size_t a = 1; a < actions_; ++a) {
+        best_next = std::max(best_next, q_[state * actions_ + a]);
+      }
+      double& q = q_[last_state_ * actions_ + last_action_];
+      q = (1.0 - params_.learning_rate) * q +
+          params_.learning_rate * (reward + params_.discount * best_next);
+    }
+  }
+
+  std::size_t action;
+  if (rng_.bernoulli(epsilon_)) {
+    // UPD: uniform draw over the whole action space — the exploration policy
+    // the paper's EPD (eq. 2) improves upon.
+    action = static_cast<std::size_t>(
+        rng_.uniform_int(0, static_cast<std::int64_t>(actions_) - 1));
+    ++explorations_;
+  } else {
+    action = argmax_action(state);
+  }
+  ++epoch_;
+  epsilon_ *= params_.epsilon_decay;
+  if (epsilon_ <= params_.epsilon_min) {
+    epsilon_ = params_.epsilon_min;
+    if (convergence_epoch_ == 0) convergence_epoch_ = epoch_;
+  }
+
+  last_state_ = state;
+  last_action_ = action;
+  has_last_ = true;
+  return action;
+}
+
+void ShenRlGovernor::reset() {
+  q_.clear();
+  actions_ = 0;
+  states_ = 0;
+  epsilon_ = params_.epsilon0;
+  epoch_ = 0;
+  convergence_epoch_ = 0;
+  max_cycles_seen_ = 1.0;
+  has_last_ = false;
+  explorations_ = 0;
+  rng_ = common::Rng(params_.seed);
+}
+
+std::vector<std::size_t> ShenRlGovernor::greedy_policy() const {
+  std::vector<std::size_t> policy;
+  policy.reserve(states_);
+  for (std::size_t s = 0; s < states_; ++s) policy.push_back(argmax_action(s));
+  return policy;
+}
+
+}  // namespace prime::gov

@@ -1,0 +1,20 @@
+#include "gov/simple.hpp"
+
+namespace prime::gov {
+
+std::size_t PerformanceGovernor::decide(
+    const DecisionContext& ctx, const std::optional<EpochObservation>&) {
+  return ctx.opps->size() - 1;
+}
+
+std::size_t PowersaveGovernor::decide(const DecisionContext&,
+                                      const std::optional<EpochObservation>&) {
+  return 0;
+}
+
+std::size_t UserspaceGovernor::decide(const DecisionContext& ctx,
+                                      const std::optional<EpochObservation>&) {
+  return ctx.opps->clamp_index(static_cast<long long>(index_));
+}
+
+}  // namespace prime::gov

@@ -1,0 +1,50 @@
+/// \file simple.hpp
+/// \brief Trivial static governors: performance, powersave, userspace.
+///
+/// These mirror the Linux governors of the same names. They serve as
+/// calibration anchors in benches (performance bounds the best achievable
+/// frame time; powersave bounds the worst) and as simple test fixtures.
+#pragma once
+
+#include "gov/governor.hpp"
+
+namespace prime::gov {
+
+/// \brief Always selects the fastest OPP (Linux "performance").
+class PerformanceGovernor final : public Governor {
+ public:
+  [[nodiscard]] std::string name() const override { return "performance"; }
+  [[nodiscard]] std::size_t decide(
+      const DecisionContext& ctx,
+      const std::optional<EpochObservation>& last) override;
+  void reset() override {}
+};
+
+/// \brief Always selects the slowest OPP (Linux "powersave").
+class PowersaveGovernor final : public Governor {
+ public:
+  [[nodiscard]] std::string name() const override { return "powersave"; }
+  [[nodiscard]] std::size_t decide(
+      const DecisionContext& ctx,
+      const std::optional<EpochObservation>& last) override;
+  void reset() override {}
+};
+
+/// \brief Holds a fixed, user-chosen OPP (Linux "userspace").
+class UserspaceGovernor final : public Governor {
+ public:
+  /// \brief Construct pinned to \p index.
+  explicit UserspaceGovernor(std::size_t index) noexcept : index_(index) {}
+  [[nodiscard]] std::string name() const override { return "userspace"; }
+  [[nodiscard]] std::size_t decide(
+      const DecisionContext& ctx,
+      const std::optional<EpochObservation>& last) override;
+  /// \brief Re-pin to a different OPP (the sysfs `scaling_setspeed` write).
+  void set_index(std::size_t index) noexcept { index_ = index; }
+  void reset() override {}
+
+ private:
+  std::size_t index_;
+};
+
+}  // namespace prime::gov

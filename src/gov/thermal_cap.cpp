@@ -1,0 +1,55 @@
+#include "gov/thermal_cap.hpp"
+
+#include <limits>
+#include <stdexcept>
+
+namespace prime::gov {
+
+ThermalCapGovernor::ThermalCapGovernor(std::unique_ptr<Governor> inner,
+                                       const ThermalCapParams& params)
+    : inner_(std::move(inner)), params_(params),
+      cap_(std::numeric_limits<std::size_t>::max()) {
+  if (!inner_) {
+    throw std::invalid_argument("ThermalCapGovernor: inner governor required");
+  }
+  if (params_.release > params_.trip) {
+    throw std::invalid_argument("ThermalCapGovernor: release must be <= trip");
+  }
+}
+
+std::string ThermalCapGovernor::name() const {
+  return inner_->name() + "+thermal-cap";
+}
+
+std::size_t ThermalCapGovernor::decide(
+    const DecisionContext& ctx, const std::optional<EpochObservation>& last) {
+  const std::size_t choice = inner_->decide(ctx, last);
+  const std::size_t top = ctx.opps->size() - 1;
+
+  if (last) {
+    if (last->temperature > params_.trip) {
+      // Tighten: start from the current effective ceiling and step down.
+      const std::size_t ceiling = std::min(cap_, top);
+      cap_ = ceiling > params_.cap_step ? ceiling - params_.cap_step : 0;
+    } else if (last->temperature < params_.release &&
+               cap_ != std::numeric_limits<std::size_t>::max()) {
+      // Relax one step at a time until fully released.
+      cap_ = cap_ + 1 >= top ? std::numeric_limits<std::size_t>::max()
+                             : cap_ + 1;
+    }
+  }
+
+  if (choice > cap_) {
+    ++capped_;
+    return cap_;
+  }
+  return choice;
+}
+
+void ThermalCapGovernor::reset() {
+  inner_->reset();
+  cap_ = std::numeric_limits<std::size_t>::max();
+  capped_ = 0;
+}
+
+}  // namespace prime::gov

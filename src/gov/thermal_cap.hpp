@@ -1,0 +1,56 @@
+/// \file thermal_cap.hpp
+/// \brief Thermal-capping decorator for any governor.
+///
+/// The paper's lineage (Das et al. [11], Ge & Qiu [20]) is thermal-aware; the
+/// paper itself "neglected the thermal constraint for equivalence of
+/// comparison". This decorator restores it: it wraps an inner governor and
+/// clamps its OPP choice whenever the die temperature approaches the trip
+/// point, with hysteresis, exactly like the kernel's thermal pressure capping
+/// a cpufreq policy. Composes with every governor in the library, including
+/// the RL RTM.
+#pragma once
+
+#include <memory>
+
+#include "gov/governor.hpp"
+
+namespace prime::gov {
+
+/// \brief Thermal-capping parameters.
+struct ThermalCapParams {
+  common::Celsius trip = 85.0;     ///< Start capping above this temperature.
+  common::Celsius release = 78.0;  ///< Stop capping below this (hysteresis).
+  std::size_t cap_step = 2;        ///< OPP indices removed per hot epoch.
+};
+
+/// \brief Wraps a governor with temperature-driven frequency capping.
+class ThermalCapGovernor final : public Governor {
+ public:
+  /// \brief Construct around an inner governor (takes ownership).
+  ThermalCapGovernor(std::unique_ptr<Governor> inner,
+                     const ThermalCapParams& params = {});
+
+  [[nodiscard]] std::string name() const override;
+  [[nodiscard]] std::size_t decide(
+      const DecisionContext& ctx,
+      const std::optional<EpochObservation>& last) override;
+  [[nodiscard]] common::Seconds epoch_overhead() const override {
+    return inner_->epoch_overhead() + common::us(1.0);  // one sensor read
+  }
+  void reset() override;
+
+  /// \brief Current cap as an OPP index (size_t max when uncapped).
+  [[nodiscard]] std::size_t cap() const noexcept { return cap_; }
+  /// \brief Number of epochs in which the cap bound the decision.
+  [[nodiscard]] std::size_t capped_epochs() const noexcept { return capped_; }
+  /// \brief Access the wrapped governor.
+  [[nodiscard]] Governor& inner() noexcept { return *inner_; }
+
+ private:
+  std::unique_ptr<Governor> inner_;
+  ThermalCapParams params_;
+  std::size_t cap_;
+  std::size_t capped_ = 0;
+};
+
+}  // namespace prime::gov

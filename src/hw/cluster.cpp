@@ -1,0 +1,90 @@
+#include "hw/cluster.hpp"
+
+#include <algorithm>
+
+namespace prime::hw {
+
+Cluster::Cluster(const OppTable& table, const ClusterParams& params)
+    : table_(&table),
+      power_(params.power),
+      thermal_(params.thermal),
+      dvfs_(table, params.initial_opp, params.dvfs),
+      initial_opp_(params.initial_opp) {
+  cores_.reserve(params.cores);
+  for (std::size_t i = 0; i < params.cores; ++i) cores_.emplace_back(i, power_);
+}
+
+common::Seconds Cluster::set_opp(std::size_t index) noexcept {
+  const common::Seconds stall = dvfs_.set_opp(index);
+  pending_stall_ += stall;
+  return stall;
+}
+
+ClusterEpochResult Cluster::run_epoch(const std::vector<common::Cycles>& work,
+                                      common::Seconds period,
+                                      double mem_fraction,
+                                      common::Hertz ref_frequency) {
+  const Opp& opp = dvfs_.current();
+  const common::Celsius temp_before = thermal_.temperature();
+
+  ClusterEpochResult r;
+  r.dvfs_stall = pending_stall_;
+  pending_stall_ = 0.0;
+  r.core_cycles.resize(cores_.size(), 0);
+  r.core_busy.resize(cores_.size(), 0.0);
+
+  // Memory stalls do not scale with frequency: a frame of w base cycles
+  // retires as w * ((1-m) + m * f/f_ref) effective (PMU-visible) cycles.
+  const double eff_scale = (1.0 - mem_fraction) +
+                           mem_fraction * opp.frequency / ref_frequency;
+
+  // First pass: per-core busy times determine the frame time.
+  common::Seconds longest_busy = 0.0;
+  for (std::size_t i = 0; i < cores_.size(); ++i) {
+    const common::Cycles base = i < work.size() ? work[i] : 0;
+    const auto w =
+        static_cast<common::Cycles>(static_cast<double>(base) * eff_scale);
+    r.core_cycles[i] = w;
+    const common::Seconds busy =
+        w == 0 ? 0.0 : common::time_for(w, opp.frequency);
+    r.core_busy[i] = busy;
+    longest_busy = std::max(longest_busy, busy);
+  }
+  r.frame_time = longest_busy + r.dvfs_stall;
+  r.window = std::max(r.frame_time, period);
+  r.deadline_met = r.frame_time <= period;
+
+  // Second pass: execute cores within the window and accumulate energy.
+  common::Joule energy = 0.0;
+  for (std::size_t i = 0; i < cores_.size(); ++i) {
+    const CoreEpochResult cr =
+        cores_[i].run_epoch(r.core_cycles[i], opp, r.window, temp_before);
+    energy += cr.energy;
+  }
+  // Shared uncore power runs for the whole window; the DVFS stall burns
+  // active-level uncore power but no core work.
+  energy += power_.uncore_power(opp) * r.window;
+
+  r.energy = energy;
+  r.avg_power = r.window > 0.0 ? energy / r.window : 0.0;
+
+  thermal_.step(r.avg_power, r.window);
+  r.temperature = thermal_.temperature();
+
+  total_energy_ += energy;
+  total_time_ += r.window;
+  return r;
+}
+
+void Cluster::reset() {
+  for (auto& c : cores_) c.reset();
+  thermal_.reset();
+  dvfs_.reset_counters();
+  (void)dvfs_.set_opp(initial_opp_);
+  dvfs_.reset_counters();
+  pending_stall_ = 0.0;
+  total_energy_ = 0.0;
+  total_time_ = 0.0;
+}
+
+}  // namespace prime::hw

@@ -1,0 +1,119 @@
+/// \file cluster.hpp
+/// \brief A DVFS cluster: several cores sharing one V-F domain.
+///
+/// Mirrors the ODROID-XU3 A15 cluster: four cores, one voltage rail, one PLL,
+/// one `cpufreq` policy. The cluster executes one decision epoch at a time:
+/// given each core's cycle budget and the epoch period, it runs all cores at
+/// the current OPP, accounts per-core and shared (uncore, leakage) energy,
+/// advances the thermal model and reports the frame/epoch timing that the
+/// governor observes.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/units.hpp"
+#include "hw/core.hpp"
+#include "hw/dvfs_driver.hpp"
+#include "hw/opp.hpp"
+#include "hw/power_model.hpp"
+#include "hw/thermal_model.hpp"
+
+namespace prime::hw {
+
+/// \brief Everything the platform reports about one executed epoch.
+struct ClusterEpochResult {
+  /// Time from epoch start until the slowest core finished its work,
+  /// including any DVFS transition stall at the epoch boundary.
+  common::Seconds frame_time = 0.0;
+  /// Wall-clock length of the epoch window: max(frame_time, period).
+  common::Seconds window = 0.0;
+  /// DVFS stall included in frame_time (0 when no transition happened).
+  common::Seconds dvfs_stall = 0.0;
+  /// Total cluster energy over the window (cores + uncore + leakage).
+  common::Joule energy = 0.0;
+  /// Average cluster power over the window.
+  common::Watt avg_power = 0.0;
+  /// Die temperature at the end of the window.
+  common::Celsius temperature = 0.0;
+  /// Per-core active cycles executed this epoch.
+  std::vector<common::Cycles> core_cycles;
+  /// Per-core busy time this epoch.
+  std::vector<common::Seconds> core_busy;
+  /// True when frame_time <= period (the deadline was met).
+  bool deadline_met = true;
+};
+
+/// \brief Construction parameters for a cluster.
+struct ClusterParams {
+  std::size_t cores = 4;                ///< Number of cores in the V-F domain.
+  PowerModelParams power{};             ///< Analytical power-model parameters.
+  ThermalModelParams thermal{};         ///< RC thermal-model parameters.
+  DvfsDriverParams dvfs{};              ///< Transition-cost parameters.
+  std::size_t initial_opp = 0;          ///< OPP index applied at reset.
+};
+
+/// \brief A multi-core shared-V-F cluster.
+class Cluster {
+ public:
+  /// \brief Build a cluster over \p table with the given parameters.
+  Cluster(const OppTable& table, const ClusterParams& params);
+
+  /// \brief Request an OPP change effective for the next epoch; the stall is
+  ///        charged to that epoch's frame time. Returns the stall incurred.
+  common::Seconds set_opp(std::size_t index) noexcept;
+
+  /// \brief Execute one epoch: each core runs `work[i]` cycles (missing
+  ///        entries mean idle), within a nominal \p period. Returns full
+  ///        accounting. The epoch window extends beyond the period when the
+  ///        work overruns (deadline miss).
+  ///
+  /// \p mem_fraction models memory-boundedness: that fraction of the frame's
+  /// execution time at \p ref_frequency is memory stalls, whose wall-clock
+  /// duration does not shrink at higher f. The PMU consequently counts
+  /// *effective* cycles `w * ((1-m) + m * f/f_ref)` — observed workload grows
+  /// with frequency, exactly as on real cores — which is what governors see.
+  [[nodiscard]] ClusterEpochResult run_epoch(
+      const std::vector<common::Cycles>& work, common::Seconds period,
+      double mem_fraction = 0.0, common::Hertz ref_frequency = 1.0e9);
+
+  /// \brief Number of cores.
+  [[nodiscard]] std::size_t core_count() const noexcept { return cores_.size(); }
+  /// \brief Core \p i (read-only).
+  [[nodiscard]] const Core& core(std::size_t i) const { return cores_.at(i); }
+  /// \brief Core \p i (for PMU snapshotting).
+  [[nodiscard]] Core& core(std::size_t i) { return cores_.at(i); }
+  /// \brief Currently applied operating point.
+  [[nodiscard]] const Opp& current_opp() const noexcept { return dvfs_.current(); }
+  /// \brief Index of the current operating point.
+  [[nodiscard]] std::size_t current_opp_index() const noexcept {
+    return dvfs_.current_index();
+  }
+  /// \brief The OPP table (the governor's action space).
+  [[nodiscard]] const OppTable& opp_table() const noexcept { return *table_; }
+  /// \brief The DVFS driver (for transition statistics).
+  [[nodiscard]] const DvfsDriver& dvfs() const noexcept { return dvfs_; }
+  /// \brief The thermal model state.
+  [[nodiscard]] const ThermalModel& thermal() const noexcept { return thermal_; }
+  /// \brief The power model in use.
+  [[nodiscard]] const PowerModel& power_model() const noexcept { return power_; }
+  /// \brief Cumulative energy across all epochs since reset.
+  [[nodiscard]] common::Joule total_energy() const noexcept { return total_energy_; }
+  /// \brief Cumulative wall-clock time across all epochs since reset.
+  [[nodiscard]] common::Seconds total_time() const noexcept { return total_time_; }
+  /// \brief Reset cores, thermal state, DVFS counters and energy accounting.
+  void reset();
+
+ private:
+  const OppTable* table_;
+  PowerModel power_;
+  ThermalModel thermal_;
+  DvfsDriver dvfs_;
+  std::vector<Core> cores_;
+  common::Seconds pending_stall_ = 0.0;
+  common::Joule total_energy_ = 0.0;
+  common::Seconds total_time_ = 0.0;
+  std::size_t initial_opp_;
+};
+
+}  // namespace prime::hw

@@ -1,0 +1,33 @@
+#include "hw/dvfs_driver.hpp"
+
+#include <cmath>
+
+namespace prime::hw {
+
+DvfsDriver::DvfsDriver(const OppTable& table, std::size_t initial_index,
+                       const DvfsDriverParams& params)
+    : table_(&table), index_(table.clamp_index(static_cast<long long>(initial_index))),
+      params_(params) {}
+
+common::Seconds DvfsDriver::set_opp(std::size_t index) noexcept {
+  const std::size_t target = table_->clamp_index(static_cast<long long>(index));
+  if (target == index_) return 0.0;
+  const double steps =
+      std::abs(table_->at(target).frequency - table_->at(index_).frequency) /
+      common::mhz(100.0);
+  const common::Seconds cost =
+      params_.transition_latency + params_.latency_per_step * steps;
+  index_ = target;
+  ++transitions_;
+  stall_ += cost;
+  return cost;
+}
+
+const Opp& DvfsDriver::current() const noexcept { return table_->at(index_); }
+
+void DvfsDriver::reset_counters() noexcept {
+  transitions_ = 0;
+  stall_ = 0.0;
+}
+
+}  // namespace prime::hw

@@ -1,0 +1,55 @@
+#include "hw/platform.hpp"
+
+namespace prime::hw {
+
+Platform::Platform(OppTable table, const ClusterParams& cluster_params,
+                   const PowerSensorParams& sensor_params,
+                   std::uint64_t sensor_seed)
+    : table_(std::move(table)),
+      cluster_(std::make_unique<Cluster>(table_, cluster_params)),
+      sensor_(sensor_params, sensor_seed) {}
+
+std::unique_ptr<Platform> Platform::odroid_xu3_a15(std::uint64_t sensor_seed) {
+  ClusterParams params;
+  params.cores = 4;
+  // Start at the table midpoint like cpufreq does after boot.
+  params.initial_opp = 9;  // 1100 MHz
+  auto platform = std::make_unique<Platform>(OppTable::odroid_xu3_a15(), params,
+                                             PowerSensorParams{}, sensor_seed);
+  platform->set_name("odroid-xu3-a15");
+  return platform;
+}
+
+std::unique_ptr<Platform> Platform::from_config(const common::Config& cfg) {
+  const auto cores = static_cast<std::size_t>(cfg.get_int("hw.cores", 4));
+  const auto opps = static_cast<std::size_t>(cfg.get_int("hw.opps", 19));
+  const double fmin = cfg.get_double("hw.fmin_mhz", 200.0);
+  const double fmax = cfg.get_double("hw.fmax_mhz", 2000.0);
+
+  OppTable table = (opps == 19 && fmin == 200.0 && fmax == 2000.0)
+                       ? OppTable::odroid_xu3_a15()
+                       : OppTable::linear(opps, common::mhz(fmin),
+                                          common::mhz(fmax), 0.9, 1.3625);
+
+  ClusterParams params;
+  params.cores = cores;
+  params.power.ceff = cfg.get_double("hw.ceff", params.power.ceff);
+  params.power.idle_fraction =
+      cfg.get_double("hw.idle_fraction", params.power.idle_fraction);
+  params.thermal.ambient = cfg.get_double("hw.ambient", params.thermal.ambient);
+  params.initial_opp = table.size() / 2;
+
+  const auto seed =
+      static_cast<std::uint64_t>(cfg.get_int("hw.sensor_seed", 0xC0FFEE));
+  auto platform = std::make_unique<Platform>(std::move(table), params,
+                                             PowerSensorParams{}, seed);
+  platform->set_name(cfg.get_string("hw.name", "sim-board"));
+  return platform;
+}
+
+void Platform::reset() {
+  cluster_->reset();
+  sensor_.reset();
+}
+
+}  // namespace prime::hw

@@ -1,0 +1,66 @@
+/// \file platform.hpp
+/// \brief Board-level assembly of the simulated hardware.
+///
+/// `Platform` bundles an OPP table, a cluster and a power sensor into the
+/// "board" the run-time layer manages, with named factories for the
+/// configurations used in the paper (ODROID-XU3 A15 quad) and in tests.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "common/config.hpp"
+#include "hw/cluster.hpp"
+#include "hw/opp.hpp"
+#include "hw/power_sensor.hpp"
+
+namespace prime::hw {
+
+/// \brief A simulated board: OPP table + cluster + power sensor.
+///
+/// Owns the OPP table so the cluster's pointer stays valid for the platform's
+/// lifetime. Non-copyable (the cluster holds a reference to the table).
+class Platform {
+ public:
+  /// \brief Build from an OPP table and cluster parameters.
+  Platform(OppTable table, const ClusterParams& cluster_params,
+           const PowerSensorParams& sensor_params = {},
+           std::uint64_t sensor_seed = 0xC0FFEE);
+
+  Platform(const Platform&) = delete;
+  Platform& operator=(const Platform&) = delete;
+
+  /// \brief The paper's platform: 4x Cortex-A15, 19 OPPs (200-2000 MHz),
+  ///        XU3-calibrated power/thermal parameters, INA231-like sensor.
+  [[nodiscard]] static std::unique_ptr<Platform> odroid_xu3_a15(
+      std::uint64_t sensor_seed = 0xC0FFEE);
+
+  /// \brief Config-driven factory. Recognised keys (all optional):
+  ///        hw.cores, hw.opps, hw.fmin_mhz, hw.fmax_mhz, hw.ceff,
+  ///        hw.idle_fraction, hw.ambient, hw.sensor_seed.
+  [[nodiscard]] static std::unique_ptr<Platform> from_config(
+      const common::Config& cfg);
+
+  /// \brief The managed cluster.
+  [[nodiscard]] Cluster& cluster() noexcept { return *cluster_; }
+  /// \brief The managed cluster (read-only).
+  [[nodiscard]] const Cluster& cluster() const noexcept { return *cluster_; }
+  /// \brief The OPP table (stable address for the platform's lifetime).
+  [[nodiscard]] const OppTable& opp_table() const noexcept { return table_; }
+  /// \brief The on-board power sensor.
+  [[nodiscard]] PowerSensor& power_sensor() noexcept { return sensor_; }
+  /// \brief Board name for reports.
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+  /// \brief Set the board name.
+  void set_name(std::string name) { name_ = std::move(name); }
+  /// \brief Reset cluster state and sensor integration.
+  void reset();
+
+ private:
+  OppTable table_;
+  std::unique_ptr<Cluster> cluster_;
+  PowerSensor sensor_;
+  std::string name_ = "sim-board";
+};
+
+}  // namespace prime::hw

@@ -1,0 +1,37 @@
+#include "hw/power_model.hpp"
+
+#include <cmath>
+
+namespace prime::hw {
+
+using common::Celsius;
+using common::Cycles;
+using common::Joule;
+using common::Volt;
+using common::Watt;
+
+Watt PowerModel::active_power(const Opp& opp) const noexcept {
+  return params_.ceff * opp.voltage * opp.voltage * opp.frequency;
+}
+
+Watt PowerModel::idle_power(const Opp& opp) const noexcept {
+  return params_.idle_fraction * active_power(opp);
+}
+
+Watt PowerModel::leakage_power(Volt v, Celsius t) const noexcept {
+  const double tempf = 1.0 + params_.leak_kt * (t - params_.leak_t0);
+  const double clamped_tempf = tempf < 0.1 ? 0.1 : tempf;
+  return v * params_.leak_i0 * std::exp(params_.leak_kv * v) * clamped_tempf;
+}
+
+Watt PowerModel::uncore_power(const Opp& opp) const noexcept {
+  return params_.uncore_ceff * opp.voltage * opp.voltage * opp.frequency;
+}
+
+Joule PowerModel::active_energy(const Opp& opp, Cycles cycles) const noexcept {
+  // E = P * t = Ceff V^2 f * (cycles/f) = Ceff V^2 cycles: frequency cancels,
+  // which is exactly why voltage scaling (not frequency alone) saves energy.
+  return params_.ceff * opp.voltage * opp.voltage * static_cast<double>(cycles);
+}
+
+}  // namespace prime::hw

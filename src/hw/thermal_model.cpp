@@ -1,0 +1,18 @@
+#include "hw/thermal_model.hpp"
+
+#include <cmath>
+
+namespace prime::hw {
+
+void ThermalModel::step(common::Watt p, common::Seconds dt) noexcept {
+  if (dt <= 0.0) return;
+  const common::Celsius target = steady_state(p);
+  const double decay = std::exp(-dt / params_.tau);
+  temperature_ = target + (temperature_ - target) * decay;
+}
+
+common::Celsius ThermalModel::steady_state(common::Watt p) const noexcept {
+  return params_.ambient + p * params_.r_th;
+}
+
+}  // namespace prime::hw

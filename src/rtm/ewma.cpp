@@ -1,0 +1,44 @@
+#include "rtm/ewma.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace prime::rtm {
+
+EwmaPredictor::EwmaPredictor(double gamma) : gamma_(gamma) {
+  if (!(gamma > 0.0) || gamma > 1.0) {
+    throw std::invalid_argument("EwmaPredictor: gamma must be in (0, 1]");
+  }
+}
+
+common::Cycles EwmaPredictor::observe(common::Cycles actual) {
+  ++count_;
+  if (!primed_) {
+    predicted_ = actual;
+    primed_ = true;
+    last_err_ = 0.0;
+    return predicted_;
+  }
+  // Misprediction of the epoch that just completed: the filter had predicted
+  // `predicted_` and the hardware reported `actual`.
+  if (actual > 0) {
+    last_err_ = std::abs(static_cast<double>(actual) -
+                         static_cast<double>(predicted_)) /
+                static_cast<double>(actual);
+    err_stats_.add(last_err_);
+  }
+  const double next = gamma_ * static_cast<double>(actual) +
+                      (1.0 - gamma_) * static_cast<double>(predicted_);
+  predicted_ = static_cast<common::Cycles>(next);
+  return predicted_;
+}
+
+void EwmaPredictor::reset() noexcept {
+  predicted_ = 0;
+  primed_ = false;
+  count_ = 0;
+  last_err_ = 0.0;
+  err_stats_.reset();
+}
+
+}  // namespace prime::rtm

@@ -1,0 +1,54 @@
+#include "rtm/manycore.hpp"
+
+#include <algorithm>
+
+namespace prime::rtm {
+
+ManycoreRtmGovernor::ManycoreRtmGovernor(const ManycoreRtmParams& params)
+    : RtmGovernor(params.base), mc_params_(params) {}
+
+double ManycoreRtmGovernor::workload_coordinate(
+    const gov::DecisionContext& ctx, const gov::EpochObservation& last) {
+  // Maintain one EWMA predictor per core (lazily sized to the cluster).
+  if (predictors_.size() != ctx.cores) {
+    predictors_.assign(ctx.cores, EwmaPredictor(params_.ewma_gamma));
+  }
+  double total_pred = 0.0;
+  for (std::size_t j = 0; j < ctx.cores; ++j) {
+    const common::Cycles actual =
+        j < last.core_cycles.size() ? last.core_cycles[j] : 0;
+    total_pred += static_cast<double>(predictors_[j].observe(actual));
+  }
+  // Keep the cluster-level predictor in sync so predictor()/Fig. 3 analysis
+  // reflects the total workload as well.
+  const common::Cycles total_predicted = ewma_.observe(last.total_cycles);
+
+  // Round-robin learner core: one core's state per decision epoch.
+  learner_ = ctx.epoch % std::max<std::size_t>(1, ctx.cores);
+  const double learner_pred =
+      static_cast<double>(predictors_[learner_].prediction());
+
+  switch (mc_params_.mode) {
+    case WorkloadStateMode::kNormalized:
+      // Eq. (7): the learner core's share of the total predicted workload.
+      return total_pred <= 0.0 ? 0.0 : learner_pred / total_pred;
+    case WorkloadStateMode::kAbsolute:
+    default: {
+      // The learner core's predicted load against the largest per-core load
+      // seen so far; preserves workload magnitude in the state.
+      max_cycles_seen_ = std::max(
+          max_cycles_seen_, static_cast<double>(total_predicted));
+      const double per_core_max =
+          max_cycles_seen_ / static_cast<double>(std::max<std::size_t>(1, ctx.cores));
+      return per_core_max <= 0.0 ? 0.0 : learner_pred / per_core_max;
+    }
+  }
+}
+
+void ManycoreRtmGovernor::reset() {
+  RtmGovernor::reset();
+  predictors_.clear();
+  learner_ = 0;
+}
+
+}  // namespace prime::rtm

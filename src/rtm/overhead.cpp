@@ -1,0 +1,4 @@
+#include "rtm/overhead.hpp"
+
+// OverheadModel is fully inline; this translation unit anchors the library
+// target and keeps a stable place for future non-inline cost models.

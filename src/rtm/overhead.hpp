@@ -1,0 +1,49 @@
+/// \file overhead.hpp
+/// \brief Learning-overhead model (Section III-D, T_OVH).
+///
+/// The paper decomposes the RTM overhead into (1) sensor sampling (PMU
+/// register reads), (2) processing (state mapping, action selection, Q
+/// update) and (3) V-F transitions. The first two are charged per decision
+/// epoch by this model; transition stalls are produced by hw::DvfsDriver.
+/// Costs default to microsecond-scale figures representative of an A15 at
+/// ~1 GHz running the governor inside the kernel timer callback.
+#pragma once
+
+#include <cstddef>
+
+#include "common/units.hpp"
+
+namespace prime::rtm {
+
+/// \brief Per-component costs of one RTM invocation.
+struct OverheadParams {
+  common::Seconds sensor_read = common::us(2.0);    ///< PMU/power register reads.
+  common::Seconds state_mapping = common::us(3.0);  ///< EWMA + discretisation.
+  common::Seconds q_update = common::us(8.0);       ///< One Bellman update.
+  common::Seconds action_select = common::us(7.0);  ///< EPD sample / argmax scan.
+};
+
+/// \brief Accumulates the per-epoch processing overhead T_OVH.
+class OverheadModel {
+ public:
+  /// \brief Construct with the given component costs.
+  explicit OverheadModel(const OverheadParams& params = {}) noexcept
+      : params_(params) {}
+
+  /// \brief Overhead of one decision epoch performing \p q_updates Bellman
+  ///        updates (the shared-table many-core RTM performs exactly one;
+  ///        per-core-table schemes perform one per core).
+  [[nodiscard]] common::Seconds epoch_overhead(std::size_t q_updates = 1) const noexcept {
+    return params_.sensor_read + params_.state_mapping +
+           params_.action_select +
+           params_.q_update * static_cast<double>(q_updates);
+  }
+
+  /// \brief Access component costs.
+  [[nodiscard]] const OverheadParams& params() const noexcept { return params_; }
+
+ private:
+  OverheadParams params_;
+};
+
+}  // namespace prime::rtm

@@ -1,0 +1,132 @@
+#include "rtm/qtable.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <stdexcept>
+
+#include "common/csv.hpp"
+
+namespace prime::rtm {
+
+QTable::QTable(std::size_t states, std::size_t actions)
+    : states_(states), actions_(actions), q_(states * actions, 0.0),
+      visits_(states * actions, 0) {
+  if (states == 0 || actions == 0) {
+    throw std::invalid_argument("QTable: dimensions must be >= 1");
+  }
+}
+
+double QTable::q(std::size_t s, std::size_t a) const {
+  if (s >= states_ || a >= actions_) throw std::out_of_range("QTable::q");
+  return q_[s * actions_ + a];
+}
+
+void QTable::set_q(std::size_t s, std::size_t a, double value) {
+  if (s >= states_ || a >= actions_) throw std::out_of_range("QTable::set_q");
+  q_[s * actions_ + a] = value;
+}
+
+void QTable::update(std::size_t s, std::size_t a, double reward,
+                    std::size_t s_next, double alpha, double discount) {
+  if (s >= states_ || a >= actions_ || s_next >= states_) {
+    throw std::out_of_range("QTable::update");
+  }
+  double& q = q_[s * actions_ + a];
+  q = (1.0 - alpha) * q + alpha * (reward + discount * best_value(s_next));
+  ++visits_[s * actions_ + a];
+  ++updates_;
+}
+
+std::size_t QTable::best_action(std::size_t s) const {
+  if (s >= states_) throw std::out_of_range("QTable::best_action");
+  std::size_t best = 0;
+  double best_q = q_[s * actions_];
+  for (std::size_t a = 1; a < actions_; ++a) {
+    if (q_[s * actions_ + a] > best_q) {
+      best_q = q_[s * actions_ + a];
+      best = a;
+    }
+  }
+  return best;
+}
+
+double QTable::best_value(std::size_t s) const {
+  if (s >= states_) throw std::out_of_range("QTable::best_value");
+  double best_q = q_[s * actions_];
+  for (std::size_t a = 1; a < actions_; ++a) {
+    best_q = std::max(best_q, q_[s * actions_ + a]);
+  }
+  return best_q;
+}
+
+std::vector<std::size_t> QTable::greedy_policy() const {
+  std::vector<std::size_t> policy(states_);
+  for (std::size_t s = 0; s < states_; ++s) policy[s] = best_action(s);
+  return policy;
+}
+
+std::size_t QTable::visits(std::size_t s, std::size_t a) const {
+  if (s >= states_ || a >= actions_) throw std::out_of_range("QTable::visits");
+  return visits_[s * actions_ + a];
+}
+
+std::size_t QTable::visited_states() const {
+  std::size_t count = 0;
+  for (std::size_t s = 0; s < states_; ++s) {
+    for (std::size_t a = 0; a < actions_; ++a) {
+      if (visits_[s * actions_ + a] > 0) {
+        ++count;
+        break;
+      }
+    }
+  }
+  return count;
+}
+
+void QTable::reset() {
+  std::fill(q_.begin(), q_.end(), 0.0);
+  std::fill(visits_.begin(), visits_.end(), 0);
+  updates_ = 0;
+}
+
+std::string QTable::to_csv() const {
+  std::ostringstream out;
+  common::CsvWriter writer(out);
+  writer.header({"state", "action", "q", "visits"});
+  for (std::size_t s = 0; s < states_; ++s) {
+    for (std::size_t a = 0; a < actions_; ++a) {
+      writer.row({static_cast<double>(s), static_cast<double>(a),
+                  q_[s * actions_ + a],
+                  static_cast<double>(visits_[s * actions_ + a])});
+    }
+  }
+  return out.str();
+}
+
+void QTable::load_csv(const std::string& text) {
+  const common::CsvTable table = common::parse_csv(text);
+  const int sc = table.column_index("state");
+  const int ac = table.column_index("action");
+  const int qc = table.column_index("q");
+  const int vc = table.column_index("visits");
+  if (sc < 0 || ac < 0 || qc < 0) {
+    throw std::runtime_error("QTable::load_csv: missing columns");
+  }
+  for (const auto& row : table.rows) {
+    const auto s = static_cast<std::size_t>(
+        std::strtoull(row.at(static_cast<std::size_t>(sc)).c_str(), nullptr, 10));
+    const auto a = static_cast<std::size_t>(
+        std::strtoull(row.at(static_cast<std::size_t>(ac)).c_str(), nullptr, 10));
+    if (s >= states_ || a >= actions_) {
+      throw std::runtime_error("QTable::load_csv: entry out of range");
+    }
+    q_[s * actions_ + a] =
+        std::strtod(row.at(static_cast<std::size_t>(qc)).c_str(), nullptr);
+    if (vc >= 0 && static_cast<std::size_t>(vc) < row.size()) {
+      visits_[s * actions_ + a] = static_cast<std::size_t>(std::strtoull(
+          row[static_cast<std::size_t>(vc)].c_str(), nullptr, 10));
+    }
+  }
+}
+
+}  // namespace prime::rtm

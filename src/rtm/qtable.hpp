@@ -1,0 +1,72 @@
+/// \file qtable.hpp
+/// \brief The Q-table: the RTM's learned state-action value store.
+///
+/// A dense |S| x |A| matrix of action values with the Bellman update of
+/// eq. (3), visit counting (used to report coverage), greedy-policy
+/// extraction (used for convergence detection in Tables II/III) and CSV
+/// persistence, mirroring how the paper's governor kept its look-up table
+/// resident in the OS.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace prime::rtm {
+
+/// \brief Dense state-action value table with Q-learning update.
+class QTable {
+ public:
+  /// \brief Construct a zero-initialised |states| x |actions| table.
+  ///        Throws std::invalid_argument when either dimension is zero.
+  QTable(std::size_t states, std::size_t actions);
+
+  /// \brief Number of states |S|.
+  [[nodiscard]] std::size_t states() const noexcept { return states_; }
+  /// \brief Number of actions |A|.
+  [[nodiscard]] std::size_t actions() const noexcept { return actions_; }
+
+  /// \brief Q(s, a). Bounds-checked.
+  [[nodiscard]] double q(std::size_t s, std::size_t a) const;
+  /// \brief Directly set Q(s, a) (tests and persistence).
+  void set_q(std::size_t s, std::size_t a, double value);
+
+  /// \brief Bellman update, eq. (3):
+  ///        Q(s,a) <- (1-alpha) Q(s,a) + alpha (r + discount * max_a' Q(s',a')).
+  ///        Also increments the (s, a) visit counter.
+  void update(std::size_t s, std::size_t a, double reward, std::size_t s_next,
+              double alpha, double discount);
+
+  /// \brief Greedy action argmax_a Q(s, a) (ties break toward lower index,
+  ///        i.e. the slower, lower-energy OPP).
+  [[nodiscard]] std::size_t best_action(std::size_t s) const;
+  /// \brief max_a Q(s, a).
+  [[nodiscard]] double best_value(std::size_t s) const;
+  /// \brief Greedy action for every state (the exploited policy).
+  [[nodiscard]] std::vector<std::size_t> greedy_policy() const;
+
+  /// \brief Times (s, a) has been updated.
+  [[nodiscard]] std::size_t visits(std::size_t s, std::size_t a) const;
+  /// \brief Number of distinct states updated at least once (coverage).
+  [[nodiscard]] std::size_t visited_states() const;
+  /// \brief Total updates performed.
+  [[nodiscard]] std::size_t total_updates() const noexcept { return updates_; }
+
+  /// \brief Zero all values and counters.
+  void reset();
+
+  /// \brief Serialise as CSV ("state,action,q,visits").
+  [[nodiscard]] std::string to_csv() const;
+  /// \brief Restore from to_csv() output. Throws std::runtime_error when the
+  ///        text does not match this table's dimensions.
+  void load_csv(const std::string& text);
+
+ private:
+  std::size_t states_;
+  std::size_t actions_;
+  std::vector<double> q_;
+  std::vector<std::size_t> visits_;
+  std::size_t updates_ = 0;
+};
+
+}  // namespace prime::rtm

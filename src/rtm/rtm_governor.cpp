@@ -1,0 +1,107 @@
+#include "rtm/rtm_governor.hpp"
+
+#include <algorithm>
+
+namespace prime::rtm {
+
+RtmGovernor::RtmGovernor(const RtmParams& params)
+    : params_(params), ewma_(params.ewma_gamma),
+      discretizer_(params.discretizer), reward_(make_reward(params.reward)),
+      epsilon_(params.epsilon),
+      slack_(params.slack_mode, params.slack_ewma_alpha),
+      overhead_(params.overhead), rng_(params.seed) {
+  if (params.policy == "epd") {
+    policy_ = std::make_unique<EpdPolicy>(params.epd_beta);
+  } else {
+    policy_ = make_policy(params.policy);
+  }
+}
+
+void RtmGovernor::ensure_initialised(const gov::DecisionContext& ctx) {
+  if (qtable_ && actions_ == ctx.opps->size()) return;
+  actions_ = ctx.opps->size();
+  qtable_ = std::make_unique<QTable>(discretizer_.state_count(), actions_);
+}
+
+double RtmGovernor::workload_coordinate(const gov::DecisionContext& /*ctx*/,
+                                        const gov::EpochObservation& last) {
+  // Single-cluster RTM: predict the total cluster workload (eq. 1) and
+  // normalise by the largest workload observed so far (the run-time
+  // equivalent of the paper's pre-characterised workload range).
+  max_cycles_seen_ =
+      std::max(max_cycles_seen_, static_cast<double>(last.total_cycles));
+  const common::Cycles predicted = ewma_.observe(last.total_cycles);
+  return static_cast<double>(predicted) / max_cycles_seen_;
+}
+
+std::size_t RtmGovernor::decide(const gov::DecisionContext& ctx,
+                                const std::optional<gov::EpochObservation>& last) {
+  ensure_initialised(ctx);
+
+  // A changed performance requirement restarts the slack accumulator: eq. (5)
+  // averages "since the start of the application with a given Tref".
+  if (last_period_ >= 0.0 && ctx.period != last_period_) {
+    slack_.reset();
+  }
+  last_period_ = ctx.period;
+
+  std::size_t state = discretizer_.state_of(1.0, 0.0);  // pessimistic default
+  if (last) {
+    // (1) Pay-off for the completed interval (eq. 4 over eq. 5's L).
+    const common::Seconds t_ovh =
+        overhead_.epoch_overhead(q_updates_per_epoch());
+    const double slack_avg =
+        slack_.observe(last->period, last->frame_time, t_ovh);
+    const double payoff = reward_->reward(slack_avg, slack_.delta_slack());
+
+    // (3a) Predict next workload and map (CC, L) to the next state.
+    const double w01 = workload_coordinate(ctx, *last);
+    state = discretizer_.state_of(w01, slack_avg);
+
+    // (2) Q-table update for the state-action chosen at t_{i-1} (eq. 3).
+    if (has_last_) {
+      qtable_->update(last_state_, last_action_, payoff, state,
+                      params_.learning_rate, params_.discount);
+    }
+
+    // Smoothed pay-off drives the adaptive part of the eq. (6) schedule.
+    smoothed_payoff_ = has_last_
+                           ? 0.1 * payoff + 0.9 * smoothed_payoff_
+                           : payoff;
+  }
+
+  // (3b) Action selection: explore with probability eps, exploit otherwise.
+  std::size_t action;
+  if (epsilon_.should_explore(rng_)) {
+    action = policy_->sample(*ctx.opps, slack_.average_slack(), rng_);
+    ++explorations_;
+  } else {
+    action = qtable_->best_action(state);
+  }
+  epsilon_.advance(smoothed_payoff_);
+
+  last_state_ = state;
+  last_action_ = action;
+  has_last_ = true;
+  return action;
+}
+
+void RtmGovernor::reset() {
+  ewma_.reset();
+  slack_.reset();
+  epsilon_.reset();
+  if (qtable_) qtable_->reset();
+  rng_ = common::Rng(params_.seed);
+  max_cycles_seen_ = 1.0;
+  has_last_ = false;
+  last_period_ = -1.0;
+  explorations_ = 0;
+  smoothed_payoff_ = 0.0;
+}
+
+std::vector<std::size_t> RtmGovernor::greedy_policy() const {
+  if (!qtable_) return {};
+  return qtable_->greedy_policy();
+}
+
+}  // namespace prime::rtm

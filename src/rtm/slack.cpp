@@ -1,0 +1,44 @@
+#include "rtm/slack.hpp"
+
+#include <stdexcept>
+
+namespace prime::rtm {
+
+SlackMonitor::SlackMonitor(SlackAveraging mode, double ewma_alpha)
+    : mode_(mode), ewma_alpha_(ewma_alpha) {
+  if (!(ewma_alpha > 0.0) || ewma_alpha > 1.0) {
+    throw std::invalid_argument("SlackMonitor: ewma_alpha must be in (0, 1]");
+  }
+}
+
+double SlackMonitor::observe(common::Seconds t_ref, common::Seconds t_exec,
+                             common::Seconds t_ovh) {
+  if (t_ref <= 0.0) return average_;
+  const double slack = (t_ref - t_exec - t_ovh) / t_ref;
+  last_ = slack;
+  const double previous = average_;
+  ++epochs_;
+  switch (mode_) {
+    case SlackAveraging::kCumulative:
+      sum_ += slack;
+      average_ = sum_ / static_cast<double>(epochs_);
+      break;
+    case SlackAveraging::kExponential:
+      average_ = epochs_ == 1
+                     ? slack
+                     : ewma_alpha_ * slack + (1.0 - ewma_alpha_) * average_;
+      break;
+  }
+  delta_ = average_ - previous;
+  return average_;
+}
+
+void SlackMonitor::reset() noexcept {
+  average_ = 0.0;
+  delta_ = 0.0;
+  last_ = 0.0;
+  sum_ = 0.0;
+  epochs_ = 0;
+}
+
+}  // namespace prime::rtm

@@ -1,0 +1,36 @@
+#include "sim/convergence.hpp"
+
+namespace prime::sim {
+
+void PolicyConvergence::observe(std::size_t epoch,
+                                const std::vector<std::size_t>& greedy_policy,
+                                std::size_t explorations_so_far) {
+  if (converged_) return;
+  if (greedy_policy == last_policy_ && !last_policy_.empty()) {
+    if (streak_ == 0) {
+      streak_start_epoch_ = epoch;
+      streak_start_explorations_ = explorations_so_far;
+    }
+    ++streak_;
+    if (streak_ >= stable_epochs_) {
+      converged_ = true;
+      convergence_epoch_ = streak_start_epoch_;
+      explorations_at_convergence_ = streak_start_explorations_;
+    }
+  } else {
+    streak_ = 0;
+    last_policy_ = greedy_policy;
+  }
+}
+
+void PolicyConvergence::reset() noexcept {
+  last_policy_.clear();
+  streak_ = 0;
+  streak_start_epoch_ = 0;
+  streak_start_explorations_ = 0;
+  converged_ = false;
+  convergence_epoch_ = 0;
+  explorations_at_convergence_ = 0;
+}
+
+}  // namespace prime::sim

@@ -1,0 +1,56 @@
+/// \file convergence.hpp
+/// \brief Learning-convergence detection (Tables II and III).
+///
+/// The paper reports "number of explorations" (Table II) and "time overhead
+/// in decision epochs" until learning completes (Table III). We define
+/// convergence operationally: the greedy policy extracted from the learner's
+/// table(s) has not changed for `stable_epochs` consecutive decision epochs.
+/// The tracker records the first epoch at which that streak began and the
+/// exploration count accumulated by then.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace prime::sim {
+
+/// \brief Detects the first sustained period of policy stability.
+class PolicyConvergence {
+ public:
+  /// \brief \p stable_epochs consecutive unchanged-policy epochs constitute
+  ///        convergence (default 25).
+  explicit PolicyConvergence(std::size_t stable_epochs = 25) noexcept
+      : stable_epochs_(stable_epochs == 0 ? 1 : stable_epochs) {}
+
+  /// \brief Feed the greedy policy after epoch \p epoch, together with the
+  ///        learner's cumulative exploration count. No-op once converged.
+  void observe(std::size_t epoch, const std::vector<std::size_t>& greedy_policy,
+               std::size_t explorations_so_far);
+
+  /// \brief True once a full stable streak has been seen.
+  [[nodiscard]] bool converged() const noexcept { return converged_; }
+  /// \brief Epoch at which the stable streak began (learning completed).
+  ///        Meaningful only when converged().
+  [[nodiscard]] std::size_t convergence_epoch() const noexcept {
+    return convergence_epoch_;
+  }
+  /// \brief Exploration count at the start of the stable streak.
+  ///        Meaningful only when converged().
+  [[nodiscard]] std::size_t explorations_at_convergence() const noexcept {
+    return explorations_at_convergence_;
+  }
+  /// \brief Restart detection.
+  void reset() noexcept;
+
+ private:
+  std::size_t stable_epochs_;
+  std::vector<std::size_t> last_policy_;
+  std::size_t streak_ = 0;
+  std::size_t streak_start_epoch_ = 0;
+  std::size_t streak_start_explorations_ = 0;
+  bool converged_ = false;
+  std::size_t convergence_epoch_ = 0;
+  std::size_t explorations_at_convergence_ = 0;
+};
+
+}  // namespace prime::sim

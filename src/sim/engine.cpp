@@ -1,0 +1,125 @@
+#include "sim/engine.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+namespace prime::sim {
+
+double RunResult::mean_normalized_performance() const {
+  if (epochs.empty()) return 0.0;
+  double sum = 0.0;
+  for (const auto& e : epochs) {
+    sum += e.period > 0.0 ? e.frame_time / e.period : 0.0;
+  }
+  return sum / static_cast<double>(epochs.size());
+}
+
+double RunResult::miss_rate() const {
+  if (epochs.empty()) return 0.0;
+  return static_cast<double>(deadline_misses) /
+         static_cast<double>(epochs.size());
+}
+
+common::Watt RunResult::mean_power() const {
+  if (epochs.empty()) return 0.0;
+  double sum = 0.0;
+  for (const auto& e : epochs) sum += e.sensor_power;
+  return sum / static_cast<double>(epochs.size());
+}
+
+RunResult run_simulation(hw::Platform& platform, const wl::Application& app,
+                         gov::Governor& governor, const RunOptions& options) {
+  if (options.reset_platform) platform.reset();
+  if (options.reset_governor) governor.reset();
+
+  hw::Cluster& cluster = platform.cluster();
+  const hw::OppTable& opps = platform.opp_table();
+  auto* clairvoyant = dynamic_cast<gov::Clairvoyant*>(&governor);
+
+  const std::size_t frames =
+      options.max_frames == 0
+          ? app.frame_count()
+          : std::min(options.max_frames, app.frame_count());
+
+  RunResult result;
+  result.governor = governor.name();
+  result.application = app.name();
+  result.epochs.reserve(frames);
+
+  std::optional<gov::EpochObservation> last;
+  for (std::size_t i = 0; i < frames; ++i) {
+    const common::Seconds period = app.deadline_at(i);
+    std::vector<common::Cycles> work = app.core_work(i, cluster.core_count());
+    const common::Cycles demand =
+        std::accumulate(work.begin(), work.end(), common::Cycles{0});
+
+    if (clairvoyant != nullptr) {
+      gov::FramePreview preview;
+      preview.max_core_cycles =
+          work.empty() ? 0 : *std::max_element(work.begin(), work.end());
+      preview.total_cycles = demand;
+      preview.mem_fraction = app.mem_fraction();
+      clairvoyant->preview_next_frame(preview);
+    }
+
+    gov::DecisionContext ctx;
+    ctx.epoch = i;
+    ctx.period = period;
+    ctx.cores = cluster.core_count();
+    ctx.opps = &opps;
+    const std::size_t action = governor.decide(ctx, last);
+    cluster.set_opp(action);
+
+    // The governor's processing overhead executes as cycles on core 0 at the
+    // chosen frequency, consuming both time and energy (T_OVH, Section III-D).
+    const common::Seconds ovh = governor.epoch_overhead();
+    if (!work.empty() && ovh > 0.0) {
+      work[0] += common::cycles_at(cluster.current_opp().frequency, ovh);
+    }
+
+    const hw::ClusterEpochResult epoch =
+        cluster.run_epoch(work, period, app.mem_fraction());
+    const common::Watt reading =
+        platform.power_sensor().integrate(epoch.avg_power, epoch.window);
+
+    EpochRecord rec;
+    rec.epoch = i;
+    rec.period = period;
+    rec.opp_index = cluster.current_opp_index();
+    rec.frequency = cluster.current_opp().frequency;
+    rec.demand = demand;
+    rec.executed = std::accumulate(epoch.core_cycles.begin(),
+                                   epoch.core_cycles.end(), common::Cycles{0});
+    rec.frame_time = epoch.frame_time;
+    rec.window = epoch.window;
+    rec.energy = epoch.energy;
+    rec.sensor_power = reading;
+    rec.temperature = epoch.temperature;
+    rec.slack = period > 0.0 ? (period - epoch.frame_time) / period : 0.0;
+    rec.deadline_met = epoch.deadline_met;
+
+    result.total_energy += epoch.energy;
+    result.total_time += epoch.window;
+    if (!epoch.deadline_met) ++result.deadline_misses;
+
+    gov::EpochObservation obs;
+    obs.epoch = i;
+    obs.period = period;
+    obs.frame_time = epoch.frame_time;
+    obs.window = epoch.window;
+    obs.total_cycles = rec.executed;
+    obs.core_cycles = epoch.core_cycles;
+    obs.opp_index = rec.opp_index;
+    obs.avg_power = reading;
+    obs.temperature = epoch.temperature;
+    obs.deadline_met = epoch.deadline_met;
+    last = std::move(obs);
+
+    result.epochs.push_back(rec);
+    if (options.on_epoch) options.on_epoch(result.epochs.back(), governor);
+  }
+  result.measured_energy = platform.power_sensor().measured_energy();
+  return result;
+}
+
+}  // namespace prime::sim

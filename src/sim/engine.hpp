@@ -1,0 +1,80 @@
+/// \file engine.hpp
+/// \brief The decision-epoch simulation loop.
+///
+/// Drives one application on one platform under one governor, epoch by epoch
+/// (epoch = frame), exactly reproducing the paper's experimental loop: the
+/// governor decides a V-F setting before the frame runs (proactive control),
+/// the cluster executes the frame's per-core work, the power sensor measures
+/// the frame, and the observation is fed back to the governor at the next
+/// tick. The governor's own processing overhead executes as real cycles on
+/// core 0, so T_OVH consumes time and energy like it does on the board.
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "gov/governor.hpp"
+#include "hw/platform.hpp"
+#include "wl/application.hpp"
+
+namespace prime::sim {
+
+/// \brief Everything recorded about one executed epoch.
+struct EpochRecord {
+  std::size_t epoch = 0;            ///< Frame index.
+  common::Seconds period = 0.0;     ///< Deadline Tref in force.
+  std::size_t opp_index = 0;        ///< OPP chosen by the governor.
+  common::Hertz frequency = 0.0;    ///< Its frequency.
+  common::Cycles demand = 0;        ///< Application demand (excl. overhead).
+  common::Cycles executed = 0;      ///< Cycles actually executed (incl. overhead).
+  common::Seconds frame_time = 0.0; ///< Frame completion time.
+  common::Seconds window = 0.0;     ///< Epoch wall-clock length.
+  common::Joule energy = 0.0;       ///< True model energy for the epoch.
+  common::Watt sensor_power = 0.0;  ///< Power-sensor reading.
+  common::Celsius temperature = 0.0;///< Die temperature after the epoch.
+  double slack = 0.0;               ///< Per-epoch slack (Tref - Ti)/Tref.
+  bool deadline_met = true;         ///< Whether the frame met its deadline.
+};
+
+/// \brief Aggregate outcome of a run.
+struct RunResult {
+  std::string governor;              ///< Governor name.
+  std::string application;           ///< Application name.
+  std::vector<EpochRecord> epochs;   ///< Per-epoch records.
+  common::Joule total_energy = 0.0;  ///< True model energy.
+  common::Joule measured_energy = 0.0; ///< Sensor-integrated energy.
+  common::Seconds total_time = 0.0;  ///< Total wall-clock time.
+  std::size_t deadline_misses = 0;   ///< Frames missing their deadline.
+
+  /// \brief Mean of frame_time/period — the paper's normalised performance
+  ///        (>1 under-performs the requirement, <1 over-performs).
+  [[nodiscard]] double mean_normalized_performance() const;
+  /// \brief Fraction of frames missing their deadline.
+  [[nodiscard]] double miss_rate() const;
+  /// \brief Mean sensor power across epochs.
+  [[nodiscard]] common::Watt mean_power() const;
+};
+
+/// \brief Per-epoch hook: invoked after each epoch with the fresh record and
+///        the governor (for introspection such as convergence tracking).
+using EpochCallback = std::function<void(const EpochRecord&, gov::Governor&)>;
+
+/// \brief Options controlling a simulation run.
+struct RunOptions {
+  std::size_t max_frames = 0;   ///< 0 = run the whole trace.
+  EpochCallback on_epoch;       ///< Optional per-epoch observer.
+  bool reset_platform = true;   ///< Reset hardware state before the run.
+  bool reset_governor = true;   ///< Reset governor learning before the run.
+};
+
+/// \brief Run \p app on \p platform under \p governor.
+///
+/// If the governor also implements gov::Clairvoyant it receives the true
+/// demand of each upcoming frame before deciding (Oracle only).
+[[nodiscard]] RunResult run_simulation(hw::Platform& platform,
+                                       const wl::Application& app,
+                                       gov::Governor& governor,
+                                       const RunOptions& options = {});
+
+}  // namespace prime::sim

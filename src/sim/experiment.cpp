@@ -1,0 +1,131 @@
+#include "sim/experiment.hpp"
+
+#include <stdexcept>
+
+#include "gov/conservative.hpp"
+#include "gov/mcdvfs.hpp"
+#include "gov/ondemand.hpp"
+#include "gov/oracle.hpp"
+#include "gov/pid.hpp"
+#include "gov/schedutil.hpp"
+#include "gov/shen_rl.hpp"
+#include "gov/thermal_cap.hpp"
+#include "gov/simple.hpp"
+#include "rtm/manycore.hpp"
+#include "rtm/rtm_governor.hpp"
+#include "wl/suites.hpp"
+
+namespace prime::sim {
+
+wl::Application make_application(const ExperimentSpec& spec,
+                                 const hw::Platform& platform) {
+  const auto generator = wl::make_workload(spec.workload);
+  wl::WorkloadTrace trace = generator->generate(spec.frames, spec.seed);
+
+  if (spec.target_utilisation > 0.0) {
+    const hw::Cluster& cluster = platform.cluster();
+    const double capacity =
+        static_cast<double>(cluster.core_count()) *
+        platform.opp_table().max().frequency * (1.0 / spec.fps);
+    trace = trace.scaled_to_mean(spec.target_utilisation * capacity);
+  }
+
+  wl::Application app(spec.workload, std::move(trace), spec.fps, spec.threads,
+                      spec.thread_imbalance);
+  double mem = spec.mem_fraction;
+  if (mem < 0.0) {
+    // Per-workload defaults: video decode touches DRAM per macroblock; FFT
+    // batches largely fit in L2.
+    if (spec.workload == "mpeg4" || spec.workload == "h264" ||
+        spec.workload == "x264") {
+      mem = 0.15;
+    } else if (spec.workload == "fft" || spec.workload == "splash-fft") {
+      mem = 0.08;
+    } else {
+      mem = 0.12;
+    }
+  }
+  app.set_mem_fraction(mem);
+  return app;
+}
+
+std::unique_ptr<gov::Governor> make_governor(const std::string& name,
+                                             std::uint64_t seed) {
+  if (name == "performance") return std::make_unique<gov::PerformanceGovernor>();
+  if (name == "powersave") return std::make_unique<gov::PowersaveGovernor>();
+  if (name == "ondemand") return std::make_unique<gov::OndemandGovernor>();
+  if (name == "conservative") {
+    return std::make_unique<gov::ConservativeGovernor>();
+  }
+  if (name == "schedutil") return std::make_unique<gov::SchedutilGovernor>();
+  if (name == "pid") return std::make_unique<gov::PidGovernor>();
+  if (name == "rtm-thermal") {
+    rtm::ManycoreRtmParams p;
+    p.base.seed = seed;
+    return std::make_unique<gov::ThermalCapGovernor>(
+        std::make_unique<rtm::ManycoreRtmGovernor>(p));
+  }
+  if (name == "oracle") return std::make_unique<gov::OracleGovernor>();
+  if (name == "mcdvfs") {
+    gov::McdvfsParams p;
+    p.seed = seed;
+    return std::make_unique<gov::MulticoreDvfsGovernor>(p);
+  }
+  if (name == "shen-rl") {
+    gov::ShenRlParams p;
+    p.seed = seed;
+    return std::make_unique<gov::ShenRlGovernor>(p);
+  }
+  if (name == "rtm") {
+    rtm::RtmParams p;
+    p.seed = seed;
+    return std::make_unique<rtm::RtmGovernor>(p);
+  }
+  if (name == "rtm-upd") {
+    rtm::RtmParams p;
+    p.policy = "upd";
+    p.seed = seed;
+    return std::make_unique<rtm::RtmGovernor>(p);
+  }
+  if (name == "rtm-manycore") {
+    rtm::ManycoreRtmParams p;
+    p.base.seed = seed;
+    return std::make_unique<rtm::ManycoreRtmGovernor>(p);
+  }
+  if (name == "rtm-manycore-normalized") {
+    rtm::ManycoreRtmParams p;
+    p.base.seed = seed;
+    p.mode = rtm::WorkloadStateMode::kNormalized;
+    return std::make_unique<rtm::ManycoreRtmGovernor>(p);
+  }
+  throw std::invalid_argument("make_governor: unknown governor '" + name + "'");
+}
+
+std::vector<std::string> governor_names() {
+  return {"performance",  "powersave",    "ondemand",
+          "conservative", "schedutil",    "pid",
+          "oracle",       "mcdvfs",       "shen-rl",
+          "rtm",          "rtm-upd",      "rtm-manycore",
+          "rtm-manycore-normalized",      "rtm-thermal"};
+}
+
+Comparison compare_governors(hw::Platform& platform, const wl::Application& app,
+                             const std::vector<std::string>& names,
+                             std::uint64_t governor_seed) {
+  Comparison cmp;
+  {
+    const auto oracle = make_governor("oracle", governor_seed);
+    cmp.oracle_run = run_simulation(platform, app, *oracle);
+  }
+  cmp.runs.reserve(names.size());
+  cmp.rows.reserve(names.size());
+  for (const auto& name : names) {
+    const auto governor = make_governor(name, governor_seed);
+    RunResult run = run_simulation(platform, app, *governor);
+    cmp.rows.push_back(normalize_against(run, cmp.oracle_run));
+    cmp.runs.push_back(std::move(run));
+  }
+  return cmp;
+}
+
+}  // namespace prime::sim

@@ -1,0 +1,72 @@
+/// \file experiment.hpp
+/// \brief High-level experiment assembly: applications, governors, comparisons.
+///
+/// Benches and examples share this layer: build a named workload calibrated
+/// to the platform, build a named governor, run governor sets against the
+/// Oracle baseline and emit Table-I-style normalised rows. All construction
+/// is seed-deterministic.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "gov/governor.hpp"
+#include "hw/platform.hpp"
+#include "sim/engine.hpp"
+#include "sim/metrics.hpp"
+#include "wl/application.hpp"
+
+namespace prime::sim {
+
+/// \brief Specification of one experiment's application.
+struct ExperimentSpec {
+  std::string workload = "h264";  ///< Name accepted by wl::make_workload().
+  double fps = 25.0;              ///< Performance requirement.
+  std::size_t frames = 3000;      ///< Trace length.
+  std::uint64_t seed = 42;        ///< Trace generation seed.
+  std::size_t threads = 4;        ///< Worker threads per frame.
+  double thread_imbalance = 0.05; ///< Per-frame thread imbalance.
+  /// Target mean platform utilisation at the fastest OPP (0 disables
+  /// calibration and uses the generator's own demand level). Calibration
+  /// scales the trace so mean demand = target * cores * f_max * Tref,
+  /// keeping every workload feasible yet DVFS-interesting at any fps.
+  double target_utilisation = 0.45;
+  /// Memory-boundedness (stall-time fraction at 1 GHz). Negative selects a
+  /// per-workload default: video decode 0.25, FFT 0.10, otherwise 0.20.
+  double mem_fraction = -1.0;
+};
+
+/// \brief Build the application described by \p spec, calibrated to \p platform.
+[[nodiscard]] wl::Application make_application(const ExperimentSpec& spec,
+                                               const hw::Platform& platform);
+
+/// \brief Governor factory. Accepted names: "performance", "powersave",
+///        "ondemand", "conservative", "oracle", "mcdvfs", "shen-rl",
+///        "rtm" (single-cluster proposed), "rtm-upd" (proposed with UPD
+///        exploration), "rtm-manycore" (the paper's many-core formulation),
+///        "rtm-manycore-normalized" (eq. 7 literal normalisation),
+///        "schedutil", "pid" (extra baselines), "rtm-thermal" (proposed RTM
+///        wrapped in the thermal cap).
+///        Throws std::invalid_argument for unknown names.
+[[nodiscard]] std::unique_ptr<gov::Governor> make_governor(
+    const std::string& name, std::uint64_t seed = 0x271828);
+
+/// \brief All names accepted by make_governor().
+[[nodiscard]] std::vector<std::string> governor_names();
+
+/// \brief Result of a multi-governor comparison (Table I shape).
+struct Comparison {
+  RunResult oracle_run;                 ///< The normalisation baseline run.
+  std::vector<RunResult> runs;          ///< One run per requested governor.
+  std::vector<NormalizedMetrics> rows;  ///< Normalised rows, same order.
+};
+
+/// \brief Run each named governor on \p app (fresh platform state each time),
+///        plus the Oracle, and normalise. The platform is reset between runs.
+[[nodiscard]] Comparison compare_governors(hw::Platform& platform,
+                                           const wl::Application& app,
+                                           const std::vector<std::string>& names,
+                                           std::uint64_t governor_seed = 0x271828);
+
+}  // namespace prime::sim

@@ -1,0 +1,73 @@
+#include "sim/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace prime::sim {
+
+NormalizedMetrics normalize_against(const RunResult& run,
+                                    const RunResult& oracle) {
+  NormalizedMetrics m;
+  m.governor = run.governor;
+  m.energy = run.total_energy;
+  m.normalized_energy = oracle.total_energy > 0.0
+                            ? run.total_energy / oracle.total_energy
+                            : 0.0;
+  m.normalized_performance = run.mean_normalized_performance();
+  m.miss_rate = run.miss_rate();
+  m.mean_power = run.mean_power();
+  return m;
+}
+
+MispredictionSummary summarize_misprediction(const std::vector<double>& actual,
+                                             const std::vector<double>& predicted,
+                                             std::size_t split) {
+  MispredictionSummary s;
+  const std::size_t n = std::min(actual.size(), predicted.size());
+  double early_sum = 0.0;
+  double late_sum = 0.0;
+  double all_sum = 0.0;
+  std::size_t early_n = 0;
+  std::size_t late_n = 0;
+  std::size_t all_n = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (actual[i] == 0.0) continue;
+    const double err = std::abs(actual[i] - predicted[i]) / std::abs(actual[i]);
+    s.peak = std::max(s.peak, err);
+    all_sum += err;
+    ++all_n;
+    if (i < split) {
+      early_sum += err;
+      ++early_n;
+    } else {
+      late_sum += err;
+      ++late_n;
+    }
+  }
+  s.early_avg = early_n == 0 ? 0.0 : early_sum / static_cast<double>(early_n);
+  s.late_avg = late_n == 0 ? 0.0 : late_sum / static_cast<double>(late_n);
+  s.overall_avg = all_n == 0 ? 0.0 : all_sum / static_cast<double>(all_n);
+  return s;
+}
+
+RunSeries extract_series(const RunResult& run) {
+  RunSeries s;
+  const std::size_t n = run.epochs.size();
+  s.frame.reserve(n);
+  s.demand.reserve(n);
+  s.frequency_mhz.reserve(n);
+  s.slack.reserve(n);
+  s.power.reserve(n);
+  s.energy_mj.reserve(n);
+  for (const auto& e : run.epochs) {
+    s.frame.push_back(static_cast<double>(e.epoch));
+    s.demand.push_back(static_cast<double>(e.demand));
+    s.frequency_mhz.push_back(common::to_mhz(e.frequency));
+    s.slack.push_back(e.slack);
+    s.power.push_back(e.sensor_power);
+    s.energy_mj.push_back(common::to_mj(e.energy));
+  }
+  return s;
+}
+
+}  // namespace prime::sim

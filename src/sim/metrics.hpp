@@ -1,0 +1,61 @@
+/// \file metrics.hpp
+/// \brief Derived metrics: the normalised quantities the paper reports.
+///
+/// Table I normalises energy to the Oracle run and performance to the
+/// per-frame requirement Tref. This module computes those normalisations
+/// plus the misprediction statistics of Fig. 3 and general run summaries.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sim/engine.hpp"
+
+namespace prime::sim {
+
+/// \brief One row of a Table-I-style comparison.
+struct NormalizedMetrics {
+  std::string governor;              ///< Governor name.
+  double normalized_energy = 0.0;    ///< Energy / Oracle energy (>1 = worse).
+  double normalized_performance = 0.0; ///< Mean Ti/Tref (>1 under-performs).
+  double miss_rate = 0.0;            ///< Deadline miss fraction.
+  common::Watt mean_power = 0.0;     ///< Mean sensor power.
+  common::Joule energy = 0.0;        ///< Absolute model energy.
+};
+
+/// \brief Normalise \p run against the \p oracle baseline run (Table I).
+[[nodiscard]] NormalizedMetrics normalize_against(const RunResult& run,
+                                                  const RunResult& oracle);
+
+/// \brief Windowed misprediction summary (Fig. 3 commentary: ~8 % average
+///        misprediction over the first 100 frames, ~3 % after).
+struct MispredictionSummary {
+  double early_avg = 0.0;  ///< Mean relative misprediction, frames [0, split).
+  double late_avg = 0.0;   ///< Mean relative misprediction, frames [split, n).
+  double overall_avg = 0.0;///< Mean over all frames.
+  double peak = 0.0;       ///< Largest per-frame misprediction.
+};
+
+/// \brief Compute windowed misprediction from aligned actual/predicted
+///        series. Entries with zero actual are skipped.
+/// \param actual     Per-frame actual workload (cycles).
+/// \param predicted  Per-frame predicted workload (cycles), same indexing.
+/// \param split      Boundary between "early" and "late" windows.
+[[nodiscard]] MispredictionSummary summarize_misprediction(
+    const std::vector<double>& actual, const std::vector<double>& predicted,
+    std::size_t split);
+
+/// \brief Per-frame series extracted from a run (bench CSV output).
+struct RunSeries {
+  std::vector<double> frame;        ///< Frame index.
+  std::vector<double> demand;       ///< Application demand (cycles).
+  std::vector<double> frequency_mhz;///< Chosen frequency.
+  std::vector<double> slack;        ///< Per-frame slack ratio.
+  std::vector<double> power;        ///< Sensor power (W).
+  std::vector<double> energy_mj;    ///< Per-frame energy (mJ).
+};
+
+/// \brief Extract plottable series from a run.
+[[nodiscard]] RunSeries extract_series(const RunResult& run);
+
+}  // namespace prime::sim

@@ -1,0 +1,194 @@
+#include "sim/multiapp.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <set>
+#include <stdexcept>
+
+namespace prime::sim {
+namespace {
+
+void validate(const hw::Platform& platform,
+              const std::vector<AppPlacement>& placements,
+              const std::vector<std::unique_ptr<gov::Governor>>& governors) {
+  if (placements.empty()) {
+    throw std::invalid_argument("run_multi_simulation: no applications");
+  }
+  if (governors.size() != placements.size()) {
+    throw std::invalid_argument(
+        "run_multi_simulation: one governor per application required");
+  }
+  std::set<std::size_t> used;
+  const std::size_t cores = platform.cluster().core_count();
+  const double fps0 = placements.front().app->requirement_at(0).fps;
+  for (const auto& p : placements) {
+    if (p.app == nullptr || p.cores.empty()) {
+      throw std::invalid_argument("run_multi_simulation: empty placement");
+    }
+    if (p.app->requirement_at(0).fps != fps0) {
+      throw std::invalid_argument(
+          "run_multi_simulation: applications must share the epoch rate");
+    }
+    for (const std::size_t c : p.cores) {
+      if (c >= cores) {
+        throw std::invalid_argument("run_multi_simulation: core out of range");
+      }
+      if (!used.insert(c).second) {
+        throw std::invalid_argument(
+            "run_multi_simulation: core assigned twice");
+      }
+    }
+  }
+}
+
+}  // namespace
+
+MultiAppResult run_multi_simulation(
+    hw::Platform& platform, const std::vector<AppPlacement>& placements,
+    const std::vector<std::unique_ptr<gov::Governor>>& governors,
+    std::size_t max_frames) {
+  validate(platform, placements, governors);
+  platform.reset();
+  for (const auto& g : governors) g->reset();
+
+  hw::Cluster& cluster = platform.cluster();
+  const hw::OppTable& opps = platform.opp_table();
+  const std::size_t n_apps = placements.size();
+
+  std::size_t frames = max_frames;
+  for (const auto& p : placements) {
+    frames = frames == 0 ? p.app->frame_count()
+                         : std::min(frames, p.app->frame_count());
+  }
+
+  MultiAppResult result;
+  result.per_app.resize(n_apps);
+  result.overridden_epochs.assign(n_apps, 0);
+  for (std::size_t a = 0; a < n_apps; ++a) {
+    result.per_app[a].governor = governors[a]->name();
+    result.per_app[a].application = placements[a].app->name();
+    result.per_app[a].epochs.reserve(frames);
+  }
+
+  std::vector<std::optional<gov::EpochObservation>> last(n_apps);
+
+  for (std::size_t i = 0; i < frames; ++i) {
+    // --- Per-app decisions, arbitrated by max (shared V-F rail).
+    std::vector<std::size_t> requests(n_apps, 0);
+    std::size_t applied = 0;
+    common::Seconds ovh_total = 0.0;
+    for (std::size_t a = 0; a < n_apps; ++a) {
+      gov::DecisionContext ctx;
+      ctx.epoch = i;
+      ctx.period = placements[a].app->deadline_at(i);
+      ctx.cores = placements[a].cores.size();
+      ctx.opps = &opps;
+      requests[a] = governors[a]->decide(ctx, last[a]);
+      applied = std::max(applied, requests[a]);
+      ovh_total += governors[a]->epoch_overhead();
+    }
+    cluster.set_opp(applied);
+
+    // --- Assemble the combined work vector.
+    std::vector<common::Cycles> work(cluster.core_count(), 0);
+    double mem_weighted = 0.0;
+    double demand_total = 0.0;
+    for (std::size_t a = 0; a < n_apps; ++a) {
+      const auto app_work =
+          placements[a].app->core_work(i, placements[a].cores.size());
+      for (std::size_t j = 0; j < placements[a].cores.size(); ++j) {
+        work[placements[a].cores[j]] = app_work[j];
+      }
+      const double d = static_cast<double>(std::accumulate(
+          app_work.begin(), app_work.end(), common::Cycles{0}));
+      mem_weighted += placements[a].app->mem_fraction() * d;
+      demand_total += d;
+    }
+    const double mem_fraction =
+        demand_total > 0.0 ? mem_weighted / demand_total : 0.0;
+
+    // All governors' processing runs on core 0 of the first app.
+    if (!placements.front().cores.empty() && ovh_total > 0.0) {
+      work[placements.front().cores.front()] +=
+          common::cycles_at(cluster.current_opp().frequency, ovh_total);
+    }
+
+    const common::Seconds period = placements.front().app->deadline_at(i);
+    const hw::ClusterEpochResult epoch =
+        cluster.run_epoch(work, period, mem_fraction);
+    const common::Watt reading =
+        platform.power_sensor().integrate(epoch.avg_power, epoch.window);
+
+    result.total_energy += epoch.energy;
+    result.total_time += epoch.window;
+
+    const common::Cycles executed_total =
+        std::accumulate(epoch.core_cycles.begin(), epoch.core_cycles.end(),
+                        common::Cycles{0});
+
+    // --- Per-app accounting and observations.
+    for (std::size_t a = 0; a < n_apps; ++a) {
+      const auto& p = placements[a];
+      common::Seconds app_busy = 0.0;
+      common::Cycles app_cycles = 0;
+      std::vector<common::Cycles> app_core_cycles;
+      app_core_cycles.reserve(p.cores.size());
+      for (const std::size_t c : p.cores) {
+        app_busy = std::max(app_busy, epoch.core_busy[c]);
+        app_cycles += epoch.core_cycles[c];
+        app_core_cycles.push_back(epoch.core_cycles[c]);
+      }
+      const common::Seconds app_frame_time = app_busy + epoch.dvfs_stall;
+      const common::Seconds app_period = p.app->deadline_at(i);
+      const bool met = app_frame_time <= app_period;
+      const double share =
+          executed_total == 0 ? 0.0
+                              : static_cast<double>(app_cycles) /
+                                    static_cast<double>(executed_total);
+
+      EpochRecord rec;
+      rec.epoch = i;
+      rec.period = app_period;
+      rec.opp_index = cluster.current_opp_index();
+      rec.frequency = cluster.current_opp().frequency;
+      rec.demand = app_cycles;
+      rec.executed = app_cycles;
+      rec.frame_time = app_frame_time;
+      rec.window = epoch.window;
+      rec.energy = epoch.energy * share;
+      rec.sensor_power = reading * share;
+      rec.temperature = epoch.temperature;
+      rec.slack = app_period > 0.0
+                      ? (app_period - app_frame_time) / app_period
+                      : 0.0;
+      rec.deadline_met = met;
+
+      RunResult& rr = result.per_app[a];
+      rr.total_energy += rec.energy;
+      rr.total_time = result.total_time;
+      if (!met) ++rr.deadline_misses;
+      if (requests[a] < applied) ++result.overridden_epochs[a];
+
+      gov::EpochObservation obs;
+      obs.epoch = i;
+      obs.period = app_period;
+      obs.frame_time = app_frame_time;
+      obs.window = epoch.window;
+      obs.total_cycles = app_cycles;
+      obs.core_cycles = std::move(app_core_cycles);
+      obs.opp_index = rec.opp_index;
+      obs.avg_power = rec.sensor_power;
+      obs.temperature = epoch.temperature;
+      obs.deadline_met = met;
+      last[a] = std::move(obs);
+
+      rr.epochs.push_back(rec);
+    }
+  }
+  for (auto& rr : result.per_app) {
+    rr.measured_energy = rr.total_energy;  // per-app share of sensor energy
+  }
+  return result;
+}
+
+}  // namespace prime::sim

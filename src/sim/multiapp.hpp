@@ -1,0 +1,56 @@
+/// \file multiapp.hpp
+/// \brief Multiple concurrently executing applications (the paper's stated
+///        future work, Section IV).
+///
+/// Several periodic applications run simultaneously on disjoint core subsets
+/// of the shared-V-F cluster. Each application keeps its own governor (its
+/// own Q-table, predictor and slack monitor); because the A15 cluster has a
+/// single V-F domain, the per-application OPP requests are arbitrated by
+/// taking the fastest — the only choice that can satisfy every deadline.
+/// Per-application performance is tracked independently, so benches can show
+/// each application holding its own requirement while sharing the rail.
+///
+/// Restrictions of this first formulation (documented in DESIGN.md): all
+/// applications share the decision-epoch cadence (equal fps), and energy is
+/// attributed to applications in proportion to their executed cycles.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "gov/governor.hpp"
+#include "hw/platform.hpp"
+#include "sim/engine.hpp"
+#include "wl/application.hpp"
+
+namespace prime::sim {
+
+/// \brief One application pinned to a set of cores.
+struct AppPlacement {
+  const wl::Application* app = nullptr;  ///< The application (not owned).
+  std::vector<std::size_t> cores;        ///< Cluster core indices it may use.
+};
+
+/// \brief Outcome of a concurrent multi-application run.
+struct MultiAppResult {
+  /// Per-application run records (frame times measured on the app's own
+  /// cores; energy attributed by executed-cycle share).
+  std::vector<RunResult> per_app;
+  common::Joule total_energy = 0.0;  ///< Exact cluster energy.
+  common::Seconds total_time = 0.0;  ///< Wall-clock simulated.
+  /// Epochs in which the applied OPP exceeded an app's own request (it was
+  /// dragged faster by a co-runner) — the sharing cost this mode quantifies.
+  std::vector<std::size_t> overridden_epochs;
+};
+
+/// \brief Run several applications concurrently, one governor per app.
+///
+/// Requirements (checked, std::invalid_argument on violation): at least one
+/// placement; one governor per placement; core sets disjoint and within the
+/// cluster; all applications demand the same frame rate.
+[[nodiscard]] MultiAppResult run_multi_simulation(
+    hw::Platform& platform, const std::vector<AppPlacement>& placements,
+    const std::vector<std::unique_ptr<gov::Governor>>& governors,
+    std::size_t max_frames = 0);
+
+}  // namespace prime::sim

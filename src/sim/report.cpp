@@ -1,0 +1,71 @@
+#include "sim/report.hpp"
+
+#include <algorithm>
+
+#include "common/csv.hpp"
+#include "common/strings.hpp"
+
+namespace prime::sim {
+
+void print_table(std::ostream& out, const TextTable& table) {
+  std::vector<std::size_t> widths(table.headers.size(), 0);
+  for (std::size_t c = 0; c < table.headers.size(); ++c) {
+    widths[c] = table.headers[c].size();
+  }
+  for (const auto& row : table.rows) {
+    for (std::size_t c = 0; c < row.size() && c < widths.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+
+  if (!table.title.empty()) {
+    out << table.title << '\n';
+  }
+  auto print_row = [&](const std::vector<std::string>& cells) {
+    out << '|';
+    for (std::size_t c = 0; c < widths.size(); ++c) {
+      const std::string cell = c < cells.size() ? cells[c] : "";
+      out << ' ' << common::pad_right(cell, widths[c]) << " |";
+    }
+    out << '\n';
+  };
+  auto print_rule = [&] {
+    out << '+';
+    for (const std::size_t w : widths) {
+      out << std::string(w + 2, '-') << '+';
+    }
+    out << '\n';
+  };
+
+  print_rule();
+  print_row(table.headers);
+  print_rule();
+  for (const auto& row : table.rows) print_row(row);
+  print_rule();
+}
+
+TextTable make_comparison_table(const std::string& title,
+                                const std::vector<NormalizedMetrics>& rows) {
+  TextTable t;
+  t.title = title;
+  t.headers = {"Methodology", "Norm. energy", "Norm. performance",
+               "Miss rate",   "Mean power (W)"};
+  for (const auto& r : rows) {
+    t.rows.push_back({r.governor, common::format_double(r.normalized_energy, 2),
+                      common::format_double(r.normalized_performance, 2),
+                      common::format_double(r.miss_rate, 3),
+                      common::format_double(r.mean_power, 2)});
+  }
+  return t;
+}
+
+void write_series_csv(std::ostream& out, const RunSeries& series) {
+  common::CsvWriter writer(out);
+  writer.header({"frame", "demand", "freq_mhz", "slack", "power_w", "energy_mj"});
+  for (std::size_t i = 0; i < series.frame.size(); ++i) {
+    writer.row({series.frame[i], series.demand[i], series.frequency_mhz[i],
+                series.slack[i], series.power[i], series.energy_mj[i]});
+  }
+}
+
+}  // namespace prime::sim

@@ -1,0 +1,34 @@
+/// \file report.hpp
+/// \brief Plain-text table rendering for bench/example output.
+///
+/// Benches print the same rows the paper's tables report; this module renders
+/// them as aligned ASCII tables and as CSV for downstream plotting.
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "sim/metrics.hpp"
+
+namespace prime::sim {
+
+/// \brief A generic text table.
+struct TextTable {
+  std::string title;                           ///< Printed above the table.
+  std::vector<std::string> headers;            ///< Column names.
+  std::vector<std::vector<std::string>> rows;  ///< Cell text.
+};
+
+/// \brief Render \p table with aligned columns to \p out.
+void print_table(std::ostream& out, const TextTable& table);
+
+/// \brief Build a Table-I-style table from normalised comparison rows.
+[[nodiscard]] TextTable make_comparison_table(
+    const std::string& title, const std::vector<NormalizedMetrics>& rows);
+
+/// \brief Write per-frame series as CSV ("frame,demand,freq_mhz,slack,power_w,
+///        energy_mj") to \p out.
+void write_series_csv(std::ostream& out, const RunSeries& series);
+
+}  // namespace prime::sim

@@ -1,0 +1,64 @@
+#include "wl/application.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "common/rng.hpp"
+
+namespace prime::wl {
+
+Application::Application(std::string name, WorkloadTrace trace, double fps,
+                         std::size_t threads, double imbalance)
+    : name_(std::move(name)), trace_(std::move(trace)),
+      threads_(threads == 0 ? 1 : threads),
+      imbalance_(std::clamp(imbalance, 0.0, 0.9)) {
+  if (fps <= 0.0) throw std::invalid_argument("Application: fps must be > 0");
+  schedule_.emplace_back(0, fps);
+}
+
+void Application::add_requirement_change(std::size_t frame, double fps) {
+  if (fps <= 0.0) throw std::invalid_argument("Application: fps must be > 0");
+  schedule_.emplace_back(frame, fps);
+  std::sort(schedule_.begin(), schedule_.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+}
+
+void Application::set_mem_fraction(double m) noexcept {
+  mem_fraction_ = std::clamp(m, 0.0, 0.9);
+}
+
+PerformanceRequirement Application::requirement_at(std::size_t frame) const {
+  double fps = schedule_.front().second;
+  for (const auto& [start, f] : schedule_) {
+    if (start <= frame) fps = f;
+    else break;
+  }
+  return PerformanceRequirement{fps};
+}
+
+std::vector<common::Cycles> Application::core_work(std::size_t frame,
+                                                   std::size_t cores) const {
+  const std::size_t workers = std::min(threads_, std::max<std::size_t>(1, cores));
+  std::vector<common::Cycles> work(cores, 0);
+  if (cores == 0 || trace_.empty()) return work;
+
+  const auto total = static_cast<double>(trace_.at(frame).cycles);
+
+  // Deterministic per-(frame, worker) imbalance: hash through SplitMix64 so
+  // replays are independent of call order.
+  std::vector<double> share(workers, 0.0);
+  double sum = 0.0;
+  for (std::size_t j = 0; j < workers; ++j) {
+    std::uint64_t h = frame * 0x9E3779B97F4A7C15ULL + j + 1;
+    const double u =
+        static_cast<double>(common::splitmix64_next(h) >> 11) * 0x1.0p-53;
+    share[j] = 1.0 + imbalance_ * (2.0 * u - 1.0);
+    sum += share[j];
+  }
+  for (std::size_t j = 0; j < workers; ++j) {
+    work[j] = static_cast<common::Cycles>(total * share[j] / sum);
+  }
+  return work;
+}
+
+}  // namespace prime::wl

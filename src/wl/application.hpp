@@ -1,0 +1,90 @@
+/// \file application.hpp
+/// \brief The application layer: periodic frame workloads with deadlines.
+///
+/// Per the paper, every application is "transformed to a periodic structure"
+/// of frames, each with a deadline (the performance requirement announced
+/// through an API). `Application` replays a `WorkloadTrace`, splits each
+/// frame's cycles across worker threads (with realistic imbalance), and
+/// exposes a requirement schedule so experiments can change fps mid-run —
+/// the dynamic performance variation the paper says defeats offline methods.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/units.hpp"
+#include "wl/trace.hpp"
+
+namespace prime::wl {
+
+/// \brief A performance requirement announced by the application.
+struct PerformanceRequirement {
+  double fps = 30.0;  ///< Frames per second the application must sustain.
+
+  /// \brief Per-frame deadline Tref = 1/fps.
+  [[nodiscard]] common::Seconds deadline() const noexcept { return 1.0 / fps; }
+};
+
+/// \brief A periodic application executing a workload trace.
+class Application {
+ public:
+  /// \brief Construct from a trace, an initial requirement and thread count.
+  /// \param name     Display name.
+  /// \param trace    Per-frame cycle demands.
+  /// \param fps      Initial performance requirement.
+  /// \param threads  Worker threads spawned per frame (>=1).
+  /// \param imbalance Max fractional deviation of a thread's share from the
+  ///                  even split (0 = perfectly balanced).
+  Application(std::string name, WorkloadTrace trace, double fps,
+              std::size_t threads = 4, double imbalance = 0.05);
+
+  /// \brief Schedule a requirement change: from frame \p frame onward the
+  ///        application demands \p fps. Changes may be added in any order.
+  void add_requirement_change(std::size_t frame, double fps);
+
+  /// \brief The requirement in force at \p frame.
+  [[nodiscard]] PerformanceRequirement requirement_at(std::size_t frame) const;
+  /// \brief Deadline (Tref) in force at \p frame.
+  [[nodiscard]] common::Seconds deadline_at(std::size_t frame) const {
+    return requirement_at(frame).deadline();
+  }
+
+  /// \brief Split frame \p frame's cycle demand across \p cores cores.
+  ///        Uses min(threads, cores) workers; the split is deterministic in
+  ///        (frame, core) so replays are exact. Idle cores receive zero.
+  [[nodiscard]] std::vector<common::Cycles> core_work(std::size_t frame,
+                                                      std::size_t cores) const;
+
+  /// \brief Memory-boundedness: the fraction of frame execution time spent
+  ///        in memory stalls at the 1 GHz reference frequency. Stall time is
+  ///        frequency-independent, so the PMU-visible cycle count of a frame
+  ///        grows with the operating frequency (see hw::Cluster::run_epoch).
+  [[nodiscard]] double mem_fraction() const noexcept { return mem_fraction_; }
+  /// \brief Set the memory-boundedness fraction (clamped to [0, 0.9]).
+  void set_mem_fraction(double m) noexcept;
+
+  /// \brief Total frames in the trace.
+  [[nodiscard]] std::size_t frame_count() const noexcept { return trace_.size(); }
+  /// \brief Demand of frame \p frame (total cycles across threads).
+  [[nodiscard]] common::Cycles frame_cycles(std::size_t frame) const {
+    return trace_.at(frame).cycles;
+  }
+  /// \brief The underlying trace.
+  [[nodiscard]] const WorkloadTrace& trace() const noexcept { return trace_; }
+  /// \brief Display name.
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+  /// \brief Worker thread count.
+  [[nodiscard]] std::size_t threads() const noexcept { return threads_; }
+
+ private:
+  std::string name_;
+  WorkloadTrace trace_;
+  std::size_t threads_;
+  double imbalance_;
+  double mem_fraction_ = 0.20;
+  /// (start-frame, fps) breakpoints, kept sorted by frame.
+  std::vector<std::pair<std::size_t, double>> schedule_;
+};
+
+}  // namespace prime::wl

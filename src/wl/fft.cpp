@@ -1,0 +1,32 @@
+#include "wl/fft.hpp"
+
+#include <algorithm>
+
+#include "common/rng.hpp"
+
+namespace prime::wl {
+
+FftTraceGenerator FftTraceGenerator::paper_fft() {
+  FftParams p;
+  p.mean_cycles = 90.0e6;
+  p.jitter_cv = 0.025;
+  p.label = "fft";
+  return FftTraceGenerator(p);
+}
+
+WorkloadTrace FftTraceGenerator::generate(std::size_t n,
+                                          std::uint64_t seed) const {
+  common::Rng rng(seed);
+  std::vector<FrameDemand> frames;
+  frames.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    double cycles =
+        params_.mean_cycles * std::max(0.5, 1.0 + rng.normal(0.0, params_.jitter_cv));
+    if (rng.bernoulli(params_.outlier_prob)) cycles *= params_.outlier_scale;
+    frames.push_back(
+        FrameDemand{static_cast<common::Cycles>(cycles), FrameKind::kGeneric});
+  }
+  return WorkloadTrace(params_.label, std::move(frames));
+}
+
+}  // namespace prime::wl

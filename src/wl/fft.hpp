@@ -1,0 +1,44 @@
+/// \file fft.hpp
+/// \brief FFT batch workload generator.
+///
+/// An FFT of fixed size does near-constant work per batch; the only run-time
+/// variation comes from cache/TLB interference. The paper exploits exactly
+/// this: FFT's low workload variability makes the RL agent visit few states
+/// and converge fastest (fewest explorations in Table II).
+#pragma once
+
+#include <string>
+
+#include "wl/trace.hpp"
+
+namespace prime::wl {
+
+/// \brief Parameters of the FFT demand model.
+struct FftParams {
+  double mean_cycles = 90.0e6;     ///< Mean total cycles per batch.
+  double jitter_cv = 0.025;        ///< Small cache-interference jitter.
+  double outlier_prob = 0.01;      ///< Probability of a cold-cache outlier.
+  double outlier_scale = 1.15;     ///< Outlier demand multiplier.
+  std::string label = "fft";       ///< Trace name.
+};
+
+/// \brief Generates near-constant FFT batch traces.
+class FftTraceGenerator final : public TraceGenerator {
+ public:
+  /// \brief Construct with explicit parameters.
+  explicit FftTraceGenerator(const FftParams& params = {}) : params_(params) {}
+
+  /// \brief The paper's FFT workload (32 fps class).
+  [[nodiscard]] static FftTraceGenerator paper_fft();
+
+  [[nodiscard]] WorkloadTrace generate(std::size_t n,
+                                       std::uint64_t seed) const override;
+  [[nodiscard]] std::string name() const override { return params_.label; }
+  /// \brief Access parameters.
+  [[nodiscard]] const FftParams& params() const noexcept { return params_; }
+
+ private:
+  FftParams params_;
+};
+
+}  // namespace prime::wl

@@ -1,0 +1,42 @@
+/// \file frame.hpp
+/// \brief Per-frame workload demand.
+///
+/// The paper restructures every application into a periodic sequence of
+/// "frames" (video frames, FFT batches, benchmark iterations), each with a
+/// deadline. A frame's demand is the total CPU cycle count its threads
+/// consume; `kind` tags video frame types so generators can reproduce GOP
+/// structure and tests can assert on it.
+#pragma once
+
+#include "common/units.hpp"
+
+namespace prime::wl {
+
+/// \brief Category of a generated frame (video GOP structure or generic).
+enum class FrameKind : unsigned char {
+  kGeneric = 0,  ///< Non-video workload iteration.
+  kIntra,        ///< Video I-frame (heaviest; starts a GOP).
+  kPredicted,    ///< Video P-frame (medium).
+  kBidirectional ///< Video B-frame (lightest).
+};
+
+/// \brief One frame's cycle demand.
+struct FrameDemand {
+  common::Cycles cycles = 0;            ///< Total cycles across all threads.
+  FrameKind kind = FrameKind::kGeneric; ///< Frame category.
+
+  [[nodiscard]] bool operator==(const FrameDemand&) const noexcept = default;
+};
+
+/// \brief Short tag for reports ("I", "P", "B", "-").
+[[nodiscard]] constexpr const char* frame_kind_tag(FrameKind k) noexcept {
+  switch (k) {
+    case FrameKind::kIntra: return "I";
+    case FrameKind::kPredicted: return "P";
+    case FrameKind::kBidirectional: return "B";
+    case FrameKind::kGeneric: return "-";
+  }
+  return "?";
+}
+
+}  // namespace prime::wl

@@ -1,0 +1,154 @@
+#include "wl/suites.hpp"
+
+#include <stdexcept>
+
+#include "wl/fft.hpp"
+#include "wl/synthetic.hpp"
+#include "wl/video.hpp"
+
+namespace prime::wl {
+namespace {
+
+/// \brief Convenience: one-phase program.
+std::unique_ptr<TraceGenerator> flat(const std::string& label, double mean,
+                                     double cv) {
+  return std::make_unique<PhaseTraceGenerator>(
+      label, std::vector<Phase>{Phase{1000, mean, cv, 0.0}});
+}
+
+std::unique_ptr<TraceGenerator> make_markov(const std::string& label,
+                                            std::vector<double> means,
+                                            std::vector<double> trans,
+                                            double cv) {
+  MarkovParams p;
+  p.state_means = std::move(means);
+  p.transition = std::move(trans);
+  p.jitter_cv = cv;
+  p.label = label;
+  return std::make_unique<MarkovTraceGenerator>(p);
+}
+
+}  // namespace
+
+std::vector<std::string> parsec_names() {
+  return {"blackscholes", "bodytrack", "ferret", "fluidanimate",
+          "swaptions",    "canneal",   "x264"};
+}
+
+std::vector<std::string> splash2_names() {
+  return {"splash-fft", "radix", "barnes", "ocean", "lu", "water"};
+}
+
+std::unique_ptr<TraceGenerator> make_parsec(const std::string& name) {
+  if (name == "blackscholes") {
+    // Embarrassingly parallel, near-flat demand.
+    return flat("parsec-blackscholes", 110.0e6, 0.03);
+  }
+  if (name == "bodytrack") {
+    // Per-frame particle filter: demand tracks scene complexity.
+    return make_markov("parsec-bodytrack", {90.0e6, 130.0e6, 190.0e6},
+                       {0.85, 0.12, 0.03,  //
+                        0.10, 0.80, 0.10,  //
+                        0.05, 0.20, 0.75},
+                       0.09);
+  }
+  if (name == "ferret") {
+    // Pipeline with stage imbalance: bimodal demand.
+    return make_markov("parsec-ferret", {100.0e6, 170.0e6},
+                       {0.80, 0.20,  //
+                        0.25, 0.75},
+                       0.08);
+  }
+  if (name == "fluidanimate") {
+    // Alternating rebin/force phases with mild ramp.
+    return std::make_unique<PhaseTraceGenerator>(
+        "parsec-fluidanimate",
+        std::vector<Phase>{Phase{40, 120.0e6, 0.05, 0.10},
+                           Phase{20, 160.0e6, 0.05, -0.05}});
+  }
+  if (name == "swaptions") {
+    return flat("parsec-swaptions", 140.0e6, 0.04);
+  }
+  if (name == "canneal") {
+    // Simulated annealing: demand decays as temperature drops, then restarts.
+    return std::make_unique<PhaseTraceGenerator>(
+        "parsec-canneal",
+        std::vector<Phase>{Phase{120, 170.0e6, 0.06, -0.35},
+                           Phase{60, 120.0e6, 0.06, -0.15}});
+  }
+  if (name == "x264") {
+    // Encoding shares the GOP structure of decoding but heavier I frames.
+    VideoParams vp;
+    vp.mean_cycles = 160.0e6;
+    vp.i_weight = 3.0;
+    vp.jitter_cv = 0.12;
+    vp.scene_change_prob = 0.03;
+    vp.label = "parsec-x264";
+    return std::make_unique<VideoTraceGenerator>(vp);
+  }
+  throw std::invalid_argument("make_parsec: unknown benchmark '" + name + "'");
+}
+
+std::unique_ptr<TraceGenerator> make_splash2(const std::string& name) {
+  if (name == "splash-fft") {
+    return std::make_unique<FftTraceGenerator>(FftTraceGenerator::paper_fft());
+  }
+  if (name == "radix") {
+    // Radix sort passes: constant per pass, small jitter.
+    return flat("splash2-radix", 95.0e6, 0.03);
+  }
+  if (name == "barnes") {
+    // N-body: demand grows as bodies cluster, then rebalances.
+    return std::make_unique<PhaseTraceGenerator>(
+        "splash2-barnes",
+        std::vector<Phase>{Phase{80, 130.0e6, 0.06, 0.25},
+                           Phase{40, 150.0e6, 0.06, -0.20}});
+  }
+  if (name == "ocean") {
+    // Alternating red/black sweeps and multigrid levels.
+    return std::make_unique<PhaseTraceGenerator>(
+        "splash2-ocean",
+        std::vector<Phase>{Phase{30, 110.0e6, 0.05, 0.0},
+                           Phase{30, 160.0e6, 0.05, 0.0},
+                           Phase{15, 90.0e6, 0.05, 0.0}});
+  }
+  if (name == "lu") {
+    // LU factorisation: work shrinks as the active matrix shrinks.
+    return std::make_unique<PhaseTraceGenerator>(
+        "splash2-lu", std::vector<Phase>{Phase{200, 150.0e6, 0.04, -0.50}});
+  }
+  if (name == "water") {
+    return flat("splash2-water", 125.0e6, 0.05);
+  }
+  throw std::invalid_argument("make_splash2: unknown benchmark '" + name + "'");
+}
+
+std::unique_ptr<TraceGenerator> make_workload(const std::string& name) {
+  if (name == "mpeg4") {
+    return std::make_unique<VideoTraceGenerator>(
+        VideoTraceGenerator::mpeg4_svga());
+  }
+  if (name == "h264") {
+    return std::make_unique<VideoTraceGenerator>(
+        VideoTraceGenerator::h264_football());
+  }
+  if (name == "fft") {
+    return std::make_unique<FftTraceGenerator>(FftTraceGenerator::paper_fft());
+  }
+  for (const auto& n : parsec_names()) {
+    if (n == name) return make_parsec(name);
+  }
+  for (const auto& n : splash2_names()) {
+    if (n == name) return make_splash2(name);
+  }
+  throw std::invalid_argument("make_workload: unknown workload '" + name + "'");
+}
+
+std::vector<std::string> all_workload_names() {
+  std::vector<std::string> out{"mpeg4", "h264", "fft"};
+  for (const auto& n : parsec_names()) out.push_back(n);
+  for (const auto& n : splash2_names()) out.push_back(n);
+  return out;
+}
+
+}  // namespace prime::wl

@@ -1,0 +1,41 @@
+/// \file suites.hpp
+/// \brief PARSEC and SPLASH-2 benchmark workload presets.
+///
+/// The paper evaluates on "the PARSEC and SPLASH2 benchmarks" run as periodic
+/// frame workloads. We provide per-program presets whose demand level, phase
+/// structure and variability follow each program's published character
+/// (e.g. blackscholes: embarrassingly parallel, flat; ferret: pipeline with
+/// stage imbalance; ocean: alternating compute/communicate sweeps). Each
+/// preset returns a generator built on the synthetic phase/Markov models.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "wl/trace.hpp"
+
+namespace prime::wl {
+
+/// \brief Names of available PARSEC presets.
+[[nodiscard]] std::vector<std::string> parsec_names();
+
+/// \brief Names of available SPLASH-2 presets.
+[[nodiscard]] std::vector<std::string> splash2_names();
+
+/// \brief Construct the named PARSEC workload generator.
+///        Throws std::invalid_argument for unknown names.
+[[nodiscard]] std::unique_ptr<TraceGenerator> make_parsec(const std::string& name);
+
+/// \brief Construct the named SPLASH-2 workload generator.
+///        Throws std::invalid_argument for unknown names.
+[[nodiscard]] std::unique_ptr<TraceGenerator> make_splash2(const std::string& name);
+
+/// \brief Construct any named workload: "mpeg4", "h264", "fft", any PARSEC or
+///        SPLASH-2 preset name. Throws std::invalid_argument when unknown.
+[[nodiscard]] std::unique_ptr<TraceGenerator> make_workload(const std::string& name);
+
+/// \brief All names accepted by make_workload().
+[[nodiscard]] std::vector<std::string> all_workload_names();
+
+}  // namespace prime::wl

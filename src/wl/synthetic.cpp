@@ -1,0 +1,84 @@
+#include "wl/synthetic.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "common/rng.hpp"
+
+namespace prime::wl {
+
+PhaseTraceGenerator::PhaseTraceGenerator(std::string label,
+                                         std::vector<Phase> phases)
+    : label_(std::move(label)), phases_(std::move(phases)) {
+  if (phases_.empty()) {
+    throw std::invalid_argument("PhaseTraceGenerator: phase list empty");
+  }
+  for (const auto& p : phases_) {
+    if (p.frames == 0 || p.mean_cycles <= 0.0) {
+      throw std::invalid_argument("PhaseTraceGenerator: invalid phase");
+    }
+  }
+}
+
+WorkloadTrace PhaseTraceGenerator::generate(std::size_t n,
+                                            std::uint64_t seed) const {
+  common::Rng rng(seed);
+  std::vector<FrameDemand> frames;
+  frames.reserve(n);
+  std::size_t phase_idx = 0;
+  std::size_t in_phase = 0;
+  while (frames.size() < n) {
+    const Phase& ph = phases_[phase_idx];
+    const double progress =
+        ph.frames <= 1 ? 0.0
+                       : static_cast<double>(in_phase) /
+                             static_cast<double>(ph.frames - 1);
+    const double drift = 1.0 + ph.ramp * (progress - 0.5);
+    const double jitter = std::max(0.2, 1.0 + rng.normal(0.0, ph.jitter_cv));
+    const double cycles = ph.mean_cycles * drift * jitter;
+    frames.push_back(
+        FrameDemand{static_cast<common::Cycles>(cycles), FrameKind::kGeneric});
+    if (++in_phase >= ph.frames) {
+      in_phase = 0;
+      phase_idx = (phase_idx + 1) % phases_.size();
+    }
+  }
+  return WorkloadTrace(label_, std::move(frames));
+}
+
+MarkovTraceGenerator::MarkovTraceGenerator(const MarkovParams& params)
+    : params_(params) {
+  const std::size_t s = params_.state_means.size();
+  if (s == 0) {
+    throw std::invalid_argument("MarkovTraceGenerator: no states");
+  }
+  if (params_.transition.size() != s * s) {
+    throw std::invalid_argument(
+        "MarkovTraceGenerator: transition matrix must be states^2");
+  }
+  if (params_.initial_state >= s) {
+    throw std::invalid_argument("MarkovTraceGenerator: bad initial state");
+  }
+}
+
+WorkloadTrace MarkovTraceGenerator::generate(std::size_t n,
+                                             std::uint64_t seed) const {
+  common::Rng rng(seed);
+  const std::size_t s = params_.state_means.size();
+  std::vector<FrameDemand> frames;
+  frames.reserve(n);
+  std::size_t state = params_.initial_state;
+  std::vector<double> row(s);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double jitter =
+        std::max(0.2, 1.0 + rng.normal(0.0, params_.jitter_cv));
+    const double cycles = params_.state_means[state] * jitter;
+    frames.push_back(
+        FrameDemand{static_cast<common::Cycles>(cycles), FrameKind::kGeneric});
+    for (std::size_t j = 0; j < s; ++j) row[j] = params_.transition[state * s + j];
+    state = rng.discrete(row);
+  }
+  return WorkloadTrace(params_.label, std::move(frames));
+}
+
+}  // namespace prime::wl

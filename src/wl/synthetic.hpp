@@ -1,0 +1,77 @@
+/// \file synthetic.hpp
+/// \brief Phase- and Markov-modulated synthetic workload generators.
+///
+/// PARSEC and SPLASH-2 programs show per-iteration demand that is neither
+/// constant (FFT) nor GOP-periodic (video): they move through execution
+/// phases (serial setup, parallel region, reduction) and switch working sets.
+/// `PhaseTraceGenerator` models deterministic phase programs with ramps;
+/// `MarkovTraceGenerator` models stochastic phase switching with a state
+/// transition matrix. The benchmark-suite presets in suites.hpp are built on
+/// these two models.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "wl/trace.hpp"
+
+namespace prime::wl {
+
+/// \brief One deterministic execution phase.
+struct Phase {
+  std::size_t frames = 100;      ///< Length of the phase in frames.
+  double mean_cycles = 100.0e6;  ///< Mean demand during the phase.
+  double jitter_cv = 0.05;       ///< Per-frame noise within the phase.
+  double ramp = 0.0;             ///< Linear demand drift across the phase
+                                 ///< (fraction of mean, -1..1).
+};
+
+/// \brief Replays a fixed phase program, looping when frames run out.
+class PhaseTraceGenerator final : public TraceGenerator {
+ public:
+  /// \brief Construct from a non-empty phase list.
+  PhaseTraceGenerator(std::string label, std::vector<Phase> phases);
+
+  [[nodiscard]] WorkloadTrace generate(std::size_t n,
+                                       std::uint64_t seed) const override;
+  [[nodiscard]] std::string name() const override { return label_; }
+  /// \brief The phase program.
+  [[nodiscard]] const std::vector<Phase>& phases() const noexcept { return phases_; }
+
+ private:
+  std::string label_;
+  std::vector<Phase> phases_;
+};
+
+/// \brief A Markov-modulated demand process.
+struct MarkovParams {
+  /// Mean demand per Markov state (cycles). Size defines the state count.
+  std::vector<double> state_means{80.0e6, 120.0e6, 180.0e6};
+  /// Row-stochastic transition matrix (state_means.size() squared entries,
+  /// row-major). Rows are renormalised defensively.
+  std::vector<double> transition{0.90, 0.08, 0.02,   //
+                                 0.10, 0.80, 0.10,   //
+                                 0.05, 0.15, 0.80};
+  double jitter_cv = 0.07;  ///< Per-frame noise around the state mean.
+  std::size_t initial_state = 0;
+  std::string label = "markov";
+};
+
+/// \brief Generates traces from a Markov-modulated demand process.
+class MarkovTraceGenerator final : public TraceGenerator {
+ public:
+  /// \brief Construct with explicit parameters. Throws std::invalid_argument
+  ///        on inconsistent matrix dimensions.
+  explicit MarkovTraceGenerator(const MarkovParams& params);
+
+  [[nodiscard]] WorkloadTrace generate(std::size_t n,
+                                       std::uint64_t seed) const override;
+  [[nodiscard]] std::string name() const override { return params_.label; }
+  /// \brief Access parameters.
+  [[nodiscard]] const MarkovParams& params() const noexcept { return params_; }
+
+ private:
+  MarkovParams params_;
+};
+
+}  // namespace prime::wl

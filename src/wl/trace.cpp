@@ -1,0 +1,83 @@
+#include "wl/trace.hpp"
+
+#include <sstream>
+#include <stdexcept>
+
+#include "common/csv.hpp"
+
+namespace prime::wl {
+
+WorkloadTrace::WorkloadTrace(std::string name, std::vector<FrameDemand> frames)
+    : name_(std::move(name)), frames_(std::move(frames)) {
+  recompute_stats();
+}
+
+void WorkloadTrace::recompute_stats() {
+  stats_.reset();
+  for (const auto& f : frames_) stats_.add(static_cast<double>(f.cycles));
+}
+
+double WorkloadTrace::mean_cycles() const noexcept { return stats_.mean(); }
+
+double WorkloadTrace::cv() const noexcept { return stats_.cv(); }
+
+common::Cycles WorkloadTrace::peak_cycles() const noexcept {
+  return frames_.empty() ? 0 : static_cast<common::Cycles>(stats_.max());
+}
+
+WorkloadTrace WorkloadTrace::scaled_to_mean(double target_mean) const {
+  if (frames_.empty() || stats_.mean() <= 0.0) return *this;
+  const double scale = target_mean / stats_.mean();
+  std::vector<FrameDemand> scaled = frames_;
+  for (auto& f : scaled) {
+    f.cycles = static_cast<common::Cycles>(static_cast<double>(f.cycles) * scale);
+  }
+  return WorkloadTrace(name_, std::move(scaled));
+}
+
+WorkloadTrace WorkloadTrace::prefix(std::size_t n) const {
+  if (n >= frames_.size()) return *this;
+  return WorkloadTrace(name_,
+                       std::vector<FrameDemand>(frames_.begin(),
+                                                frames_.begin() + static_cast<long>(n)));
+}
+
+std::string WorkloadTrace::to_csv() const {
+  std::ostringstream out;
+  common::CsvWriter writer(out);
+  writer.header({"frame", "cycles", "kind"});
+  for (std::size_t i = 0; i < frames_.size(); ++i) {
+    writer.row_strings({std::to_string(i), std::to_string(frames_[i].cycles),
+                        frame_kind_tag(frames_[i].kind)});
+  }
+  return out.str();
+}
+
+WorkloadTrace WorkloadTrace::from_csv(const std::string& name,
+                                      const std::string& csv_text) {
+  const common::CsvTable table = common::parse_csv(csv_text);
+  const int cycles_col = table.column_index("cycles");
+  const int kind_col = table.column_index("kind");
+  if (cycles_col < 0) {
+    throw std::runtime_error("WorkloadTrace::from_csv: missing 'cycles' column");
+  }
+  std::vector<FrameDemand> frames;
+  frames.reserve(table.rows.size());
+  for (const auto& row : table.rows) {
+    FrameDemand d;
+    d.cycles = static_cast<common::Cycles>(
+        std::strtoull(row.at(static_cast<std::size_t>(cycles_col)).c_str(),
+                      nullptr, 10));
+    if (kind_col >= 0 &&
+        static_cast<std::size_t>(kind_col) < row.size()) {
+      const std::string& tag = row[static_cast<std::size_t>(kind_col)];
+      if (tag == "I") d.kind = FrameKind::kIntra;
+      else if (tag == "P") d.kind = FrameKind::kPredicted;
+      else if (tag == "B") d.kind = FrameKind::kBidirectional;
+    }
+    frames.push_back(d);
+  }
+  return WorkloadTrace(name, std::move(frames));
+}
+
+}  // namespace prime::wl

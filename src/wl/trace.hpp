@@ -1,0 +1,79 @@
+/// \file trace.hpp
+/// \brief Workload traces: ordered per-frame cycle demands.
+///
+/// A `WorkloadTrace` is what a generator produces and what an `Application`
+/// replays. Traces carry summary statistics (the paper's "workload
+/// variability" that drives exploration counts) and CSV round-tripping so
+/// experiment inputs can be archived exactly like the paper's dataset DOI.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/stats.hpp"
+#include "wl/frame.hpp"
+
+namespace prime::wl {
+
+/// \brief An immutable-after-build sequence of frame demands.
+class WorkloadTrace {
+ public:
+  WorkloadTrace() = default;
+  /// \brief Build from frames with a display name.
+  WorkloadTrace(std::string name, std::vector<FrameDemand> frames);
+
+  /// \brief Number of frames.
+  [[nodiscard]] std::size_t size() const noexcept { return frames_.size(); }
+  /// \brief True when the trace has no frames.
+  [[nodiscard]] bool empty() const noexcept { return frames_.empty(); }
+  /// \brief Frame \p i; throws std::out_of_range.
+  [[nodiscard]] const FrameDemand& at(std::size_t i) const { return frames_.at(i); }
+  /// \brief All frames.
+  [[nodiscard]] const std::vector<FrameDemand>& frames() const noexcept {
+    return frames_;
+  }
+  /// \brief Display name ("h264-football", ...).
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+
+  /// \brief Mean cycle demand per frame.
+  [[nodiscard]] double mean_cycles() const noexcept;
+  /// \brief Coefficient of variation of the demand (the paper's workload
+  ///        variability: video is high, FFT is low).
+  [[nodiscard]] double cv() const noexcept;
+  /// \brief Largest frame demand.
+  [[nodiscard]] common::Cycles peak_cycles() const noexcept;
+  /// \brief Full demand statistics.
+  [[nodiscard]] const common::RunningStats& stats() const noexcept { return stats_; }
+
+  /// \brief Return a copy scaled so the mean demand equals \p target_mean
+  ///        (used to calibrate traces against platform capacity).
+  [[nodiscard]] WorkloadTrace scaled_to_mean(double target_mean) const;
+
+  /// \brief Return the first \p n frames (or the whole trace if shorter).
+  [[nodiscard]] WorkloadTrace prefix(std::size_t n) const;
+
+  /// \brief Serialise as CSV ("frame,cycles,kind").
+  [[nodiscard]] std::string to_csv() const;
+  /// \brief Parse from CSV produced by to_csv(). Throws on malformed input.
+  [[nodiscard]] static WorkloadTrace from_csv(const std::string& name,
+                                              const std::string& csv_text);
+
+ private:
+  void recompute_stats();
+  std::string name_;
+  std::vector<FrameDemand> frames_;
+  common::RunningStats stats_;
+};
+
+/// \brief Interface implemented by all workload generators.
+class TraceGenerator {
+ public:
+  virtual ~TraceGenerator() = default;
+  /// \brief Generate \p n frames deterministically from \p seed.
+  [[nodiscard]] virtual WorkloadTrace generate(std::size_t n,
+                                               std::uint64_t seed) const = 0;
+  /// \brief Generator name, used as the trace name.
+  [[nodiscard]] virtual std::string name() const = 0;
+};
+
+}  // namespace prime::wl

@@ -1,0 +1,55 @@
+/// \file video.hpp
+/// \brief GOP-structured video decoding workload generator.
+///
+/// Models the cycle demand of MPEG4/H.264 decoding: a repeating group of
+/// pictures (I frame, then P frames interleaved with B frames), per-kind mean
+/// costs, per-frame lognormal-ish jitter, and occasional scene changes that
+/// rescale the demand level — the workload variability the paper's RTM must
+/// track (Fig. 3) and that lengthens its exploration (Table II).
+#pragma once
+
+#include <string>
+
+#include "wl/trace.hpp"
+
+namespace prime::wl {
+
+/// \brief Parameters of the GOP demand model.
+struct VideoParams {
+  double mean_cycles = 120.0e6;     ///< Mean total cycles per frame.
+  std::size_t gop_length = 12;      ///< Frames per GOP (I..next I).
+  std::size_t b_per_p = 2;          ///< B frames following each P frame.
+  double i_weight = 1.2;            ///< Relative cost of I frames.
+  double p_weight = 1.0;            ///< Relative cost of P frames.
+  double b_weight = 0.9;            ///< Relative cost of B frames.
+  double jitter_cv = 0.05;          ///< Per-frame multiplicative noise CV.
+  double scene_change_prob = 0.02;  ///< Per-frame scene-change probability.
+  double scene_scale_lo = 0.75;     ///< Scene demand rescale lower bound.
+  double scene_scale_hi = 1.35;     ///< Scene demand rescale upper bound.
+  std::string label = "video";      ///< Trace name.
+};
+
+/// \brief Generates GOP-structured video decode traces.
+class VideoTraceGenerator final : public TraceGenerator {
+ public:
+  /// \brief Construct with explicit parameters.
+  explicit VideoTraceGenerator(const VideoParams& params) : params_(params) {}
+
+  /// \brief MPEG4 SVGA decode (paper Fig. 3 workload, 24 fps class):
+  ///        moderate demand, regular GOP, moderate scene activity.
+  [[nodiscard]] static VideoTraceGenerator mpeg4_svga();
+  /// \brief H.264 "football" sequence (paper Table I workload): heavier
+  ///        demand, frequent scene changes, high variability.
+  [[nodiscard]] static VideoTraceGenerator h264_football();
+
+  [[nodiscard]] WorkloadTrace generate(std::size_t n,
+                                       std::uint64_t seed) const override;
+  [[nodiscard]] std::string name() const override { return params_.label; }
+  /// \brief Access parameters (for calibration in benches).
+  [[nodiscard]] const VideoParams& params() const noexcept { return params_; }
+
+ private:
+  VideoParams params_;
+};
+
+}  // namespace prime::wl

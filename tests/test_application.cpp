@@ -1,0 +1,118 @@
+/// \file test_application.cpp
+/// \brief Unit tests for the periodic application model.
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "wl/application.hpp"
+#include "wl/fft.hpp"
+
+namespace prime::wl {
+namespace {
+
+Application make_app(double fps = 30.0, std::size_t threads = 4,
+                     double imbalance = 0.1) {
+  WorkloadTrace trace = FftTraceGenerator::paper_fft().generate(100, 1);
+  return Application("app", std::move(trace), fps, threads, imbalance);
+}
+
+TEST(Application, RejectsNonPositiveFps) {
+  WorkloadTrace t = FftTraceGenerator::paper_fft().generate(10, 1);
+  EXPECT_THROW(Application("x", std::move(t), 0.0), std::invalid_argument);
+}
+
+TEST(Application, DeadlineIsInverseFps) {
+  const Application app = make_app(25.0);
+  EXPECT_NEAR(app.deadline_at(0), 0.040, 1e-12);
+  EXPECT_NEAR(app.requirement_at(50).fps, 25.0, 1e-12);
+}
+
+TEST(Application, RequirementChangesApplyFromFrame) {
+  Application app = make_app(30.0);
+  app.add_requirement_change(50, 15.0);
+  EXPECT_NEAR(app.requirement_at(49).fps, 30.0, 1e-12);
+  EXPECT_NEAR(app.requirement_at(50).fps, 15.0, 1e-12);
+  EXPECT_NEAR(app.requirement_at(99).fps, 15.0, 1e-12);
+}
+
+TEST(Application, RequirementChangesSortRegardlessOfInsertOrder) {
+  Application app = make_app(30.0);
+  app.add_requirement_change(80, 60.0);
+  app.add_requirement_change(40, 15.0);
+  EXPECT_NEAR(app.requirement_at(45).fps, 15.0, 1e-12);
+  EXPECT_NEAR(app.requirement_at(85).fps, 60.0, 1e-12);
+}
+
+TEST(Application, RequirementChangeRejectsBadFps) {
+  Application app = make_app();
+  EXPECT_THROW(app.add_requirement_change(10, -1.0), std::invalid_argument);
+}
+
+TEST(Application, CoreWorkConservesDemand) {
+  const Application app = make_app(30.0, 4, 0.2);
+  for (std::size_t frame = 0; frame < 10; ++frame) {
+    const auto work = app.core_work(frame, 4);
+    const common::Cycles total =
+        std::accumulate(work.begin(), work.end(), common::Cycles{0});
+    // Integer rounding may lose at most `threads` cycles.
+    EXPECT_NEAR(static_cast<double>(total),
+                static_cast<double>(app.frame_cycles(frame)), 4.0);
+  }
+}
+
+TEST(Application, CoreWorkUsesOnlyAvailableCores) {
+  const Application app = make_app(30.0, 8, 0.0);
+  const auto work = app.core_work(0, 2);
+  ASSERT_EQ(work.size(), 2u);
+  EXPECT_GT(work[0], 0u);
+  EXPECT_GT(work[1], 0u);
+}
+
+TEST(Application, FewerThreadsThanCoresLeavesIdleCores) {
+  const Application app = make_app(30.0, 2, 0.0);
+  const auto work = app.core_work(0, 4);
+  ASSERT_EQ(work.size(), 4u);
+  EXPECT_GT(work[0], 0u);
+  EXPECT_GT(work[1], 0u);
+  EXPECT_EQ(work[2], 0u);
+  EXPECT_EQ(work[3], 0u);
+}
+
+TEST(Application, ZeroImbalanceSplitsEvenly) {
+  const Application app = make_app(30.0, 4, 0.0);
+  const auto work = app.core_work(3, 4);
+  for (std::size_t j = 1; j < 4; ++j) {
+    EXPECT_NEAR(static_cast<double>(work[j]), static_cast<double>(work[0]),
+                2.0);
+  }
+}
+
+TEST(Application, ImbalanceBounded) {
+  const double imb = 0.3;
+  const Application app = make_app(30.0, 4, imb);
+  for (std::size_t frame = 0; frame < 20; ++frame) {
+    const auto work = app.core_work(frame, 4);
+    const double even = static_cast<double>(app.frame_cycles(frame)) / 4.0;
+    for (const auto w : work) {
+      // Normalised shares stay within ~2x the nominal imbalance envelope.
+      EXPECT_LT(std::abs(static_cast<double>(w) - even) / even, 2.5 * imb);
+    }
+  }
+}
+
+TEST(Application, CoreWorkDeterministicAndOrderIndependent) {
+  const Application app = make_app(30.0, 4, 0.15);
+  const auto later = app.core_work(7, 4);
+  const auto earlier = app.core_work(3, 4);
+  const auto later_again = app.core_work(7, 4);
+  EXPECT_EQ(later, later_again);
+  (void)earlier;
+}
+
+TEST(Application, ZeroCoresYieldsEmpty) {
+  const Application app = make_app();
+  EXPECT_TRUE(app.core_work(0, 0).empty());
+}
+
+}  // namespace
+}  // namespace prime::wl

@@ -1,0 +1,96 @@
+/// \file test_config.cpp
+/// \brief Unit tests for the key-value configuration store.
+#include <gtest/gtest.h>
+
+#include "common/config.hpp"
+
+namespace prime::common {
+namespace {
+
+TEST(Config, SetAndGet) {
+  Config c;
+  c.set("a.b", "hello");
+  EXPECT_TRUE(c.has("a.b"));
+  EXPECT_EQ(c.get_string("a.b", "x"), "hello");
+  EXPECT_FALSE(c.has("a.c"));
+  EXPECT_EQ(c.get_string("a.c", "fallback"), "fallback");
+}
+
+TEST(Config, TypedSettersRoundTrip) {
+  Config c;
+  c.set_double("d", 3.25);
+  c.set_int("i", -42);
+  c.set_bool("t", true);
+  c.set_bool("f", false);
+  EXPECT_DOUBLE_EQ(c.get_double("d", 0.0), 3.25);
+  EXPECT_EQ(c.get_int("i", 0), -42);
+  EXPECT_TRUE(c.get_bool("t", false));
+  EXPECT_FALSE(c.get_bool("f", true));
+}
+
+TEST(Config, UnparsableValuesFallBack) {
+  Config c;
+  c.set("x", "not-a-number");
+  EXPECT_DOUBLE_EQ(c.get_double("x", 1.5), 1.5);
+  EXPECT_EQ(c.get_int("x", 7), 7);
+  EXPECT_TRUE(c.get_bool("x", true));
+}
+
+TEST(Config, BoolSpellings) {
+  Config c;
+  for (const char* truthy : {"true", "1", "yes", "on", "TRUE", "Yes"}) {
+    c.set("k", truthy);
+    EXPECT_TRUE(c.get_bool("k", false)) << truthy;
+  }
+  for (const char* falsy : {"false", "0", "no", "off", "FALSE"}) {
+    c.set("k", falsy);
+    EXPECT_FALSE(c.get_bool("k", true)) << falsy;
+  }
+}
+
+TEST(Config, ParseAssignment) {
+  Config c;
+  EXPECT_TRUE(c.parse_assignment("app.fps = 30"));
+  EXPECT_DOUBLE_EQ(c.get_double("app.fps", 0.0), 30.0);
+  EXPECT_FALSE(c.parse_assignment("no-equals-here"));
+  EXPECT_FALSE(c.parse_assignment("=value-without-key"));
+}
+
+TEST(Config, ParseArgsSkipsNonAssignments) {
+  const char* argv[] = {"prog", "a=1", "--flag", "b=two"};
+  Config c;
+  c.parse_args(4, argv);
+  EXPECT_EQ(c.size(), 2u);
+  EXPECT_EQ(c.get_int("a", 0), 1);
+  EXPECT_EQ(c.get_string("b", ""), "two");
+}
+
+TEST(Config, ParseTextWithComments) {
+  Config c;
+  c.parse_text("# a config file\nx=1\n  y = 2  # inline comment\n\nz=3\n");
+  EXPECT_EQ(c.get_int("x", 0), 1);
+  EXPECT_EQ(c.get_int("y", 0), 2);
+  EXPECT_EQ(c.get_int("z", 0), 3);
+}
+
+TEST(Config, OverwriteTakesLatest) {
+  Config c;
+  c.set("k", "1");
+  c.set("k", "2");
+  EXPECT_EQ(c.get_int("k", 0), 2);
+  EXPECT_EQ(c.size(), 1u);
+}
+
+TEST(Config, KeysSorted) {
+  Config c;
+  c.set("b", "1");
+  c.set("a", "1");
+  c.set("c", "1");
+  const auto keys = c.keys();
+  ASSERT_EQ(keys.size(), 3u);
+  EXPECT_EQ(keys[0], "a");
+  EXPECT_EQ(keys[2], "c");
+}
+
+}  // namespace
+}  // namespace prime::common

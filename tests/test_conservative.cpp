@@ -1,0 +1,94 @@
+/// \file test_conservative.cpp
+/// \brief Unit tests for the conservative (stepwise) governor.
+#include <gtest/gtest.h>
+
+#include "gov/conservative.hpp"
+
+namespace prime::gov {
+namespace {
+
+DecisionContext make_ctx(const hw::OppTable& opps) {
+  DecisionContext ctx;
+  ctx.period = 0.040;
+  ctx.cores = 1;
+  ctx.opps = &opps;
+  return ctx;
+}
+
+EpochObservation obs_with_load(const hw::OppTable& opps, std::size_t opp_index,
+                               double load) {
+  EpochObservation o;
+  o.period = 0.040;
+  o.window = 0.040;
+  o.opp_index = opp_index;
+  o.core_cycles = {
+      common::cycles_at(opps.at(opp_index).frequency, load * 0.040)};
+  return o;
+}
+
+TEST(Conservative, StartsMidTable) {
+  const hw::OppTable opps = hw::OppTable::odroid_xu3_a15();
+  ConservativeGovernor g;
+  EXPECT_EQ(g.decide(make_ctx(opps), std::nullopt), opps.size() / 2);
+}
+
+TEST(Conservative, StepsUpOnHighLoad) {
+  const hw::OppTable opps = hw::OppTable::odroid_xu3_a15();
+  ConservativeGovernor g;
+  auto ctx = make_ctx(opps);
+  const std::size_t start = g.decide(ctx, std::nullopt);
+  const std::size_t next = g.decide(ctx, obs_with_load(opps, start, 0.95));
+  EXPECT_EQ(next, start + 1);
+}
+
+TEST(Conservative, StepsDownOnLowLoad) {
+  const hw::OppTable opps = hw::OppTable::odroid_xu3_a15();
+  ConservativeGovernor g;
+  auto ctx = make_ctx(opps);
+  const std::size_t start = g.decide(ctx, std::nullopt);
+  const std::size_t next = g.decide(ctx, obs_with_load(opps, start, 0.10));
+  EXPECT_EQ(next, start - 1);
+}
+
+TEST(Conservative, HoldsInsideBand) {
+  const hw::OppTable opps = hw::OppTable::odroid_xu3_a15();
+  ConservativeGovernor g;
+  auto ctx = make_ctx(opps);
+  const std::size_t start = g.decide(ctx, std::nullopt);
+  const std::size_t next = g.decide(ctx, obs_with_load(opps, start, 0.60));
+  EXPECT_EQ(next, start);
+}
+
+TEST(Conservative, ClampsAtTableEdges) {
+  const hw::OppTable opps = hw::OppTable::odroid_xu3_a15();
+  ConservativeGovernor g;
+  auto ctx = make_ctx(opps);
+  std::size_t idx = g.decide(ctx, std::nullopt);
+  for (int i = 0; i < 40; ++i) idx = g.decide(ctx, obs_with_load(opps, idx, 0.99));
+  EXPECT_EQ(idx, opps.size() - 1);
+  for (int i = 0; i < 40; ++i) idx = g.decide(ctx, obs_with_load(opps, idx, 0.01));
+  EXPECT_EQ(idx, 0u);
+}
+
+TEST(Conservative, ConfigurableStep) {
+  const hw::OppTable opps = hw::OppTable::odroid_xu3_a15();
+  ConservativeParams p;
+  p.freq_step = 3;
+  ConservativeGovernor g(p);
+  auto ctx = make_ctx(opps);
+  const std::size_t start = g.decide(ctx, std::nullopt);
+  EXPECT_EQ(g.decide(ctx, obs_with_load(opps, start, 0.95)), start + 3);
+}
+
+TEST(Conservative, ResetReturnsToMid) {
+  const hw::OppTable opps = hw::OppTable::odroid_xu3_a15();
+  ConservativeGovernor g;
+  auto ctx = make_ctx(opps);
+  std::size_t idx = g.decide(ctx, std::nullopt);
+  for (int i = 0; i < 10; ++i) idx = g.decide(ctx, obs_with_load(opps, idx, 0.99));
+  g.reset();
+  EXPECT_EQ(g.decide(ctx, std::nullopt), opps.size() / 2);
+}
+
+}  // namespace
+}  // namespace prime::gov

@@ -1,0 +1,72 @@
+/// \file test_convergence.cpp
+/// \brief Unit tests for policy-stability convergence detection.
+#include <gtest/gtest.h>
+
+#include "sim/convergence.hpp"
+
+namespace prime::sim {
+namespace {
+
+TEST(PolicyConvergence, DetectsStableStreak) {
+  PolicyConvergence c(3);
+  const std::vector<std::size_t> pol{1, 2, 3};
+  c.observe(0, pol, 0);
+  EXPECT_FALSE(c.converged());  // first observation only records the policy
+  c.observe(1, pol, 5);
+  c.observe(2, pol, 6);
+  c.observe(3, pol, 7);
+  EXPECT_TRUE(c.converged());
+  EXPECT_EQ(c.convergence_epoch(), 1u);
+  EXPECT_EQ(c.explorations_at_convergence(), 5u);
+}
+
+TEST(PolicyConvergence, ChangeResetsStreak) {
+  PolicyConvergence c(3);
+  c.observe(0, {1}, 0);
+  c.observe(1, {1}, 1);
+  c.observe(2, {2}, 2);  // changed
+  c.observe(3, {2}, 3);
+  c.observe(4, {2}, 4);
+  EXPECT_FALSE(c.converged());
+  c.observe(5, {2}, 5);
+  EXPECT_TRUE(c.converged());
+  EXPECT_EQ(c.convergence_epoch(), 3u);
+}
+
+TEST(PolicyConvergence, FreezesAfterConvergence) {
+  PolicyConvergence c(2);
+  c.observe(0, {1}, 0);
+  c.observe(1, {1}, 1);
+  c.observe(2, {1}, 2);
+  ASSERT_TRUE(c.converged());
+  const auto epoch = c.convergence_epoch();
+  c.observe(3, {9}, 9);  // later churn is ignored
+  EXPECT_TRUE(c.converged());
+  EXPECT_EQ(c.convergence_epoch(), epoch);
+}
+
+TEST(PolicyConvergence, EmptyPolicyNeverConverges) {
+  PolicyConvergence c(2);
+  for (std::size_t i = 0; i < 10; ++i) c.observe(i, {}, i);
+  EXPECT_FALSE(c.converged());
+}
+
+TEST(PolicyConvergence, ZeroWindowClampedToOne) {
+  PolicyConvergence c(0);
+  c.observe(0, {1}, 0);
+  c.observe(1, {1}, 1);
+  EXPECT_TRUE(c.converged());
+}
+
+TEST(PolicyConvergence, ResetRestarts) {
+  PolicyConvergence c(2);
+  c.observe(0, {1}, 0);
+  c.observe(1, {1}, 1);
+  c.observe(2, {1}, 2);
+  c.reset();
+  EXPECT_FALSE(c.converged());
+  EXPECT_EQ(c.convergence_epoch(), 0u);
+}
+
+}  // namespace
+}  // namespace prime::sim

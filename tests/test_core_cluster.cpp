@@ -1,0 +1,176 @@
+/// \file test_core_cluster.cpp
+/// \brief Unit tests for Core and Cluster epoch execution.
+#include <gtest/gtest.h>
+
+#include "hw/cluster.hpp"
+
+namespace prime::hw {
+namespace {
+
+ClusterParams quiet_params() {
+  ClusterParams p;
+  p.cores = 4;
+  p.initial_opp = 9;
+  return p;
+}
+
+TEST(Core, BusyTimeIsWorkOverFrequency) {
+  const PowerModel model;
+  Core core(0, model);
+  const Opp opp{0, common::ghz(1.0), 1.0};
+  const CoreEpochResult r = core.run_epoch(10000000, opp, 0.040, 50.0);
+  EXPECT_NEAR(r.busy_time, 0.010, 1e-9);
+  EXPECT_NEAR(r.idle_time, 0.030, 1e-9);
+}
+
+TEST(Core, OverrunYieldsZeroIdle) {
+  const PowerModel model;
+  Core core(0, model);
+  const Opp opp{0, common::mhz(200.0), 0.9};
+  const CoreEpochResult r = core.run_epoch(100000000, opp, 0.040, 50.0);
+  EXPECT_GT(r.busy_time, 0.040);
+  EXPECT_DOUBLE_EQ(r.idle_time, 0.0);
+}
+
+TEST(Core, EnergyPositiveEvenWhenIdle) {
+  const PowerModel model;
+  Core core(0, model);
+  const Opp opp{0, common::ghz(1.0), 1.0};
+  const CoreEpochResult r = core.run_epoch(0, opp, 0.040, 50.0);
+  EXPECT_DOUBLE_EQ(r.busy_time, 0.0);
+  EXPECT_GT(r.energy, 0.0);  // idle + leakage power
+}
+
+TEST(Core, PmuAccumulatesAcrossEpochs) {
+  const PowerModel model;
+  Core core(0, model);
+  const Opp opp{0, common::ghz(1.0), 1.0};
+  (void)core.run_epoch(1000, opp, 0.040, 50.0);
+  (void)core.run_epoch(2000, opp, 0.040, 50.0);
+  EXPECT_EQ(core.pmu().snapshot().cycles, 3000u);
+  EXPECT_GT(core.total_energy(), 0.0);
+}
+
+TEST(Core, ResetClearsAccounting) {
+  const PowerModel model;
+  Core core(0, model);
+  const Opp opp{0, common::ghz(1.0), 1.0};
+  (void)core.run_epoch(1000, opp, 0.040, 50.0);
+  core.reset();
+  EXPECT_EQ(core.pmu().snapshot().cycles, 0u);
+  EXPECT_DOUBLE_EQ(core.total_energy(), 0.0);
+}
+
+TEST(Cluster, FrameTimeIsSlowetCore) {
+  const OppTable t = OppTable::odroid_xu3_a15();
+  Cluster c(t, quiet_params());
+  // Core 2 gets double work: it defines the frame time.
+  const auto opp = c.current_opp();
+  const common::Cycles base = 10000000;
+  const auto r = c.run_epoch({base, base, 2 * base, base}, 0.040);
+  EXPECT_NEAR(r.frame_time, common::time_for(2 * base, opp.frequency), 1e-9);
+}
+
+TEST(Cluster, DeadlineDetection) {
+  const OppTable t = OppTable::odroid_xu3_a15();
+  Cluster c(t, quiet_params());
+  const auto light = c.run_epoch({1000, 1000, 1000, 1000}, 0.040);
+  EXPECT_TRUE(light.deadline_met);
+  EXPECT_DOUBLE_EQ(light.window, 0.040);  // early finish pads to the period
+  c.set_opp(0);
+  const auto heavy = c.run_epoch({50000000, 0, 0, 0}, 0.040);
+  EXPECT_FALSE(heavy.deadline_met);
+  EXPECT_GT(heavy.window, 0.040);  // overrun extends the window
+}
+
+TEST(Cluster, DvfsStallChargedToNextEpoch) {
+  const OppTable t = OppTable::odroid_xu3_a15();
+  Cluster c(t, quiet_params());
+  const double stall = c.set_opp(18);
+  EXPECT_GT(stall, 0.0);
+  const auto r = c.run_epoch({1000, 1000, 1000, 1000}, 0.040);
+  EXPECT_DOUBLE_EQ(r.dvfs_stall, stall);
+  const auto r2 = c.run_epoch({1000, 1000, 1000, 1000}, 0.040);
+  EXPECT_DOUBLE_EQ(r2.dvfs_stall, 0.0);  // consumed
+}
+
+TEST(Cluster, EnergyGrowsWithFrequencyForFixedWindow) {
+  const OppTable t = OppTable::odroid_xu3_a15();
+  const std::vector<common::Cycles> work{5000000, 5000000, 5000000, 5000000};
+  Cluster slow(t, quiet_params());
+  slow.set_opp(2);
+  Cluster fast(t, quiet_params());
+  fast.set_opp(18);
+  const auto rs = slow.run_epoch(work, 0.040);
+  const auto rf = fast.run_epoch(work, 0.040);
+  ASSERT_TRUE(rs.deadline_met);
+  ASSERT_TRUE(rf.deadline_met);
+  // Same work, same 40 ms window: the faster/higher-V run burns more energy
+  // (race-to-idle does not pay off under quadratic voltage cost).
+  EXPECT_GT(rf.energy, rs.energy);
+}
+
+TEST(Cluster, MissingWorkEntriesMeanIdleCores) {
+  const OppTable t = OppTable::odroid_xu3_a15();
+  Cluster c(t, quiet_params());
+  const auto r = c.run_epoch({10000000}, 0.040);
+  EXPECT_EQ(r.core_cycles.size(), 4u);
+  EXPECT_EQ(r.core_cycles[1], 0u);
+  EXPECT_DOUBLE_EQ(r.core_busy[3], 0.0);
+}
+
+TEST(Cluster, TemperatureRisesUnderLoad) {
+  const OppTable t = OppTable::odroid_xu3_a15();
+  ClusterParams p = quiet_params();
+  p.thermal.t_init = 30.0;
+  Cluster c(t, p);
+  c.set_opp(18);
+  double last = 30.0;
+  for (int i = 0; i < 50; ++i) {
+    const auto r = c.run_epoch({60000000, 60000000, 60000000, 60000000}, 0.040);
+    last = r.temperature;
+  }
+  EXPECT_GT(last, 45.0);
+}
+
+TEST(Cluster, TotalsAccumulateAndReset) {
+  const OppTable t = OppTable::odroid_xu3_a15();
+  Cluster c(t, quiet_params());
+  (void)c.run_epoch({1000000, 1000000, 1000000, 1000000}, 0.040);
+  (void)c.run_epoch({1000000, 1000000, 1000000, 1000000}, 0.040);
+  EXPECT_NEAR(c.total_time(), 0.080, 1e-9);
+  EXPECT_GT(c.total_energy(), 0.0);
+  c.reset();
+  EXPECT_DOUBLE_EQ(c.total_time(), 0.0);
+  EXPECT_DOUBLE_EQ(c.total_energy(), 0.0);
+  EXPECT_EQ(c.current_opp_index(), quiet_params().initial_opp);
+}
+
+TEST(Cluster, AvgPowerConsistentWithEnergy) {
+  const OppTable t = OppTable::odroid_xu3_a15();
+  Cluster c(t, quiet_params());
+  const auto r = c.run_epoch({20000000, 20000000, 20000000, 20000000}, 0.040);
+  EXPECT_NEAR(r.avg_power * r.window, r.energy, 1e-9);
+}
+
+/// Property: across all OPPs, executing a feasible fixed workload to the
+/// deadline consumes monotonically more energy at higher OPPs (idle-padded).
+class ClusterOppSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(ClusterOppSweep, FeasibleEpochAccountingInvariants) {
+  const OppTable t = OppTable::odroid_xu3_a15();
+  Cluster c(t, quiet_params());
+  c.set_opp(GetParam());
+  const auto r = c.run_epoch({4000000, 4000000, 4000000, 4000000}, 0.040);
+  EXPECT_GT(r.energy, 0.0);
+  EXPECT_GE(r.window, r.frame_time - 1e-12);
+  EXPECT_EQ(r.core_cycles.size(), 4u);
+  EXPECT_NEAR(r.avg_power * r.window, r.energy, 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllOpps, ClusterOppSweep,
+                         ::testing::Range(std::size_t{0}, std::size_t{19},
+                                          std::size_t{3}));
+
+}  // namespace
+}  // namespace prime::hw

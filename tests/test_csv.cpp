@@ -1,0 +1,85 @@
+/// \file test_csv.cpp
+/// \brief Unit tests for CSV writing and parsing.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/csv.hpp"
+
+namespace prime::common {
+namespace {
+
+TEST(CsvWriter, HeaderAndRows) {
+  std::ostringstream out;
+  CsvWriter w(out);
+  w.header({"a", "b"});
+  w.row({1.0, 2.5});
+  w.row({3.0, -4.25});
+  EXPECT_EQ(out.str(), "a,b\n1,2.5\n3,-4.25\n");
+  EXPECT_EQ(w.rows_written(), 2u);
+}
+
+TEST(CsvWriter, StringRows) {
+  std::ostringstream out;
+  CsvWriter w(out);
+  w.header({"name", "tag"});
+  w.row_strings({"x264", "I"});
+  EXPECT_EQ(out.str(), "name,tag\nx264,I\n");
+}
+
+TEST(CsvWriter, HighPrecisionDoubles) {
+  std::ostringstream out;
+  CsvWriter w(out);
+  w.header({"v"});
+  w.row({123456789.123});
+  EXPECT_NE(out.str().find("123456789"), std::string::npos);
+}
+
+TEST(ParseCsv, RoundTrip) {
+  std::ostringstream out;
+  CsvWriter w(out);
+  w.header({"x", "y"});
+  w.row({1.0, 10.0});
+  w.row({2.0, 20.0});
+  const CsvTable t = parse_csv(out.str());
+  ASSERT_EQ(t.header.size(), 2u);
+  ASSERT_EQ(t.rows.size(), 2u);
+  EXPECT_EQ(t.column_index("y"), 1);
+  const auto y = t.column_as_double("y");
+  ASSERT_EQ(y.size(), 2u);
+  EXPECT_DOUBLE_EQ(y[0], 10.0);
+  EXPECT_DOUBLE_EQ(y[1], 20.0);
+}
+
+TEST(ParseCsv, MissingColumnIndexIsMinusOne) {
+  const CsvTable t = parse_csv("a,b\n1,2\n");
+  EXPECT_EQ(t.column_index("zzz"), -1);
+  EXPECT_TRUE(t.column_as_double("zzz").empty());
+}
+
+TEST(ParseCsv, ToleratesCrlfAndBlankLines) {
+  const CsvTable t = parse_csv("a,b\r\n\r\n1,2\r\n");
+  ASSERT_EQ(t.rows.size(), 1u);
+  EXPECT_EQ(t.rows[0][0], "1");
+}
+
+TEST(ParseCsv, EmptyInput) {
+  const CsvTable t = parse_csv("");
+  EXPECT_TRUE(t.header.empty());
+  EXPECT_TRUE(t.rows.empty());
+}
+
+TEST(ParseCsv, RaggedRowsYieldZeroes) {
+  const CsvTable t = parse_csv("a,b\n1\n2,3\n");
+  const auto b = t.column_as_double("b");
+  ASSERT_EQ(b.size(), 2u);
+  EXPECT_DOUBLE_EQ(b[0], 0.0);
+  EXPECT_DOUBLE_EQ(b[1], 3.0);
+}
+
+TEST(ReadCsvFile, MissingFileThrows) {
+  EXPECT_THROW(read_csv_file("/nonexistent/path/to.csv"), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace prime::common

@@ -1,0 +1,103 @@
+/// \file test_discretizer.cpp
+/// \brief Unit tests for Q-table state discretisation.
+#include <gtest/gtest.h>
+
+#include "rtm/discretizer.hpp"
+
+namespace prime::rtm {
+namespace {
+
+TEST(Discretizer, RejectsInvalidParams) {
+  DiscretizerParams p;
+  p.workload_levels = 0;
+  EXPECT_THROW(Discretizer{p}, std::invalid_argument);
+  p.workload_levels = 5;
+  p.slack_levels = 0;
+  EXPECT_THROW(Discretizer{p}, std::invalid_argument);
+  p.slack_levels = 5;
+  p.slack_clip = 0.0;
+  EXPECT_THROW(Discretizer{p}, std::invalid_argument);
+}
+
+TEST(Discretizer, PaperDefaultIs5x5) {
+  const Discretizer d;
+  EXPECT_EQ(d.state_count(), 25u);  // N = 5 per the paper's DSE
+}
+
+TEST(Discretizer, WorkloadLevelsUniform) {
+  const Discretizer d;
+  EXPECT_EQ(d.workload_level(0.0), 0u);
+  EXPECT_EQ(d.workload_level(0.19), 0u);
+  EXPECT_EQ(d.workload_level(0.21), 1u);
+  EXPECT_EQ(d.workload_level(0.99), 4u);
+  EXPECT_EQ(d.workload_level(1.0), 4u);  // top edge closed
+}
+
+TEST(Discretizer, WorkloadClampsOutOfRange) {
+  const Discretizer d;
+  EXPECT_EQ(d.workload_level(-0.5), 0u);
+  EXPECT_EQ(d.workload_level(2.0), 4u);
+}
+
+TEST(Discretizer, SlackLevelsSymmetricAroundZero) {
+  const Discretizer d;  // clip 0.5, 5 levels of width 0.2
+  EXPECT_EQ(d.slack_level(-0.5), 0u);
+  EXPECT_EQ(d.slack_level(-0.25), 1u);
+  EXPECT_EQ(d.slack_level(0.0), 2u);  // the "on target" middle bin
+  EXPECT_EQ(d.slack_level(0.25), 3u);
+  EXPECT_EQ(d.slack_level(0.5), 4u);
+}
+
+TEST(Discretizer, SlackClampsBeyondClip) {
+  const Discretizer d;
+  EXPECT_EQ(d.slack_level(-3.0), 0u);
+  EXPECT_EQ(d.slack_level(3.0), 4u);
+}
+
+TEST(Discretizer, StateIndexIsWorkloadMajor) {
+  const Discretizer d;
+  EXPECT_EQ(d.state_of(0.0, -1.0), 0u);
+  EXPECT_EQ(d.state_of(1.0, 1.0), 24u);
+  const std::size_t s = d.state_of(0.5, 0.0);
+  const auto levels = d.levels_of(s);
+  EXPECT_EQ(levels.workload, d.workload_level(0.5));
+  EXPECT_EQ(levels.slack, d.slack_level(0.0));
+}
+
+TEST(Discretizer, LevelsOfInvertsStateOf) {
+  DiscretizerParams p;
+  p.workload_levels = 3;
+  p.slack_levels = 7;
+  const Discretizer d(p);
+  for (std::size_t w = 0; w < 3; ++w) {
+    for (std::size_t l = 0; l < 7; ++l) {
+      const std::size_t s = w * 7 + l;
+      const auto back = d.levels_of(s);
+      EXPECT_EQ(back.workload, w);
+      EXPECT_EQ(back.slack, l);
+    }
+  }
+}
+
+/// Property: state_of never exceeds state_count over a dense input sweep,
+/// for several table sizes (the N of the paper's design-space exploration).
+class DiscretizerSizeSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(DiscretizerSizeSweep, AllStatesInRange) {
+  DiscretizerParams p;
+  p.workload_levels = GetParam();
+  p.slack_levels = GetParam();
+  const Discretizer d(p);
+  for (double w = -0.2; w <= 1.2; w += 0.05) {
+    for (double l = -0.8; l <= 0.8; l += 0.05) {
+      EXPECT_LT(d.state_of(w, l), d.state_count());
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(TableSizes, DiscretizerSizeSweep,
+                         ::testing::Values(std::size_t{2}, std::size_t{3},
+                                           std::size_t{5}, std::size_t{8}));
+
+}  // namespace
+}  // namespace prime::rtm

@@ -1,0 +1,146 @@
+/// \file test_engine.cpp
+/// \brief Unit tests for the simulation engine.
+#include <gtest/gtest.h>
+
+#include "gov/oracle.hpp"
+#include "gov/simple.hpp"
+#include "hw/platform.hpp"
+#include "sim/engine.hpp"
+#include "wl/fft.hpp"
+
+namespace prime::sim {
+namespace {
+
+wl::Application make_app(std::size_t frames = 50, double fps = 30.0) {
+  wl::WorkloadTrace trace =
+      wl::FftTraceGenerator::paper_fft().generate(frames, 1);
+  // Scale to a comfortable mid-table load for a 4x2 GHz cluster.
+  trace = trace.scaled_to_mean(0.45 * 4.0 * 2.0e9 / fps);
+  return wl::Application("fft", std::move(trace), fps);
+}
+
+TEST(Engine, RunsWholeTraceByDefault) {
+  auto platform = hw::Platform::odroid_xu3_a15();
+  const wl::Application app = make_app(50);
+  gov::PerformanceGovernor g;
+  const RunResult r = run_simulation(*platform, app, g);
+  EXPECT_EQ(r.epochs.size(), 50u);
+  EXPECT_EQ(r.governor, "performance");
+  EXPECT_EQ(r.application, "fft");
+}
+
+TEST(Engine, MaxFramesLimits) {
+  auto platform = hw::Platform::odroid_xu3_a15();
+  const wl::Application app = make_app(50);
+  gov::PerformanceGovernor g;
+  RunOptions opt;
+  opt.max_frames = 10;
+  EXPECT_EQ(run_simulation(*platform, app, g, opt).epochs.size(), 10u);
+}
+
+TEST(Engine, EnergyAndTimeAccumulate) {
+  auto platform = hw::Platform::odroid_xu3_a15();
+  const wl::Application app = make_app(30, 30.0);
+  gov::PerformanceGovernor g;
+  const RunResult r = run_simulation(*platform, app, g);
+  EXPECT_GT(r.total_energy, 0.0);
+  EXPECT_NEAR(r.total_time, 30.0 / 30.0, 0.05);  // ~1 s of frames
+  EXPECT_GT(r.measured_energy, 0.0);
+  // Sensor energy within a few percent of true model energy.
+  EXPECT_NEAR(r.measured_energy / r.total_energy, 1.0, 0.05);
+}
+
+TEST(Engine, PerformanceGovernorMeetsAllDeadlines) {
+  auto platform = hw::Platform::odroid_xu3_a15();
+  const wl::Application app = make_app(100);
+  gov::PerformanceGovernor g;
+  const RunResult r = run_simulation(*platform, app, g);
+  EXPECT_EQ(r.deadline_misses, 0u);
+  EXPECT_DOUBLE_EQ(r.miss_rate(), 0.0);
+}
+
+TEST(Engine, PowersaveGovernorMissesEverything) {
+  auto platform = hw::Platform::odroid_xu3_a15();
+  const wl::Application app = make_app(50);
+  gov::PowersaveGovernor g;
+  const RunResult r = run_simulation(*platform, app, g);
+  // 10x too slow at 200 MHz: every frame overruns.
+  EXPECT_GT(r.miss_rate(), 0.9);
+  EXPECT_GT(r.mean_normalized_performance(), 1.5);
+}
+
+TEST(Engine, OracleReceivesPreviews) {
+  auto platform = hw::Platform::odroid_xu3_a15();
+  const wl::Application app = make_app(100);
+  gov::OracleGovernor g;
+  const RunResult r = run_simulation(*platform, app, g);
+  EXPECT_EQ(r.deadline_misses, 0u);
+  // Oracle must beat the performance governor on energy.
+  auto platform2 = hw::Platform::odroid_xu3_a15();
+  gov::PerformanceGovernor perf;
+  const RunResult rp = run_simulation(*platform2, app, perf);
+  EXPECT_LT(r.total_energy, rp.total_energy);
+}
+
+TEST(Engine, CallbackSeesEveryEpoch) {
+  auto platform = hw::Platform::odroid_xu3_a15();
+  const wl::Application app = make_app(25);
+  gov::PerformanceGovernor g;
+  RunOptions opt;
+  std::size_t calls = 0;
+  opt.on_epoch = [&calls](const EpochRecord& e, gov::Governor&) {
+    EXPECT_EQ(e.epoch, calls);
+    ++calls;
+  };
+  (void)run_simulation(*platform, app, g, opt);
+  EXPECT_EQ(calls, 25u);
+}
+
+TEST(Engine, DeterministicReplay) {
+  const wl::Application app = make_app(60);
+  auto p1 = hw::Platform::odroid_xu3_a15();
+  auto p2 = hw::Platform::odroid_xu3_a15();
+  gov::PerformanceGovernor g1;
+  gov::PerformanceGovernor g2;
+  const RunResult a = run_simulation(*p1, app, g1);
+  const RunResult b = run_simulation(*p2, app, g2);
+  ASSERT_EQ(a.epochs.size(), b.epochs.size());
+  EXPECT_DOUBLE_EQ(a.total_energy, b.total_energy);
+  EXPECT_DOUBLE_EQ(a.measured_energy, b.measured_energy);
+  for (std::size_t i = 0; i < a.epochs.size(); ++i) {
+    EXPECT_EQ(a.epochs[i].opp_index, b.epochs[i].opp_index);
+    EXPECT_DOUBLE_EQ(a.epochs[i].energy, b.epochs[i].energy);
+  }
+}
+
+TEST(Engine, GovernorOverheadExecutesAsCycles) {
+  // demand excludes overhead, executed includes it.
+  auto platform = hw::Platform::odroid_xu3_a15();
+  const wl::Application app = make_app(10);
+  gov::PerformanceGovernor g;  // 2 us overhead
+  const RunResult r = run_simulation(*platform, app, g);
+  for (const auto& e : r.epochs) {
+    EXPECT_GT(e.executed, e.demand);
+  }
+}
+
+TEST(Engine, RecordsConsistentSlack) {
+  auto platform = hw::Platform::odroid_xu3_a15();
+  const wl::Application app = make_app(20);
+  gov::PerformanceGovernor g;
+  const RunResult r = run_simulation(*platform, app, g);
+  for (const auto& e : r.epochs) {
+    EXPECT_NEAR(e.slack, (e.period - e.frame_time) / e.period, 1e-12);
+    EXPECT_EQ(e.deadline_met, e.frame_time <= e.period);
+  }
+}
+
+TEST(RunResult, EmptyAggregates) {
+  const RunResult r;
+  EXPECT_DOUBLE_EQ(r.mean_normalized_performance(), 0.0);
+  EXPECT_DOUBLE_EQ(r.miss_rate(), 0.0);
+  EXPECT_DOUBLE_EQ(r.mean_power(), 0.0);
+}
+
+}  // namespace
+}  // namespace prime::sim

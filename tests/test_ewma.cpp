@@ -1,0 +1,111 @@
+/// \file test_ewma.cpp
+/// \brief Unit tests for the EWMA workload predictor (eq. 1).
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "rtm/ewma.hpp"
+
+namespace prime::rtm {
+namespace {
+
+TEST(EwmaPredictor, RejectsBadGamma) {
+  EXPECT_THROW(EwmaPredictor(0.0), std::invalid_argument);
+  EXPECT_THROW(EwmaPredictor(-0.5), std::invalid_argument);
+  EXPECT_THROW(EwmaPredictor(1.5), std::invalid_argument);
+  EXPECT_NO_THROW(EwmaPredictor(1.0));
+}
+
+TEST(EwmaPredictor, FirstObservationSeeds) {
+  EwmaPredictor p(0.6);
+  EXPECT_FALSE(p.primed());
+  EXPECT_EQ(p.observe(1000), 1000u);
+  EXPECT_TRUE(p.primed());
+  EXPECT_EQ(p.prediction(), 1000u);
+}
+
+TEST(EwmaPredictor, Equation1Exactly) {
+  // CC_{i+1} = gamma * actual_i + (1 - gamma) * pred_i
+  EwmaPredictor p(0.6);
+  (void)p.observe(1000);
+  const common::Cycles next = p.observe(2000);
+  EXPECT_EQ(next, static_cast<common::Cycles>(0.6 * 2000 + 0.4 * 1000));
+}
+
+TEST(EwmaPredictor, ConvergesToConstantInput) {
+  EwmaPredictor p(0.6);
+  for (int i = 0; i < 50; ++i) (void)p.observe(5000);
+  EXPECT_NEAR(static_cast<double>(p.prediction()), 5000.0, 1.0);
+}
+
+TEST(EwmaPredictor, GammaOneTracksInstantly) {
+  EwmaPredictor p(1.0);
+  (void)p.observe(100);
+  (void)p.observe(9999);
+  EXPECT_EQ(p.prediction(), 9999u);
+}
+
+TEST(EwmaPredictor, LowGammaSmoothsHarder) {
+  EwmaPredictor fast(0.9);
+  EwmaPredictor slow(0.1);
+  (void)fast.observe(1000);
+  (void)slow.observe(1000);
+  (void)fast.observe(2000);
+  (void)slow.observe(2000);
+  EXPECT_GT(fast.prediction(), slow.prediction());
+}
+
+TEST(EwmaPredictor, MispredictionStatsTrackStepChange) {
+  EwmaPredictor p(0.6);
+  (void)p.observe(1000);
+  (void)p.observe(1000);
+  EXPECT_NEAR(p.last_misprediction(), 0.0, 1e-12);
+  (void)p.observe(2000);  // prediction was 1000 -> 50 % error
+  EXPECT_NEAR(p.last_misprediction(), 0.5, 1e-9);
+  EXPECT_GT(p.misprediction_stats().mean(), 0.0);
+}
+
+TEST(EwmaPredictor, SteadyInputHasLowMisprediction) {
+  common::Rng rng(3);
+  EwmaPredictor p(0.6);
+  for (int i = 0; i < 500; ++i) {
+    (void)p.observe(static_cast<common::Cycles>(1.0e8 * (1.0 + 0.02 * rng.normal())));
+  }
+  // 2 % input noise -> misprediction stays in the few-percent band (Fig. 3's
+  // late-phase ~3 %).
+  EXPECT_LT(p.misprediction_stats().mean(), 0.05);
+}
+
+TEST(EwmaPredictor, ResetForgets) {
+  EwmaPredictor p(0.6);
+  (void)p.observe(1234);
+  p.reset();
+  EXPECT_FALSE(p.primed());
+  EXPECT_EQ(p.prediction(), 0u);
+  EXPECT_EQ(p.observations(), 0u);
+  EXPECT_EQ(p.misprediction_stats().count(), 0u);
+}
+
+/// Property: prediction always lies between the minimum and maximum of the
+/// observations seen so far (convexity of the EWMA).
+class EwmaGammaSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(EwmaGammaSweep, PredictionInsideObservedRange) {
+  EwmaPredictor p(GetParam());
+  common::Rng rng(17);
+  common::Cycles lo = ~common::Cycles{0};
+  common::Cycles hi = 0;
+  for (int i = 0; i < 200; ++i) {
+    const auto x = static_cast<common::Cycles>(rng.uniform(1.0e6, 9.0e6));
+    lo = std::min(lo, x);
+    hi = std::max(hi, x);
+    (void)p.observe(x);
+    EXPECT_GE(p.prediction(), lo);
+    EXPECT_LE(p.prediction(), hi);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Gammas, EwmaGammaSweep,
+                         ::testing::Values(0.1, 0.3, 0.6, 0.9, 1.0));
+
+}  // namespace
+}  // namespace prime::rtm

@@ -1,0 +1,62 @@
+/// \file test_fft_gen.cpp
+/// \brief Unit tests for the FFT workload generator.
+#include <gtest/gtest.h>
+
+#include "wl/fft.hpp"
+#include "wl/video.hpp"
+
+namespace prime::wl {
+namespace {
+
+TEST(FftTraceGenerator, Deterministic) {
+  const FftTraceGenerator g = FftTraceGenerator::paper_fft();
+  const WorkloadTrace a = g.generate(100, 5);
+  const WorkloadTrace b = g.generate(100, 5);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a.at(i).cycles, b.at(i).cycles);
+  }
+}
+
+TEST(FftTraceGenerator, LowVariability) {
+  // The paper's premise for Table II: FFT has the least workload variation.
+  const WorkloadTrace t = FftTraceGenerator::paper_fft().generate(2000, 3);
+  EXPECT_LT(t.cv(), 0.06);
+}
+
+TEST(FftTraceGenerator, LowerCvThanVideo) {
+  const WorkloadTrace fft = FftTraceGenerator::paper_fft().generate(2000, 3);
+  const WorkloadTrace vid =
+      VideoTraceGenerator::mpeg4_svga().generate(2000, 3);
+  EXPECT_LT(fft.cv(), vid.cv());
+}
+
+TEST(FftTraceGenerator, MeanNearConfigured) {
+  const FftTraceGenerator g = FftTraceGenerator::paper_fft();
+  const WorkloadTrace t = g.generate(2000, 9);
+  EXPECT_NEAR(t.mean_cycles() / g.params().mean_cycles, 1.0, 0.05);
+}
+
+TEST(FftTraceGenerator, AllFramesGeneric) {
+  const WorkloadTrace t = FftTraceGenerator::paper_fft().generate(100, 1);
+  for (const auto& f : t.frames()) EXPECT_EQ(f.kind, FrameKind::kGeneric);
+}
+
+TEST(FftTraceGenerator, OutliersBounded) {
+  FftParams p;
+  p.outlier_prob = 0.5;
+  p.outlier_scale = 1.2;
+  const FftTraceGenerator g(p);
+  const WorkloadTrace t = g.generate(1000, 21);
+  for (const auto& f : t.frames()) {
+    EXPECT_LT(static_cast<double>(f.cycles),
+              p.mean_cycles * p.outlier_scale * 1.3);
+  }
+}
+
+TEST(FftTraceGenerator, PositiveDemands) {
+  const WorkloadTrace t = FftTraceGenerator::paper_fft().generate(1000, 33);
+  for (const auto& f : t.frames()) EXPECT_GT(f.cycles, 0u);
+}
+
+}  // namespace
+}  // namespace prime::wl

@@ -1,0 +1,66 @@
+/// \file test_governor_simple.cpp
+/// \brief Unit tests for the static governors and the governor contract.
+#include <gtest/gtest.h>
+
+#include "gov/simple.hpp"
+#include "hw/opp.hpp"
+
+namespace prime::gov {
+namespace {
+
+DecisionContext make_ctx(const hw::OppTable& opps) {
+  DecisionContext ctx;
+  ctx.epoch = 0;
+  ctx.period = 0.040;
+  ctx.cores = 4;
+  ctx.opps = &opps;
+  return ctx;
+}
+
+TEST(PerformanceGovernor, AlwaysFastest) {
+  const hw::OppTable opps = hw::OppTable::odroid_xu3_a15();
+  PerformanceGovernor g;
+  EXPECT_EQ(g.decide(make_ctx(opps), std::nullopt), 18u);
+  EXPECT_EQ(g.name(), "performance");
+}
+
+TEST(PowersaveGovernor, AlwaysSlowest) {
+  const hw::OppTable opps = hw::OppTable::odroid_xu3_a15();
+  PowersaveGovernor g;
+  EXPECT_EQ(g.decide(make_ctx(opps), std::nullopt), 0u);
+  EXPECT_EQ(g.name(), "powersave");
+}
+
+TEST(UserspaceGovernor, HoldsPinnedIndex) {
+  const hw::OppTable opps = hw::OppTable::odroid_xu3_a15();
+  UserspaceGovernor g(7);
+  EXPECT_EQ(g.decide(make_ctx(opps), std::nullopt), 7u);
+  g.set_index(3);
+  EXPECT_EQ(g.decide(make_ctx(opps), std::nullopt), 3u);
+}
+
+TEST(UserspaceGovernor, ClampsOutOfRange) {
+  const hw::OppTable opps = hw::OppTable::odroid_xu3_a15();
+  UserspaceGovernor g(999);
+  EXPECT_EQ(g.decide(make_ctx(opps), std::nullopt), 18u);
+}
+
+TEST(Governor, DefaultOverheadIsSensorReadScale) {
+  PerformanceGovernor g;
+  EXPECT_GT(g.epoch_overhead(), 0.0);
+  EXPECT_LT(g.epoch_overhead(), common::ms(1.0));
+}
+
+TEST(EpochObservation, SlackRatio) {
+  EpochObservation o;
+  o.period = 0.040;
+  o.frame_time = 0.030;
+  EXPECT_NEAR(o.slack_ratio(), 0.25, 1e-12);
+  o.frame_time = 0.050;
+  EXPECT_NEAR(o.slack_ratio(), -0.25, 1e-12);
+  o.period = 0.0;
+  EXPECT_DOUBLE_EQ(o.slack_ratio(), 0.0);
+}
+
+}  // namespace
+}  // namespace prime::gov

@@ -1,0 +1,92 @@
+/// \file test_learning_transfer.cpp
+/// \brief Learning transfer across applications (the Shafik et al. TCAD'16
+///        lineage [12] the paper's framework is built on).
+///
+/// The RTM's Q-table is application-agnostic: states are (workload level,
+/// slack level), so knowledge learned on one application seeds another. The
+/// engine supports this via RunOptions::reset_governor = false; these tests
+/// verify that a warm-started governor (a) skips the exploration phase and
+/// (b) misses fewer deadlines early on the second application than a
+/// cold-started one. QTable CSV persistence additionally allows transfer
+/// across processes.
+#include <gtest/gtest.h>
+
+#include "rtm/manycore.hpp"
+#include "sim/experiment.hpp"
+
+namespace prime::sim {
+namespace {
+
+wl::Application make_app(const char* workload, std::uint64_t seed,
+                         const hw::Platform& platform) {
+  ExperimentSpec spec;
+  spec.workload = workload;
+  spec.fps = 25.0;
+  spec.frames = 600;
+  spec.seed = seed;
+  return make_application(spec, platform);
+}
+
+std::size_t early_misses(const RunResult& run, std::size_t window = 150) {
+  std::size_t misses = 0;
+  for (std::size_t i = 0; i < run.epochs.size() && i < window; ++i) {
+    if (!run.epochs[i].deadline_met) ++misses;
+  }
+  return misses;
+}
+
+TEST(LearningTransfer, WarmStartSkipsExploration) {
+  auto platform = hw::Platform::odroid_xu3_a15();
+  const wl::Application first = make_app("mpeg4", 1, *platform);
+  const wl::Application second = make_app("h264", 2, *platform);
+
+  rtm::ManycoreRtmGovernor governor;
+  (void)run_simulation(*platform, first, governor);
+  const std::size_t explorations_after_first = governor.exploration_count();
+  EXPECT_GT(explorations_after_first, 10u);
+
+  RunOptions keep;
+  keep.reset_governor = false;  // transfer the learned table and schedule
+  (void)run_simulation(*platform, second, governor, keep);
+  // Epsilon stayed at its floor: almost no new exploration on app two.
+  EXPECT_LT(governor.exploration_count() - explorations_after_first, 10u);
+}
+
+TEST(LearningTransfer, WarmStartMissesFewerEarlyDeadlines) {
+  auto platform = hw::Platform::odroid_xu3_a15();
+  const wl::Application first = make_app("mpeg4", 1, *platform);
+  const wl::Application second = make_app("h264", 2, *platform);
+
+  // Cold: fresh governor directly on the second application.
+  rtm::ManycoreRtmGovernor cold;
+  const RunResult cold_run = run_simulation(*platform, second, cold);
+
+  // Warm: learn on the first application, then move to the second.
+  rtm::ManycoreRtmGovernor warm;
+  (void)run_simulation(*platform, first, warm);
+  RunOptions keep;
+  keep.reset_governor = false;
+  const RunResult warm_run = run_simulation(*platform, second, warm, keep);
+
+  EXPECT_LT(early_misses(warm_run), early_misses(cold_run));
+}
+
+TEST(LearningTransfer, QTablePersistsAcrossProcessesViaCsv) {
+  auto platform = hw::Platform::odroid_xu3_a15();
+  const wl::Application app = make_app("mpeg4", 1, *platform);
+
+  rtm::ManycoreRtmGovernor trained;
+  (void)run_simulation(*platform, app, trained);
+  ASSERT_NE(trained.q_table(), nullptr);
+  const std::string csv = trained.q_table()->to_csv();
+
+  // "New process": a fresh table restored from the serialised knowledge.
+  rtm::QTable restored(trained.q_table()->states(),
+                       trained.q_table()->actions());
+  restored.load_csv(csv);
+  EXPECT_EQ(restored.greedy_policy(), trained.q_table()->greedy_policy());
+  EXPECT_EQ(restored.total_updates(), 0u);  // counters are fresh
+}
+
+}  // namespace
+}  // namespace prime::sim

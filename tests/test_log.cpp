@@ -1,0 +1,73 @@
+/// \file test_log.cpp
+/// \brief Unit tests for the leveled logger.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/log.hpp"
+
+namespace prime::common {
+namespace {
+
+/// RAII guard restoring logger state after each test.
+class LogGuard {
+ public:
+  LogGuard() : level_(Log::level()) {}
+  ~LogGuard() {
+    Log::set_level(level_);
+    Log::set_sink(nullptr);
+  }
+
+ private:
+  LogLevel level_;
+};
+
+TEST(Log, RespectsThreshold) {
+  LogGuard guard;
+  std::ostringstream sink;
+  Log::set_sink(&sink);
+  Log::set_level(LogLevel::kWarn);
+  log_info() << "should not appear";
+  log_warn() << "warn line";
+  log_error() << "error line";
+  const std::string out = sink.str();
+  EXPECT_EQ(out.find("should not appear"), std::string::npos);
+  EXPECT_NE(out.find("warn line"), std::string::npos);
+  EXPECT_NE(out.find("error line"), std::string::npos);
+}
+
+TEST(Log, OffSilencesEverything) {
+  LogGuard guard;
+  std::ostringstream sink;
+  Log::set_sink(&sink);
+  Log::set_level(LogLevel::kOff);
+  log_error() << "silent";
+  EXPECT_TRUE(sink.str().empty());
+}
+
+TEST(Log, StreamStyleComposesValues) {
+  LogGuard guard;
+  std::ostringstream sink;
+  Log::set_sink(&sink);
+  Log::set_level(LogLevel::kTrace);
+  log_debug() << "epoch " << 42 << " slack " << 0.5;
+  EXPECT_NE(sink.str().find("epoch 42 slack 0.5"), std::string::npos);
+}
+
+TEST(Log, LevelNames) {
+  EXPECT_STREQ(Log::level_name(LogLevel::kTrace), "TRACE");
+  EXPECT_STREQ(Log::level_name(LogLevel::kError), "ERROR");
+  EXPECT_STREQ(Log::level_name(LogLevel::kOff), "OFF");
+}
+
+TEST(Log, MessageIncludesLevelTag) {
+  LogGuard guard;
+  std::ostringstream sink;
+  Log::set_sink(&sink);
+  Log::set_level(LogLevel::kInfo);
+  log_info() << "tagged";
+  EXPECT_NE(sink.str().find("[INFO] tagged"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace prime::common

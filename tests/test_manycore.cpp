@@ -1,0 +1,140 @@
+/// \file test_manycore.cpp
+/// \brief Unit tests for the many-core RTM (Section II-D, eq. 7).
+#include <gtest/gtest.h>
+
+#include "rtm/manycore.hpp"
+
+namespace prime::rtm {
+namespace {
+
+gov::DecisionContext make_ctx(const hw::OppTable& opps, std::size_t epoch,
+                              std::size_t cores = 4) {
+  gov::DecisionContext ctx;
+  ctx.epoch = epoch;
+  ctx.period = 0.040;
+  ctx.cores = cores;
+  ctx.opps = &opps;
+  return ctx;
+}
+
+gov::EpochObservation make_obs(std::size_t epoch, std::size_t opp_index,
+                               std::vector<common::Cycles> cores) {
+  gov::EpochObservation o;
+  o.epoch = epoch;
+  o.period = 0.040;
+  o.frame_time = 0.030;
+  o.window = 0.040;
+  o.core_cycles = std::move(cores);
+  o.total_cycles = 0;
+  for (const auto c : o.core_cycles) o.total_cycles += c;
+  o.opp_index = opp_index;
+  o.deadline_met = true;
+  return o;
+}
+
+TEST(ManycoreRtm, MaintainsOnePredictorPerCore) {
+  const hw::OppTable opps = hw::OppTable::odroid_xu3_a15();
+  ManycoreRtmGovernor g;
+  std::optional<gov::EpochObservation> obs;
+  std::size_t idx = g.decide(make_ctx(opps, 0), obs);
+  obs = make_obs(0, idx, {10000000, 20000000, 30000000, 40000000});
+  (void)g.decide(make_ctx(opps, 1), obs);
+  ASSERT_EQ(g.core_predictors().size(), 4u);
+  EXPECT_EQ(g.core_predictors()[0].prediction(), 10000000u);
+  EXPECT_EQ(g.core_predictors()[3].prediction(), 40000000u);
+}
+
+TEST(ManycoreRtm, RoundRobinLearnerCore) {
+  const hw::OppTable opps = hw::OppTable::odroid_xu3_a15();
+  ManycoreRtmGovernor g;
+  std::optional<gov::EpochObservation> obs;
+  for (std::size_t i = 0; i < 8; ++i) {
+    const auto idx = g.decide(make_ctx(opps, i), obs);
+    obs = make_obs(i, idx, {10000000, 10000000, 10000000, 10000000});
+    if (i > 0) {
+      EXPECT_EQ(g.learner_core(), i % 4) << "epoch " << i;
+    }
+  }
+}
+
+TEST(ManycoreRtm, SharedTableSingleUpdatePerEpoch) {
+  const hw::OppTable opps = hw::OppTable::odroid_xu3_a15();
+  ManycoreRtmGovernor g;
+  std::optional<gov::EpochObservation> obs;
+  for (std::size_t i = 0; i < 12; ++i) {
+    const auto idx = g.decide(make_ctx(opps, i), obs);
+    obs = make_obs(i, idx, {10000000, 10000000, 10000000, 10000000});
+  }
+  // One shared-table update per epoch (not per core): epochs - 1.
+  EXPECT_EQ(g.q_table()->total_updates(), 11u);
+}
+
+TEST(ManycoreRtm, OverheadMatchesSingleUpdate) {
+  ManycoreRtmGovernor g;
+  const OverheadModel m;
+  // The paper's low-overhead claim: many-core control still costs one update.
+  EXPECT_NEAR(g.epoch_overhead(), m.epoch_overhead(1), 1e-12);
+}
+
+TEST(ManycoreRtm, NormalizedModeUsesEq7Share) {
+  const hw::OppTable opps = hw::OppTable::odroid_xu3_a15();
+  ManycoreRtmParams p;
+  p.mode = WorkloadStateMode::kNormalized;
+  ManycoreRtmGovernor g(p);
+  std::optional<gov::EpochObservation> obs;
+  std::size_t idx = g.decide(make_ctx(opps, 0), obs);
+  // Perfectly balanced: every core's share is 1/4 regardless of magnitude.
+  obs = make_obs(0, idx, {50000000, 50000000, 50000000, 50000000});
+  (void)g.decide(make_ctx(opps, 1), obs);
+  obs = make_obs(1, idx, {90000000, 90000000, 90000000, 90000000});
+  (void)g.decide(make_ctx(opps, 2), obs);
+  // No crash, predictors track per-core magnitudes.
+  EXPECT_GT(g.core_predictors()[0].prediction(), 50000000u);
+}
+
+TEST(ManycoreRtm, DeterministicForSeed) {
+  const hw::OppTable opps = hw::OppTable::odroid_xu3_a15();
+  ManycoreRtmParams p;
+  p.base.seed = 31337;
+  ManycoreRtmGovernor a(p);
+  ManycoreRtmGovernor b(p);
+  std::optional<gov::EpochObservation> oa;
+  std::optional<gov::EpochObservation> ob;
+  for (std::size_t i = 0; i < 60; ++i) {
+    const auto ia = a.decide(make_ctx(opps, i), oa);
+    const auto ib = b.decide(make_ctx(opps, i), ob);
+    ASSERT_EQ(ia, ib);
+    oa = make_obs(i, ia, {30000000, 31000000, 29000000, 30000000});
+    ob = make_obs(i, ib, {30000000, 31000000, 29000000, 30000000});
+  }
+}
+
+TEST(ManycoreRtm, ResetClearsPredictors) {
+  const hw::OppTable opps = hw::OppTable::odroid_xu3_a15();
+  ManycoreRtmGovernor g;
+  std::optional<gov::EpochObservation> obs;
+  std::size_t idx = g.decide(make_ctx(opps, 0), obs);
+  obs = make_obs(0, idx, {10000000, 10000000, 10000000, 10000000});
+  (void)g.decide(make_ctx(opps, 1), obs);
+  g.reset();
+  EXPECT_TRUE(g.core_predictors().empty());
+  EXPECT_EQ(g.learner_core(), 0u);
+}
+
+TEST(ManycoreRtm, AdaptsToDifferentCoreCounts) {
+  const hw::OppTable opps = hw::OppTable::odroid_xu3_a15();
+  ManycoreRtmGovernor g;
+  std::optional<gov::EpochObservation> obs;
+  std::size_t idx = g.decide(make_ctx(opps, 0, 2), obs);
+  obs = make_obs(0, idx, {10000000, 10000000});
+  (void)g.decide(make_ctx(opps, 1, 2), obs);
+  EXPECT_EQ(g.core_predictors().size(), 2u);
+}
+
+TEST(ManycoreRtm, NameDistinguishesManycore) {
+  ManycoreRtmGovernor g;
+  EXPECT_EQ(g.name(), "rtm-manycore");
+}
+
+}  // namespace
+}  // namespace prime::rtm

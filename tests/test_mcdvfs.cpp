@@ -1,0 +1,125 @@
+/// \file test_mcdvfs.cpp
+/// \brief Unit tests for the multi-core DVFS control baseline [20].
+#include <gtest/gtest.h>
+
+#include "gov/mcdvfs.hpp"
+
+namespace prime::gov {
+namespace {
+
+DecisionContext make_ctx(const hw::OppTable& opps) {
+  DecisionContext ctx;
+  ctx.period = 0.040;
+  ctx.cores = 4;
+  ctx.opps = &opps;
+  return ctx;
+}
+
+EpochObservation make_obs(const hw::OppTable& opps, std::size_t opp_index,
+                          double per_core_load, bool met = true) {
+  EpochObservation o;
+  o.period = 0.040;
+  o.window = 0.040;
+  o.frame_time = met ? 0.03 : 0.05;
+  o.opp_index = opp_index;
+  const common::Cycles c =
+      common::cycles_at(opps.at(opp_index).frequency, per_core_load * 0.040);
+  o.core_cycles = {c, c, c, c};
+  o.total_cycles = 4 * c;
+  o.deadline_met = met;
+  return o;
+}
+
+TEST(Mcdvfs, FirstDecisionIsValidIndex) {
+  const hw::OppTable opps = hw::OppTable::odroid_xu3_a15();
+  MulticoreDvfsGovernor g;
+  const auto idx = g.decide(make_ctx(opps), std::nullopt);
+  EXPECT_LT(idx, opps.size());
+}
+
+TEST(Mcdvfs, DeterministicForSeed) {
+  const hw::OppTable opps = hw::OppTable::odroid_xu3_a15();
+  McdvfsParams p;
+  p.seed = 99;
+  MulticoreDvfsGovernor a(p);
+  MulticoreDvfsGovernor b(p);
+  auto ctx = make_ctx(opps);
+  auto oa = std::optional<EpochObservation>{};
+  auto ob = std::optional<EpochObservation>{};
+  for (int i = 0; i < 50; ++i) {
+    const auto ia = a.decide(ctx, oa);
+    const auto ib = b.decide(ctx, ob);
+    ASSERT_EQ(ia, ib);
+    oa = make_obs(opps, ia, 0.5);
+    ob = make_obs(opps, ib, 0.5);
+  }
+}
+
+TEST(Mcdvfs, EpsilonDecaysToFloorAndRecordsConvergence) {
+  const hw::OppTable opps = hw::OppTable::odroid_xu3_a15();
+  MulticoreDvfsGovernor g;
+  auto ctx = make_ctx(opps);
+  std::optional<EpochObservation> obs;
+  for (int i = 0; i < 400; ++i) {
+    const auto idx = g.decide(ctx, obs);
+    obs = make_obs(opps, idx, 0.5);
+  }
+  EXPECT_NEAR(g.epsilon(), 0.01, 1e-9);
+  EXPECT_GT(g.learning_complete_epoch(), 0u);
+  // Geometric decay 0.978 from 1.0 to 0.01: ~207 epochs (Table III's 205).
+  EXPECT_NEAR(static_cast<double>(g.learning_complete_epoch()), 207.0, 5.0);
+}
+
+TEST(Mcdvfs, MissesDriveFrequencyUp) {
+  const hw::OppTable opps = hw::OppTable::odroid_xu3_a15();
+  McdvfsParams p;
+  p.epsilon0 = 0.0;  // pure greedy so learning shows through directly
+  p.epsilon_min = 0.0;
+  MulticoreDvfsGovernor g(p);
+  auto ctx = make_ctx(opps);
+  std::optional<EpochObservation> obs;
+  std::size_t idx = g.decide(ctx, obs);
+  // Persistent misses at high utilisation: chosen actions accumulate penalty
+  // until the policy climbs.
+  const std::size_t start = idx;
+  for (int i = 0; i < 60; ++i) {
+    obs = make_obs(opps, idx, 1.0, /*met=*/false);
+    idx = g.decide(ctx, obs);
+  }
+  EXPECT_GT(idx, start);
+}
+
+TEST(Mcdvfs, PerCoreOverheadScalesWithCores) {
+  const hw::OppTable opps = hw::OppTable::odroid_xu3_a15();
+  MulticoreDvfsGovernor g;
+  (void)g.decide(make_ctx(opps), std::nullopt);
+  // 4 cores: sensor read + 4 per-core updates; must exceed a single-update
+  // governor's cost (the Table III overhead asymmetry).
+  EXPECT_GT(g.epoch_overhead(), common::us(40.0));
+}
+
+TEST(Mcdvfs, GreedyPolicyCoversAllCoreTables) {
+  const hw::OppTable opps = hw::OppTable::odroid_xu3_a15();
+  McdvfsParams p;
+  MulticoreDvfsGovernor g(p);
+  (void)g.decide(make_ctx(opps), std::nullopt);
+  EXPECT_EQ(g.greedy_policy().size(), 4u * p.util_levels);
+}
+
+TEST(Mcdvfs, ResetRestoresExploration) {
+  const hw::OppTable opps = hw::OppTable::odroid_xu3_a15();
+  MulticoreDvfsGovernor g;
+  auto ctx = make_ctx(opps);
+  std::optional<EpochObservation> obs;
+  for (int i = 0; i < 300; ++i) {
+    const auto idx = g.decide(ctx, obs);
+    obs = make_obs(opps, idx, 0.5);
+  }
+  g.reset();
+  EXPECT_DOUBLE_EQ(g.epsilon(), 1.0);
+  EXPECT_EQ(g.learning_complete_epoch(), 0u);
+  EXPECT_EQ(g.exploration_epochs(), 0u);
+}
+
+}  // namespace
+}  // namespace prime::gov

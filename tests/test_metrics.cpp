@@ -1,0 +1,91 @@
+/// \file test_metrics.cpp
+/// \brief Unit tests for normalised metrics and misprediction summaries.
+#include <gtest/gtest.h>
+
+#include "sim/metrics.hpp"
+
+namespace prime::sim {
+namespace {
+
+RunResult make_run(double energy, std::vector<double> frame_times,
+                   double period = 0.040) {
+  RunResult r;
+  r.governor = "test";
+  r.total_energy = energy;
+  for (std::size_t i = 0; i < frame_times.size(); ++i) {
+    EpochRecord e;
+    e.epoch = i;
+    e.period = period;
+    e.frame_time = frame_times[i];
+    e.window = std::max(period, frame_times[i]);
+    e.sensor_power = 2.0;
+    e.slack = (period - frame_times[i]) / period;
+    e.deadline_met = frame_times[i] <= period;
+    if (!e.deadline_met) ++r.deadline_misses;
+    r.epochs.push_back(e);
+  }
+  return r;
+}
+
+TEST(NormalizeAgainst, EnergyRatio) {
+  const RunResult run = make_run(120.0, {0.030, 0.030});
+  const RunResult oracle = make_run(100.0, {0.038, 0.038});
+  const NormalizedMetrics m = normalize_against(run, oracle);
+  EXPECT_NEAR(m.normalized_energy, 1.2, 1e-12);
+  EXPECT_NEAR(m.normalized_performance, 0.75, 1e-12);
+  EXPECT_DOUBLE_EQ(m.miss_rate, 0.0);
+  EXPECT_DOUBLE_EQ(m.mean_power, 2.0);
+}
+
+TEST(NormalizeAgainst, ZeroOracleEnergyGuarded) {
+  const RunResult run = make_run(120.0, {0.030});
+  const RunResult oracle = make_run(0.0, {0.038});
+  EXPECT_DOUBLE_EQ(normalize_against(run, oracle).normalized_energy, 0.0);
+}
+
+TEST(NormalizeAgainst, MissRateCounted) {
+  const RunResult run = make_run(1.0, {0.030, 0.050, 0.045, 0.035});
+  const RunResult oracle = make_run(1.0, {0.038});
+  EXPECT_DOUBLE_EQ(normalize_against(run, oracle).miss_rate, 0.5);
+}
+
+TEST(SummarizeMisprediction, WindowedAverages) {
+  // 4 frames: errors 10 %, 10 %, 2 %, 2 %; split at 2.
+  const std::vector<double> actual{100.0, 100.0, 100.0, 100.0};
+  const std::vector<double> pred{110.0, 90.0, 102.0, 98.0};
+  const MispredictionSummary s = summarize_misprediction(actual, pred, 2);
+  EXPECT_NEAR(s.early_avg, 0.10, 1e-12);
+  EXPECT_NEAR(s.late_avg, 0.02, 1e-12);
+  EXPECT_NEAR(s.overall_avg, 0.06, 1e-12);
+  EXPECT_NEAR(s.peak, 0.10, 1e-12);
+}
+
+TEST(SummarizeMisprediction, SkipsZeroActuals) {
+  const MispredictionSummary s =
+      summarize_misprediction({0.0, 100.0}, {50.0, 110.0}, 1);
+  EXPECT_DOUBLE_EQ(s.early_avg, 0.0);
+  EXPECT_NEAR(s.late_avg, 0.10, 1e-12);
+}
+
+TEST(SummarizeMisprediction, EmptyInputs) {
+  const MispredictionSummary s = summarize_misprediction({}, {}, 10);
+  EXPECT_DOUBLE_EQ(s.overall_avg, 0.0);
+  EXPECT_DOUBLE_EQ(s.peak, 0.0);
+}
+
+TEST(ExtractSeries, AlignedColumns) {
+  RunResult r = make_run(10.0, {0.030, 0.020});
+  r.epochs[0].demand = 1000;
+  r.epochs[0].frequency = common::mhz(800.0);
+  r.epochs[0].energy = 0.5;
+  const RunSeries s = extract_series(r);
+  ASSERT_EQ(s.frame.size(), 2u);
+  EXPECT_DOUBLE_EQ(s.frame[0], 0.0);
+  EXPECT_DOUBLE_EQ(s.demand[0], 1000.0);
+  EXPECT_DOUBLE_EQ(s.frequency_mhz[0], 800.0);
+  EXPECT_DOUBLE_EQ(s.energy_mj[0], 500.0);
+  EXPECT_NEAR(s.slack[0], 0.25, 1e-12);
+}
+
+}  // namespace
+}  // namespace prime::sim

@@ -1,0 +1,150 @@
+/// \file test_multiapp.cpp
+/// \brief Tests for concurrent multi-application execution (future work).
+#include <gtest/gtest.h>
+
+#include "sim/experiment.hpp"
+#include "sim/multiapp.hpp"
+
+namespace prime::sim {
+namespace {
+
+wl::Application make_app(const char* workload, double fps, std::size_t frames,
+                         std::uint64_t seed, const hw::Platform& platform,
+                         double utilisation = 0.20) {
+  ExperimentSpec spec;
+  spec.workload = workload;
+  spec.fps = fps;
+  spec.frames = frames;
+  spec.seed = seed;
+  spec.threads = 2;  // each app gets a 2-core partition
+  spec.target_utilisation = utilisation;
+  return make_application(spec, platform);
+}
+
+TEST(MultiApp, ValidatesInputs) {
+  auto platform = hw::Platform::odroid_xu3_a15();
+  const wl::Application a = make_app("mpeg4", 25.0, 50, 1, *platform);
+  const wl::Application b = make_app("fft", 25.0, 50, 2, *platform);
+
+  std::vector<std::unique_ptr<gov::Governor>> governors;
+  governors.push_back(make_governor("rtm"));
+
+  // No placements.
+  EXPECT_THROW(run_multi_simulation(*platform, {}, governors),
+               std::invalid_argument);
+  // Governor count mismatch.
+  std::vector<AppPlacement> two = {{&a, {0, 1}}, {&b, {2, 3}}};
+  EXPECT_THROW(run_multi_simulation(*platform, two, governors),
+               std::invalid_argument);
+  governors.push_back(make_governor("rtm"));
+  // Overlapping cores.
+  std::vector<AppPlacement> overlap = {{&a, {0, 1}}, {&b, {1, 2}}};
+  EXPECT_THROW(run_multi_simulation(*platform, overlap, governors),
+               std::invalid_argument);
+  // Core out of range.
+  std::vector<AppPlacement> oob = {{&a, {0, 1}}, {&b, {2, 9}}};
+  EXPECT_THROW(run_multi_simulation(*platform, oob, governors),
+               std::invalid_argument);
+}
+
+TEST(MultiApp, MismatchedRatesRejected) {
+  auto platform = hw::Platform::odroid_xu3_a15();
+  const wl::Application a = make_app("mpeg4", 25.0, 50, 1, *platform);
+  const wl::Application b = make_app("fft", 30.0, 50, 2, *platform);
+  std::vector<std::unique_ptr<gov::Governor>> governors;
+  governors.push_back(make_governor("rtm"));
+  governors.push_back(make_governor("rtm"));
+  std::vector<AppPlacement> placements = {{&a, {0, 1}}, {&b, {2, 3}}};
+  EXPECT_THROW(run_multi_simulation(*platform, placements, governors),
+               std::invalid_argument);
+}
+
+TEST(MultiApp, TwoAppsRunToCompletion) {
+  auto platform = hw::Platform::odroid_xu3_a15();
+  const wl::Application a = make_app("mpeg4", 25.0, 300, 1, *platform);
+  const wl::Application b = make_app("fft", 25.0, 300, 2, *platform);
+  std::vector<std::unique_ptr<gov::Governor>> governors;
+  governors.push_back(make_governor("rtm", 11));
+  governors.push_back(make_governor("rtm", 22));
+  std::vector<AppPlacement> placements = {{&a, {0, 1}}, {&b, {2, 3}}};
+
+  const MultiAppResult r =
+      run_multi_simulation(*platform, placements, governors);
+  ASSERT_EQ(r.per_app.size(), 2u);
+  EXPECT_EQ(r.per_app[0].epochs.size(), 300u);
+  EXPECT_EQ(r.per_app[1].epochs.size(), 300u);
+  EXPECT_GT(r.total_energy, 0.0);
+  // Per-app energy attribution sums to the cluster total.
+  EXPECT_NEAR(r.per_app[0].total_energy + r.per_app[1].total_energy,
+              r.total_energy, r.total_energy * 1e-6);
+}
+
+TEST(MultiApp, BothAppsHoldTheirRequirements) {
+  auto platform = hw::Platform::odroid_xu3_a15();
+  const wl::Application a = make_app("mpeg4", 25.0, 500, 1, *platform);
+  const wl::Application b = make_app("fft", 25.0, 500, 2, *platform);
+  std::vector<std::unique_ptr<gov::Governor>> governors;
+  governors.push_back(make_governor("rtm", 11));
+  governors.push_back(make_governor("rtm", 22));
+  std::vector<AppPlacement> placements = {{&a, {0, 1}}, {&b, {2, 3}}};
+
+  const MultiAppResult r =
+      run_multi_simulation(*platform, placements, governors);
+  for (const auto& app_run : r.per_app) {
+    EXPECT_LT(app_run.miss_rate(), 0.35) << app_run.application;
+  }
+}
+
+TEST(MultiApp, SharedRailDragsLightApp) {
+  // A heavy and a light app: the light one's requests get overridden by the
+  // max arbitration some of the time, and it over-performs as a result.
+  auto platform = hw::Platform::odroid_xu3_a15();
+  const wl::Application heavy =
+      make_app("h264", 25.0, 400, 1, *platform, 0.30);
+  const wl::Application light = make_app("fft", 25.0, 400, 2, *platform, 0.05);
+  std::vector<std::unique_ptr<gov::Governor>> governors;
+  governors.push_back(make_governor("rtm", 11));
+  governors.push_back(make_governor("rtm", 22));
+  std::vector<AppPlacement> placements = {{&heavy, {0, 1}}, {&light, {2, 3}}};
+
+  const MultiAppResult r =
+      run_multi_simulation(*platform, placements, governors);
+  EXPECT_GT(r.overridden_epochs[1], r.overridden_epochs[0]);
+  // The light app finishes far ahead of its deadline (dragged fast).
+  EXPECT_LT(r.per_app[1].mean_normalized_performance(),
+            r.per_app[0].mean_normalized_performance());
+}
+
+TEST(MultiApp, Deterministic) {
+  auto platform = hw::Platform::odroid_xu3_a15();
+  const wl::Application a = make_app("mpeg4", 25.0, 200, 1, *platform);
+  const wl::Application b = make_app("fft", 25.0, 200, 2, *platform);
+  std::vector<AppPlacement> placements = {{&a, {0, 1}}, {&b, {2, 3}}};
+
+  auto run_once = [&] {
+    std::vector<std::unique_ptr<gov::Governor>> governors;
+    governors.push_back(make_governor("rtm", 11));
+    governors.push_back(make_governor("rtm", 22));
+    return run_multi_simulation(*platform, placements, governors);
+  };
+  const MultiAppResult r1 = run_once();
+  const MultiAppResult r2 = run_once();
+  EXPECT_DOUBLE_EQ(r1.total_energy, r2.total_energy);
+  EXPECT_EQ(r1.per_app[0].deadline_misses, r2.per_app[0].deadline_misses);
+}
+
+TEST(MultiApp, MaxFramesHonoured) {
+  auto platform = hw::Platform::odroid_xu3_a15();
+  const wl::Application a = make_app("mpeg4", 25.0, 200, 1, *platform);
+  const wl::Application b = make_app("fft", 25.0, 200, 2, *platform);
+  std::vector<std::unique_ptr<gov::Governor>> governors;
+  governors.push_back(make_governor("rtm", 11));
+  governors.push_back(make_governor("rtm", 22));
+  std::vector<AppPlacement> placements = {{&a, {0, 1}}, {&b, {2, 3}}};
+  const MultiAppResult r =
+      run_multi_simulation(*platform, placements, governors, 50);
+  EXPECT_EQ(r.per_app[0].epochs.size(), 50u);
+}
+
+}  // namespace
+}  // namespace prime::sim

@@ -1,0 +1,120 @@
+/// \file test_opp.cpp
+/// \brief Unit tests for OPP tables (the RL action space).
+#include <gtest/gtest.h>
+
+#include "hw/opp.hpp"
+
+namespace prime::hw {
+namespace {
+
+using common::mhz;
+
+TEST(OppTable, OdroidXu3HasPaperActionSpace) {
+  const OppTable t = OppTable::odroid_xu3_a15();
+  EXPECT_EQ(t.size(), 19u);  // |A| in the paper
+  EXPECT_DOUBLE_EQ(t.min().frequency, mhz(200.0));
+  EXPECT_DOUBLE_EQ(t.max().frequency, mhz(2000.0));
+  // 100 MHz steps throughout.
+  for (std::size_t i = 1; i < t.size(); ++i) {
+    EXPECT_NEAR(t.at(i).frequency - t.at(i - 1).frequency, mhz(100.0), 1.0);
+  }
+}
+
+TEST(OppTable, Xu3VoltageCurveEndpoints) {
+  const OppTable t = OppTable::odroid_xu3_a15();
+  EXPECT_NEAR(t.min().voltage, 0.9000, 1e-9);
+  EXPECT_NEAR(t.max().voltage, 1.3625, 1e-9);
+  // Voltage must rise monotonically with frequency.
+  for (std::size_t i = 1; i < t.size(); ++i) {
+    EXPECT_GT(t.at(i).voltage, t.at(i - 1).voltage);
+  }
+}
+
+TEST(OppTable, ConstructorSortsAndReindexes) {
+  const OppTable t({Opp{0, mhz(800.0), 1.0}, Opp{0, mhz(200.0), 0.9},
+                    Opp{0, mhz(1400.0), 1.1}});
+  EXPECT_DOUBLE_EQ(t.at(0).frequency, mhz(200.0));
+  EXPECT_DOUBLE_EQ(t.at(2).frequency, mhz(1400.0));
+  EXPECT_EQ(t.at(1).index, 1u);
+}
+
+TEST(OppTable, RejectsInvalidPoints) {
+  EXPECT_THROW(OppTable({}), std::invalid_argument);
+  EXPECT_THROW(OppTable({Opp{0, 0.0, 1.0}}), std::invalid_argument);
+  EXPECT_THROW(OppTable({Opp{0, mhz(100.0), -1.0}}), std::invalid_argument);
+}
+
+TEST(OppTable, LowestAtLeastIsOracleLookup) {
+  const OppTable t = OppTable::odroid_xu3_a15();
+  EXPECT_EQ(t.lowest_at_least(mhz(1.0)), 0u);
+  EXPECT_EQ(t.lowest_at_least(mhz(200.0)), 0u);
+  EXPECT_EQ(t.lowest_at_least(mhz(201.0)), 1u);
+  EXPECT_EQ(t.lowest_at_least(mhz(1999.0)), 18u);
+  // Infeasible demand clamps to the fastest point.
+  EXPECT_EQ(t.lowest_at_least(mhz(5000.0)), 18u);
+}
+
+TEST(OppTable, HighestAtMost) {
+  const OppTable t = OppTable::odroid_xu3_a15();
+  EXPECT_EQ(t.highest_at_most(mhz(1999.0)), 17u);
+  EXPECT_EQ(t.highest_at_most(mhz(2000.0)), 18u);
+  EXPECT_EQ(t.highest_at_most(mhz(100.0)), 0u);  // none qualifies -> slowest
+}
+
+TEST(OppTable, Nearest) {
+  const OppTable t = OppTable::odroid_xu3_a15();
+  EXPECT_EQ(t.nearest(mhz(1049.0)), 8u);   // 1000 MHz
+  EXPECT_EQ(t.nearest(mhz(1051.0)), 9u);   // 1100 MHz
+  EXPECT_EQ(t.nearest(mhz(0.0)), 0u);
+  EXPECT_EQ(t.nearest(mhz(9999.0)), 18u);
+}
+
+TEST(OppTable, ClampIndex) {
+  const OppTable t = OppTable::odroid_xu3_a15();
+  EXPECT_EQ(t.clamp_index(-5), 0u);
+  EXPECT_EQ(t.clamp_index(7), 7u);
+  EXPECT_EQ(t.clamp_index(99), 18u);
+}
+
+TEST(OppTable, LinearFactory) {
+  const OppTable t = OppTable::linear(5, mhz(100.0), mhz(500.0), 0.8, 1.2);
+  EXPECT_EQ(t.size(), 5u);
+  EXPECT_DOUBLE_EQ(t.at(0).frequency, mhz(100.0));
+  EXPECT_DOUBLE_EQ(t.at(4).frequency, mhz(500.0));
+  EXPECT_NEAR(t.at(2).voltage, 1.0, 1e-12);
+  EXPECT_THROW(OppTable::linear(0, mhz(1.0), mhz(2.0), 1.0, 1.0),
+               std::invalid_argument);
+}
+
+TEST(OppTable, SinglePointLinear) {
+  const OppTable t = OppTable::linear(1, mhz(600.0), mhz(600.0), 1.0, 1.0);
+  EXPECT_EQ(t.size(), 1u);
+  EXPECT_EQ(t.lowest_at_least(mhz(900.0)), 0u);
+}
+
+TEST(OppTable, DescribeMentionsRange) {
+  const std::string d = OppTable::odroid_xu3_a15().describe();
+  EXPECT_NE(d.find("19"), std::string::npos);
+  EXPECT_NE(d.find("200"), std::string::npos);
+  EXPECT_NE(d.find("2000"), std::string::npos);
+}
+
+/// Property: for every target frequency, lowest_at_least returns a point that
+/// meets the target (or the max), and nothing slower would.
+class OppLookupSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(OppLookupSweep, LowestAtLeastIsTight) {
+  const OppTable t = OppTable::odroid_xu3_a15();
+  const common::Hertz target = mhz(GetParam());
+  const std::size_t idx = t.lowest_at_least(target);
+  if (t.at(idx).frequency >= target && idx > 0) {
+    EXPECT_LT(t.at(idx - 1).frequency, target);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Targets, OppLookupSweep,
+                         ::testing::Values(150.0, 200.0, 250.0, 999.0, 1000.0,
+                                           1001.0, 1950.0, 2000.0, 2100.0));
+
+}  // namespace
+}  // namespace prime::hw

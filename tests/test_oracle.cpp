@@ -1,0 +1,123 @@
+/// \file test_oracle.cpp
+/// \brief Unit tests for the clairvoyant Oracle governor.
+#include <gtest/gtest.h>
+
+#include "gov/oracle.hpp"
+
+namespace prime::gov {
+namespace {
+
+DecisionContext make_ctx(const hw::OppTable& opps, double period = 0.040) {
+  DecisionContext ctx;
+  ctx.period = period;
+  ctx.cores = 4;
+  ctx.opps = &opps;
+  return ctx;
+}
+
+TEST(Oracle, PicksLowestFeasibleFrequency) {
+  const hw::OppTable opps = hw::OppTable::odroid_xu3_a15();
+  OracleParams p;
+  p.guard_band = 0.0;
+  OracleGovernor g(p);
+  // 36 Mcycles on the critical core in 40 ms -> needs >= 900 MHz.
+  g.preview_next_frame({36000000, 144000000, 0.0, 1.0e9});
+  EXPECT_EQ(g.decide(make_ctx(opps), std::nullopt),
+            opps.lowest_at_least(36000000.0 / 0.040));
+}
+
+TEST(Oracle, GuardBandRaisesChoice) {
+  const hw::OppTable opps = hw::OppTable::odroid_xu3_a15();
+  OracleParams loose;
+  loose.guard_band = 0.0;
+  OracleParams tight;
+  tight.guard_band = 0.15;
+  OracleGovernor a(loose);
+  OracleGovernor b(tight);
+  // Demand right at a 1000 MHz boundary.
+  a.preview_next_frame({40000000, 160000000, 0.0, 1.0e9});
+  b.preview_next_frame({40000000, 160000000, 0.0, 1.0e9});
+  const auto ia = a.decide(make_ctx(opps), std::nullopt);
+  const auto ib = b.decide(make_ctx(opps), std::nullopt);
+  EXPECT_GT(ib, ia);
+}
+
+TEST(Oracle, InfeasibleDemandUsesFastest) {
+  const hw::OppTable opps = hw::OppTable::odroid_xu3_a15();
+  OracleGovernor g;
+  g.preview_next_frame({1000000000, 4000000000, 0.0, 1.0e9});  // 1 Gcycle in 40 ms
+  EXPECT_EQ(g.decide(make_ctx(opps), std::nullopt), 18u);
+}
+
+TEST(Oracle, WithoutPreviewDefaultsToFastest) {
+  const hw::OppTable opps = hw::OppTable::odroid_xu3_a15();
+  OracleGovernor g;
+  EXPECT_EQ(g.decide(make_ctx(opps), std::nullopt), 18u);
+}
+
+TEST(Oracle, PreviewConsumedAfterDecision) {
+  const hw::OppTable opps = hw::OppTable::odroid_xu3_a15();
+  OracleParams p;
+  p.guard_band = 0.0;
+  OracleGovernor g(p);
+  g.preview_next_frame({1000000, 4000000, 0.0, 1.0e9});  // trivially light
+  const auto first = g.decide(make_ctx(opps), std::nullopt);
+  EXPECT_EQ(first, 0u);
+  // No new preview: falls back to fastest (failsafe).
+  EXPECT_EQ(g.decide(make_ctx(opps), std::nullopt), 18u);
+}
+
+TEST(Oracle, ScalesWithPeriod) {
+  const hw::OppTable opps = hw::OppTable::odroid_xu3_a15();
+  OracleParams p;
+  p.guard_band = 0.0;
+  OracleGovernor g(p);
+  g.preview_next_frame({36000000, 144000000, 0.0, 1.0e9});
+  const auto at40 = g.decide(make_ctx(opps, 0.040), std::nullopt);
+  g.preview_next_frame({36000000, 144000000, 0.0, 1.0e9});
+  const auto at20 = g.decide(make_ctx(opps, 0.020), std::nullopt);
+  EXPECT_GT(at20, at40);  // shorter deadline needs a faster OPP
+}
+
+TEST(Oracle, NoLearningOverhead) {
+  OracleGovernor g;
+  EXPECT_DOUBLE_EQ(g.epoch_overhead(), 0.0);
+}
+
+TEST(Oracle, ResetClearsPreview) {
+  const hw::OppTable opps = hw::OppTable::odroid_xu3_a15();
+  OracleGovernor g;
+  g.preview_next_frame({1000000, 4000000, 0.0, 1.0e9});
+  g.reset();
+  EXPECT_EQ(g.decide(make_ctx(opps), std::nullopt), 18u);
+}
+
+/// Property: the Oracle's choice always meets the deadline when feasible, and
+/// the next-lower OPP would not.
+class OracleDemandSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(OracleDemandSweep, ChoiceIsTightlyOptimal) {
+  const hw::OppTable opps = hw::OppTable::odroid_xu3_a15();
+  OracleParams p;
+  p.guard_band = 0.0;
+  OracleGovernor g(p);
+  const double period = 0.040;
+  const auto demand = static_cast<common::Cycles>(GetParam() * 1.0e6);
+  g.preview_next_frame({demand, demand * 4, 0.0, 1.0e9});
+  const std::size_t idx = g.decide(make_ctx(opps, period), std::nullopt);
+  const double t_at = common::time_for(demand, opps.at(idx).frequency);
+  if (t_at <= period) {
+    if (idx > 0) {
+      EXPECT_GT(common::time_for(demand, opps.at(idx - 1).frequency), period);
+    }
+  } else {
+    EXPECT_EQ(idx, opps.size() - 1);  // infeasible -> fastest
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Demands, OracleDemandSweep,
+                         ::testing::Values(1.0, 8.0, 20.0, 36.0, 44.0, 60.0,
+                                           79.9, 80.1, 120.0));
+
+}  // namespace
+}  // namespace prime::gov

@@ -1,0 +1,46 @@
+/// \file test_overhead.cpp
+/// \brief Unit tests for the learning-overhead model (T_OVH).
+#include <gtest/gtest.h>
+
+#include "rtm/overhead.hpp"
+
+namespace prime::rtm {
+namespace {
+
+TEST(OverheadModel, SingleUpdateTotalsComponents) {
+  OverheadParams p;
+  p.sensor_read = common::us(2.0);
+  p.state_mapping = common::us(3.0);
+  p.q_update = common::us(8.0);
+  p.action_select = common::us(7.0);
+  const OverheadModel m(p);
+  EXPECT_NEAR(m.epoch_overhead(1), common::us(20.0), 1e-15);
+}
+
+TEST(OverheadModel, PerCoreUpdatesScaleLinearly) {
+  const OverheadModel m;
+  const double one = m.epoch_overhead(1);
+  const double four = m.epoch_overhead(4);
+  EXPECT_NEAR(four - one, 3.0 * m.params().q_update, 1e-15);
+}
+
+TEST(OverheadModel, SharedTableCheaperThanPerCore) {
+  // The paper's many-core argument: one shared-table update per epoch beats
+  // one update per core.
+  const OverheadModel m;
+  EXPECT_LT(m.epoch_overhead(1), m.epoch_overhead(4));
+}
+
+TEST(OverheadModel, ZeroUpdatesStillPaysSensing) {
+  const OverheadModel m;
+  EXPECT_GT(m.epoch_overhead(0), 0.0);
+}
+
+TEST(OverheadModel, DefaultsAreMicrosecondScale) {
+  const OverheadModel m;
+  EXPECT_LT(m.epoch_overhead(1), common::ms(0.1));
+  EXPECT_GT(m.epoch_overhead(1), common::us(5.0));
+}
+
+}  // namespace
+}  // namespace prime::rtm

@@ -1,0 +1,76 @@
+/// \file test_pmu.cpp
+/// \brief Unit tests for the PMU emulation (interval counter reads).
+#include <gtest/gtest.h>
+
+#include "hw/pmu.hpp"
+
+namespace prime::hw {
+namespace {
+
+TEST(Pmu, CountersStartAtZero) {
+  const Pmu pmu;
+  const PmuSnapshot s = pmu.snapshot();
+  EXPECT_EQ(s.cycles, 0u);
+  EXPECT_EQ(s.instructions, 0u);
+  EXPECT_DOUBLE_EQ(s.busy_time, 0.0);
+  EXPECT_DOUBLE_EQ(s.idle_time, 0.0);
+}
+
+TEST(Pmu, RecordActiveAccumulates) {
+  Pmu pmu;
+  pmu.record_active(1000, 0.001);
+  pmu.record_active(500, 0.0005);
+  const PmuSnapshot s = pmu.snapshot();
+  EXPECT_EQ(s.cycles, 1500u);
+  EXPECT_DOUBLE_EQ(s.busy_time, 0.0015);
+}
+
+TEST(Pmu, InstructionsFollowIpc) {
+  Pmu pmu;
+  pmu.record_active(1000, 0.001, 2.0);
+  EXPECT_EQ(pmu.snapshot().instructions, 2000u);
+}
+
+TEST(Pmu, DeltaSinceSnapshot) {
+  Pmu pmu;
+  pmu.record_active(1000, 0.01);
+  const PmuSnapshot mark = pmu.snapshot();
+  pmu.record_active(250, 0.0025);
+  pmu.record_idle(0.0075);
+  const PmuDelta d = pmu.delta_since(mark);
+  EXPECT_EQ(d.cycles, 250u);
+  EXPECT_DOUBLE_EQ(d.busy_time, 0.0025);
+  EXPECT_DOUBLE_EQ(d.idle_time, 0.0075);
+}
+
+TEST(Pmu, UtilisationFromDelta) {
+  Pmu pmu;
+  const PmuSnapshot mark = pmu.snapshot();
+  pmu.record_active(100, 0.003);
+  pmu.record_idle(0.007);
+  EXPECT_NEAR(pmu.delta_since(mark).utilisation(), 0.3, 1e-12);
+}
+
+TEST(Pmu, UtilisationZeroWhenNoTime) {
+  const Pmu pmu;
+  EXPECT_DOUBLE_EQ(pmu.delta_since(pmu.snapshot()).utilisation(), 0.0);
+}
+
+TEST(Pmu, RefCyclesTrackWallClock) {
+  Pmu pmu;
+  pmu.record_active(1000, 0.5);
+  pmu.record_idle(0.5);
+  // 24 MHz reference timer over 1 s.
+  EXPECT_NEAR(static_cast<double>(pmu.snapshot().ref_cycles), 24.0e6, 24.0);
+}
+
+TEST(Pmu, ResetZeroes) {
+  Pmu pmu;
+  pmu.record_active(1, 1.0);
+  pmu.reset();
+  EXPECT_EQ(pmu.snapshot().cycles, 0u);
+  EXPECT_DOUBLE_EQ(pmu.snapshot().busy_time, 0.0);
+}
+
+}  // namespace
+}  // namespace prime::hw

@@ -1,0 +1,179 @@
+/// \file test_policy.cpp
+/// \brief Unit tests for EPD/UPD exploration (eq. 2) and the eq. (6) schedule.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include <numeric>
+
+#include "rtm/policy.hpp"
+
+namespace prime::rtm {
+namespace {
+
+TEST(EpdPolicy, UniformAtZeroSlack) {
+  const EpdPolicy epd;
+  const hw::OppTable opps = hw::OppTable::odroid_xu3_a15();
+  const auto p = epd.probabilities(opps, 0.0);
+  ASSERT_EQ(p.size(), opps.size());
+  for (const double v : p) EXPECT_NEAR(v, 1.0 / 19.0, 1e-12);
+}
+
+TEST(EpdPolicy, PositiveSlackFavoursSlowOpps) {
+  const EpdPolicy epd;
+  const hw::OppTable opps = hw::OppTable::odroid_xu3_a15();
+  const auto p = epd.probabilities(opps, 0.4);
+  EXPECT_GT(p.front(), p.back());
+  // Monotone decreasing in frequency.
+  for (std::size_t i = 1; i < p.size(); ++i) EXPECT_LT(p[i], p[i - 1]);
+}
+
+TEST(EpdPolicy, NegativeSlackFavoursFastOpps) {
+  const EpdPolicy epd;
+  const hw::OppTable opps = hw::OppTable::odroid_xu3_a15();
+  const auto p = epd.probabilities(opps, -0.4);
+  EXPECT_GT(p.back(), p.front());
+}
+
+TEST(EpdPolicy, ProbabilitiesNormalised) {
+  const EpdPolicy epd(5.0);
+  const hw::OppTable opps = hw::OppTable::odroid_xu3_a15();
+  for (double slack : {-0.5, -0.1, 0.0, 0.2, 0.5}) {
+    const auto p = epd.probabilities(opps, slack);
+    EXPECT_NEAR(std::accumulate(p.begin(), p.end(), 0.0), 1.0, 1e-9);
+  }
+}
+
+TEST(EpdPolicy, LargerBetaConcentratesHarder) {
+  const EpdPolicy mild(1.0);
+  const EpdPolicy sharp(8.0);
+  const hw::OppTable opps = hw::OppTable::odroid_xu3_a15();
+  const auto pm = mild.probabilities(opps, 0.4);
+  const auto ps = sharp.probabilities(opps, 0.4);
+  EXPECT_GT(ps.front(), pm.front());
+}
+
+TEST(EpdPolicy, SamplingFollowsDistribution) {
+  const EpdPolicy epd;
+  const hw::OppTable opps = hw::OppTable::odroid_xu3_a15();
+  common::Rng rng(3);
+  const int n = 20000;
+  std::vector<int> counts(opps.size(), 0);
+  for (int i = 0; i < n; ++i) ++counts[epd.sample(opps, 0.4, rng)];
+  // Slow half should receive clearly more samples than the fast half.
+  int slow = 0;
+  int fast = 0;
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    (i < counts.size() / 2 ? slow : fast) += counts[i];
+  }
+  EXPECT_GT(slow, fast * 3 / 2);
+}
+
+TEST(UpdPolicy, UniformRegardlessOfSlack) {
+  const UpdPolicy upd;
+  const hw::OppTable opps = hw::OppTable::odroid_xu3_a15();
+  for (double slack : {-0.5, 0.0, 0.5}) {
+    const auto p = upd.probabilities(opps, slack);
+    for (const double v : p) EXPECT_NEAR(v, 1.0 / 19.0, 1e-12);
+  }
+}
+
+TEST(MakePolicy, Factory) {
+  EXPECT_EQ(make_policy("epd")->name(), "epd");
+  EXPECT_EQ(make_policy("upd")->name(), "upd");
+  EXPECT_THROW(make_policy("thompson"), std::invalid_argument);
+}
+
+TEST(EpsilonSchedule, RejectsBadAlpha) {
+  EpsilonSchedule::Params p;
+  p.alpha = 1.0;
+  EXPECT_THROW(EpsilonSchedule{p}, std::invalid_argument);
+  p.alpha = -0.1;
+  EXPECT_THROW(EpsilonSchedule{p}, std::invalid_argument);
+}
+
+TEST(EpsilonSchedule, Eq6DecayAcceleratesWithEpoch) {
+  EpsilonSchedule s;  // paper eq. (6) by default
+  const double e0 = s.value();
+  s.advance();
+  const double drop1 = e0 - s.value();
+  for (int i = 0; i < 98; ++i) s.advance();
+  const double before = s.value();
+  s.advance();
+  const double drop100 = before - s.value();
+  EXPECT_GT(drop100, drop1);  // super-exponential collapse
+}
+
+TEST(EpsilonSchedule, StaysHighEarlyThenCollapses) {
+  EpsilonSchedule s;
+  for (int i = 0; i < 40; ++i) s.advance();
+  EXPECT_GT(s.value(), 0.5);  // still mostly exploring at epoch 40
+  for (int i = 0; i < 200; ++i) s.advance();
+  EXPECT_TRUE(s.converged());
+}
+
+TEST(EpsilonSchedule, RewardBoostAcceleratesConvergence) {
+  EpsilonSchedule plain;
+  EpsilonSchedule boosted;
+  for (int i = 0; i < 500; ++i) {
+    plain.advance(0.0);
+    boosted.advance(1.0);
+  }
+  EXPECT_TRUE(plain.converged());
+  EXPECT_TRUE(boosted.converged());
+  EXPECT_LT(boosted.convergence_epoch(), plain.convergence_epoch());
+}
+
+TEST(EpsilonSchedule, GeometricModeIsConstantRate) {
+  EpsilonSchedule::Params p;
+  p.decay = EpsilonDecay::kGeometric;
+  p.alpha = 0.99;
+  EpsilonSchedule s(p);
+  const double r1 = [&] {
+    const double before = s.value();
+    s.advance();
+    return s.value() / before;
+  }();
+  const double r2 = [&] {
+    const double before = s.value();
+    s.advance();
+    return s.value() / before;
+  }();
+  EXPECT_NEAR(r1, r2, 1e-12);
+  EXPECT_NEAR(r1, std::exp(-0.01), 1e-12);
+}
+
+TEST(EpsilonSchedule, FloorIsSticky) {
+  EpsilonSchedule s;
+  for (int i = 0; i < 1000; ++i) s.advance();
+  EXPECT_DOUBLE_EQ(s.value(), s.params().epsilon_min);
+  const std::size_t conv = s.convergence_epoch();
+  s.advance();
+  EXPECT_EQ(s.convergence_epoch(), conv);  // first crossing is recorded once
+}
+
+TEST(EpsilonSchedule, ShouldExploreMatchesEpsilon) {
+  EpsilonSchedule::Params p;
+  p.epsilon0 = 0.25;
+  p.alpha = 0.999999;  // effectively frozen
+  EpsilonSchedule s(p);
+  common::Rng rng(5);
+  int hits = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    if (s.should_explore(rng)) ++hits;
+  }
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.25, 0.01);
+}
+
+TEST(EpsilonSchedule, ResetRestores) {
+  EpsilonSchedule s;
+  for (int i = 0; i < 300; ++i) s.advance();
+  s.reset();
+  EXPECT_DOUBLE_EQ(s.value(), s.params().epsilon0);
+  EXPECT_EQ(s.epoch(), 0u);
+  EXPECT_EQ(s.convergence_epoch(), 0u);
+}
+
+}  // namespace
+}  // namespace prime::rtm

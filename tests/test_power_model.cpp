@@ -1,0 +1,101 @@
+/// \file test_power_model.cpp
+/// \brief Unit tests for the analytical CMOS power model.
+#include <gtest/gtest.h>
+
+#include "hw/opp.hpp"
+#include "hw/power_model.hpp"
+
+namespace prime::hw {
+namespace {
+
+TEST(PowerModel, ActivePowerIsCeffV2F) {
+  PowerModelParams p;
+  p.ceff = 1.0e-9;
+  const PowerModel m(p);
+  const Opp opp{0, common::ghz(1.0), 1.0};
+  EXPECT_NEAR(m.active_power(opp), 1.0, 1e-12);  // 1e-9 * 1 * 1e9
+}
+
+TEST(PowerModel, PowerScalesQuadraticallyWithVoltage) {
+  const PowerModel m;
+  const Opp lo{0, common::ghz(1.0), 1.0};
+  const Opp hi{0, common::ghz(1.0), 2.0};
+  EXPECT_NEAR(m.active_power(hi) / m.active_power(lo), 4.0, 1e-9);
+}
+
+TEST(PowerModel, CubicReductionWithCombinedVfScaling) {
+  // The paper's motivation: halving f and V together cuts dynamic power 8x.
+  const PowerModel m;
+  const Opp full{0, common::ghz(2.0), 1.2};
+  const Opp half{0, common::ghz(1.0), 0.6};
+  EXPECT_NEAR(m.active_power(full) / m.active_power(half), 8.0, 1e-9);
+}
+
+TEST(PowerModel, IdleIsConfiguredFractionOfActive) {
+  PowerModelParams p;
+  p.idle_fraction = 0.1;
+  const PowerModel m(p);
+  const Opp opp{0, common::ghz(1.5), 1.1};
+  EXPECT_NEAR(m.idle_power(opp), 0.1 * m.active_power(opp), 1e-12);
+}
+
+TEST(PowerModel, LeakageGrowsWithVoltageAndTemperature) {
+  const PowerModel m;
+  EXPECT_GT(m.leakage_power(1.3, 60.0), m.leakage_power(0.9, 60.0));
+  EXPECT_GT(m.leakage_power(1.1, 85.0), m.leakage_power(1.1, 45.0));
+}
+
+TEST(PowerModel, LeakageNeverNegative) {
+  const PowerModel m;
+  EXPECT_GT(m.leakage_power(0.9, -100.0), 0.0);  // temp factor clamped
+}
+
+TEST(PowerModel, ActiveEnergyIndependentOfFrequency) {
+  // E = Ceff V^2 cycles: running the same cycles faster at the same voltage
+  // costs the same switching energy (time shrinks as power grows).
+  const PowerModel m;
+  const Opp slow{0, common::mhz(500.0), 1.0};
+  const Opp fast{0, common::ghz(2.0), 1.0};
+  EXPECT_NEAR(m.active_energy(slow, 1000000), m.active_energy(fast, 1000000),
+              1e-15);
+}
+
+TEST(PowerModel, DefaultCalibrationIsXu3Like) {
+  // Fully loaded 4-core cluster at the 2 GHz / 1.3625 V point should draw a
+  // single-digit-watt dynamic figure, as measured on real XU3 boards.
+  const PowerModel m;
+  const Opp top{18, common::ghz(2.0), 1.3625};
+  const double cluster_dynamic = 4.0 * m.active_power(top);
+  EXPECT_GT(cluster_dynamic, 5.0);
+  EXPECT_LT(cluster_dynamic, 10.0);
+}
+
+TEST(PowerModel, UncorePowerPositiveAndSmallerThanCores) {
+  const PowerModel m;
+  const Opp top{18, common::ghz(2.0), 1.3625};
+  EXPECT_GT(m.uncore_power(top), 0.0);
+  EXPECT_LT(m.uncore_power(top), m.active_power(top));
+}
+
+/// Property: active power is strictly increasing along the XU3 OPP table.
+TEST(PowerModel, MonotoneAlongOppTable) {
+  const PowerModel m;
+  const OppTable t = OppTable::odroid_xu3_a15();
+  for (std::size_t i = 1; i < t.size(); ++i) {
+    EXPECT_GT(m.active_power(t.at(i)), m.active_power(t.at(i - 1)));
+  }
+}
+
+/// Property: energy to run a fixed workload is minimised at the lowest OPP —
+/// the premise behind the Oracle's lowest-feasible-frequency rule.
+TEST(PowerModel, FixedWorkEnergyMonotoneInOppIndex) {
+  const PowerModel m;
+  const OppTable t = OppTable::odroid_xu3_a15();
+  const common::Cycles work = 100000000;
+  for (std::size_t i = 1; i < t.size(); ++i) {
+    EXPECT_GE(m.active_energy(t.at(i), work), m.active_energy(t.at(i - 1), work));
+  }
+}
+
+}  // namespace
+}  // namespace prime::hw

@@ -1,0 +1,71 @@
+/// \file test_report.cpp
+/// \brief Unit tests for table rendering and series CSV output.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/csv.hpp"
+#include "sim/report.hpp"
+
+namespace prime::sim {
+namespace {
+
+TEST(PrintTable, AlignsColumns) {
+  TextTable t;
+  t.title = "Demo";
+  t.headers = {"name", "value"};
+  t.rows = {{"short", "1"}, {"a-much-longer-name", "2"}};
+  std::ostringstream out;
+  print_table(out, t);
+  const std::string s = out.str();
+  EXPECT_NE(s.find("Demo"), std::string::npos);
+  EXPECT_NE(s.find("a-much-longer-name"), std::string::npos);
+  // Every data line starts with the border character.
+  EXPECT_NE(s.find("| short"), std::string::npos);
+}
+
+TEST(PrintTable, HandlesRaggedRows) {
+  TextTable t;
+  t.headers = {"a", "b", "c"};
+  t.rows = {{"1"}};
+  std::ostringstream out;
+  print_table(out, t);  // must not throw
+  EXPECT_FALSE(out.str().empty());
+}
+
+TEST(MakeComparisonTable, FormatsMetrics) {
+  NormalizedMetrics m;
+  m.governor = "rtm";
+  m.normalized_energy = 1.114;
+  m.normalized_performance = 0.957;
+  m.miss_rate = 0.0123;
+  m.mean_power = 3.456;
+  const TextTable t = make_comparison_table("T", {m});
+  ASSERT_EQ(t.rows.size(), 1u);
+  EXPECT_EQ(t.rows[0][0], "rtm");
+  EXPECT_EQ(t.rows[0][1], "1.11");
+  EXPECT_EQ(t.rows[0][2], "0.96");
+  EXPECT_EQ(t.rows[0][3], "0.012");
+  EXPECT_EQ(t.rows[0][4], "3.46");
+}
+
+TEST(WriteSeriesCsv, ParsesBack) {
+  RunSeries s;
+  s.frame = {0.0, 1.0};
+  s.demand = {1.0e8, 1.1e8};
+  s.frequency_mhz = {800.0, 900.0};
+  s.slack = {0.1, -0.05};
+  s.power = {2.5, 3.0};
+  s.energy_mj = {100.0, 120.0};
+  std::ostringstream out;
+  write_series_csv(out, s);
+  const common::CsvTable t = common::parse_csv(out.str());
+  ASSERT_EQ(t.rows.size(), 2u);
+  const auto freq = t.column_as_double("freq_mhz");
+  EXPECT_DOUBLE_EQ(freq[1], 900.0);
+  const auto slack = t.column_as_double("slack");
+  EXPECT_DOUBLE_EQ(slack[1], -0.05);
+}
+
+}  // namespace
+}  // namespace prime::sim

@@ -1,0 +1,82 @@
+/// \file test_reward.cpp
+/// \brief Unit tests for the pay-off functions (eq. 4).
+#include <gtest/gtest.h>
+
+#include "rtm/reward.hpp"
+
+namespace prime::rtm {
+namespace {
+
+TEST(TargetSlackReward, MaximalAtTarget) {
+  const TargetSlackReward r;
+  const double target = r.params().target;
+  const double at_target = r.reward(target, 0.0);
+  EXPECT_GT(at_target, r.reward(target + 0.1, 0.0));
+  EXPECT_GT(at_target, r.reward(target - 0.1, 0.0));
+  EXPECT_NEAR(at_target, r.params().a, 1e-12);
+}
+
+TEST(TargetSlackReward, AsymmetricPenaltyBelowTarget) {
+  const TargetSlackReward r;
+  const double target = r.params().target;
+  // Same distance below (towards misses) hurts more than above (headroom).
+  EXPECT_LT(r.reward(target - 0.1, 0.0), r.reward(target + 0.1, 0.0));
+}
+
+TEST(TargetSlackReward, DeadlineMissesStronglyNegative) {
+  const TargetSlackReward r;
+  EXPECT_LT(r.reward(-0.2, 0.0), -0.5);
+}
+
+TEST(TargetSlackReward, ImprovementTermRewardsApproach) {
+  const TargetSlackReward r;
+  const double target = r.params().target;
+  // Arriving at 'far' from even further away (improving) beats arriving at
+  // 'far' from the target (worsening).
+  const double far = target + 0.2;
+  const double improving = r.reward(far, -0.2);   // previous was target + 0.4
+  const double worsening = r.reward(far, +0.2);   // previous was target
+  EXPECT_GT(improving, worsening);
+}
+
+TEST(TargetSlackReward, ClampsMagnitude) {
+  const TargetSlackReward r;
+  EXPECT_GE(r.reward(-5.0, -5.0), -r.params().clip - 1e-12);
+  EXPECT_LE(r.reward(5.0, 5.0), r.params().clip + 1e-12);
+}
+
+TEST(TargetSlackReward, CustomParams) {
+  TargetSlackReward::Params p;
+  p.target = 0.0;
+  p.scale = 1.0;
+  p.a = 2.0;
+  p.b = 0.0;
+  p.neg_penalty = 1.0;  // symmetric
+  const TargetSlackReward r(p);
+  EXPECT_NEAR(r.reward(0.0, 0.0), 2.0, 1e-12);
+  EXPECT_NEAR(r.reward(0.5, 0.0), 1.0, 1e-12);
+  EXPECT_NEAR(r.reward(-0.5, 0.0), 1.0, 1e-12);
+}
+
+TEST(LinearSlackReward, LiteralEquation4) {
+  const LinearSlackReward r(2.0, 3.0);
+  EXPECT_NEAR(r.reward(0.1, 0.05), 2.0 * 0.1 + 3.0 * 0.05, 1e-12);
+  EXPECT_NEAR(r.reward(-0.2, 0.0), -0.4, 1e-12);
+}
+
+TEST(LinearSlackReward, MonotoneInSlack) {
+  // The property that makes the literal form unusable for energy: reward
+  // increases without bound as slack grows (faster is always better).
+  const LinearSlackReward r;
+  EXPECT_GT(r.reward(0.9, 0.0), r.reward(0.5, 0.0));
+  EXPECT_GT(r.reward(0.5, 0.0), r.reward(0.1, 0.0));
+}
+
+TEST(MakeReward, Factory) {
+  EXPECT_EQ(make_reward("target-slack")->name(), "target-slack");
+  EXPECT_EQ(make_reward("linear-slack")->name(), "linear-slack");
+  EXPECT_THROW(make_reward("bogus"), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace prime::rtm

@@ -1,0 +1,111 @@
+/// \file test_ring_buffer.cpp
+/// \brief Unit tests for the fixed-capacity ring buffer.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "common/ring_buffer.hpp"
+
+namespace prime::common {
+namespace {
+
+TEST(RingBuffer, StartsEmpty) {
+  RingBuffer<int> rb(4);
+  EXPECT_TRUE(rb.empty());
+  EXPECT_EQ(rb.size(), 0u);
+  EXPECT_EQ(rb.capacity(), 4u);
+  EXPECT_FALSE(rb.full());
+}
+
+TEST(RingBuffer, PushAndIndexOldestFirst) {
+  RingBuffer<int> rb(3);
+  rb.push(10);
+  rb.push(20);
+  EXPECT_EQ(rb[0], 10);
+  EXPECT_EQ(rb[1], 20);
+  EXPECT_EQ(rb.front(), 10);
+  EXPECT_EQ(rb.back(), 20);
+}
+
+TEST(RingBuffer, OverwritesOldestWhenFull) {
+  RingBuffer<int> rb(3);
+  for (int i = 1; i <= 5; ++i) rb.push(i);
+  EXPECT_TRUE(rb.full());
+  EXPECT_EQ(rb.size(), 3u);
+  EXPECT_EQ(rb[0], 3);
+  EXPECT_EQ(rb[1], 4);
+  EXPECT_EQ(rb[2], 5);
+}
+
+TEST(RingBuffer, OutOfRangeThrows) {
+  RingBuffer<int> rb(2);
+  rb.push(1);
+  EXPECT_THROW((void)rb[1], std::out_of_range);
+  RingBuffer<int> empty(2);
+  EXPECT_THROW((void)empty.front(), std::out_of_range);
+  EXPECT_THROW((void)empty.back(), std::out_of_range);
+}
+
+TEST(RingBuffer, ZeroCapacityClampedToOne) {
+  RingBuffer<int> rb(0);
+  EXPECT_EQ(rb.capacity(), 1u);
+  rb.push(1);
+  rb.push(2);
+  EXPECT_EQ(rb.back(), 2);
+  EXPECT_EQ(rb.size(), 1u);
+}
+
+TEST(RingBuffer, ClearKeepsCapacity) {
+  RingBuffer<int> rb(3);
+  rb.push(1);
+  rb.push(2);
+  rb.clear();
+  EXPECT_TRUE(rb.empty());
+  EXPECT_EQ(rb.capacity(), 3u);
+  rb.push(9);
+  EXPECT_EQ(rb.front(), 9);
+}
+
+TEST(RingBuffer, ToVectorOldestFirst) {
+  RingBuffer<int> rb(3);
+  for (int i = 1; i <= 4; ++i) rb.push(i);
+  const auto v = rb.to_vector();
+  ASSERT_EQ(v.size(), 3u);
+  EXPECT_EQ(v[0], 2);
+  EXPECT_EQ(v[2], 4);
+}
+
+TEST(RingBuffer, WorksWithNonTrivialTypes) {
+  RingBuffer<std::string> rb(2);
+  rb.push("alpha");
+  rb.push("beta");
+  rb.push("gamma");
+  EXPECT_EQ(rb.front(), "beta");
+  EXPECT_EQ(rb.back(), "gamma");
+}
+
+/// Property: after N pushes, size == min(N, capacity) and back() is last push.
+class RingBufferSweep
+    : public ::testing::TestWithParam<std::tuple<std::size_t, std::size_t>> {};
+
+TEST_P(RingBufferSweep, SizeInvariant) {
+  const auto [cap, pushes] = GetParam();
+  RingBuffer<std::size_t> rb(cap);
+  for (std::size_t i = 0; i < pushes; ++i) rb.push(i);
+  const std::size_t effective_cap = cap == 0 ? 1 : cap;
+  EXPECT_EQ(rb.size(), std::min(pushes, effective_cap));
+  if (pushes > 0) {
+    EXPECT_EQ(rb.back(), pushes - 1);
+    EXPECT_EQ(rb.front(), pushes <= effective_cap ? 0 : pushes - effective_cap);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    CapacityByPushes, RingBufferSweep,
+    ::testing::Combine(::testing::Values(std::size_t{1}, std::size_t{2},
+                                         std::size_t{7}, std::size_t{64}),
+                       ::testing::Values(std::size_t{0}, std::size_t{1},
+                                         std::size_t{7}, std::size_t{100})));
+
+}  // namespace
+}  // namespace prime::common

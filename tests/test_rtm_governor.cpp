@@ -1,0 +1,176 @@
+/// \file test_rtm_governor.cpp
+/// \brief Unit tests for the proposed single-cluster RTM governor.
+#include <gtest/gtest.h>
+
+#include "gov/governor.hpp"
+#include "rtm/rtm_governor.hpp"
+
+namespace prime::rtm {
+namespace {
+
+gov::DecisionContext make_ctx(const hw::OppTable& opps, std::size_t epoch = 0,
+                              double period = 0.040) {
+  gov::DecisionContext ctx;
+  ctx.epoch = epoch;
+  ctx.period = period;
+  ctx.cores = 4;
+  ctx.opps = &opps;
+  return ctx;
+}
+
+gov::EpochObservation make_obs(const hw::OppTable& /*opps*/, std::size_t epoch,
+                               std::size_t opp_index, double frame_time,
+                               common::Cycles total) {
+  gov::EpochObservation o;
+  o.epoch = epoch;
+  o.period = 0.040;
+  o.frame_time = frame_time;
+  o.window = std::max(frame_time, o.period);
+  o.total_cycles = total;
+  o.core_cycles = {total / 4, total / 4, total / 4, total / 4};
+  o.opp_index = opp_index;
+  o.deadline_met = frame_time <= o.period;
+  return o;
+}
+
+TEST(RtmGovernor, FirstDecisionIsValid) {
+  const hw::OppTable opps = hw::OppTable::odroid_xu3_a15();
+  RtmGovernor g;
+  EXPECT_LT(g.decide(make_ctx(opps), std::nullopt), opps.size());
+  ASSERT_NE(g.q_table(), nullptr);
+  EXPECT_EQ(g.q_table()->states(), 25u);
+  EXPECT_EQ(g.q_table()->actions(), 19u);
+}
+
+TEST(RtmGovernor, DeterministicForSeed) {
+  const hw::OppTable opps = hw::OppTable::odroid_xu3_a15();
+  RtmParams p;
+  p.seed = 777;
+  RtmGovernor a(p);
+  RtmGovernor b(p);
+  std::optional<gov::EpochObservation> oa;
+  std::optional<gov::EpochObservation> ob;
+  for (std::size_t i = 0; i < 80; ++i) {
+    const auto ia = a.decide(make_ctx(opps, i), oa);
+    const auto ib = b.decide(make_ctx(opps, i), ob);
+    ASSERT_EQ(ia, ib) << "diverged at epoch " << i;
+    oa = make_obs(opps, i, ia, 0.030, 120000000);
+    ob = make_obs(opps, i, ib, 0.030, 120000000);
+  }
+}
+
+TEST(RtmGovernor, QTableGetsUpdatedEachEpoch) {
+  const hw::OppTable opps = hw::OppTable::odroid_xu3_a15();
+  RtmGovernor g;
+  std::optional<gov::EpochObservation> obs;
+  for (std::size_t i = 0; i < 10; ++i) {
+    const auto idx = g.decide(make_ctx(opps, i), obs);
+    obs = make_obs(opps, i, idx, 0.030, 120000000);
+  }
+  // One update per epoch starting from the second decide.
+  EXPECT_EQ(g.q_table()->total_updates(), 9u);
+}
+
+TEST(RtmGovernor, ExplorationCountedAndEpsilonDecays) {
+  const hw::OppTable opps = hw::OppTable::odroid_xu3_a15();
+  RtmGovernor g;
+  std::optional<gov::EpochObservation> obs;
+  for (std::size_t i = 0; i < 300; ++i) {
+    const auto idx = g.decide(make_ctx(opps, i), obs);
+    obs = make_obs(opps, i, idx, 0.030, 120000000);
+  }
+  EXPECT_GT(g.exploration_count(), 20u);
+  EXPECT_LT(g.epsilon(), 0.05);
+  EXPECT_GT(g.learning_complete_epoch(), 0u);
+}
+
+TEST(RtmGovernor, RequirementChangeResetsSlackOnly) {
+  const hw::OppTable opps = hw::OppTable::odroid_xu3_a15();
+  RtmGovernor g;
+  std::optional<gov::EpochObservation> obs;
+  for (std::size_t i = 0; i < 20; ++i) {
+    const auto idx = g.decide(make_ctx(opps, i, 0.040), obs);
+    obs = make_obs(opps, i, idx, 0.030, 120000000);
+  }
+  const auto updates_before = g.q_table()->total_updates();
+  EXPECT_GT(g.slack_monitor().epochs(), 0u);
+  // fps change: new Tref. Slack monitor restarts (eq. 5's D), learning kept.
+  (void)g.decide(make_ctx(opps, 20, 0.020), obs);
+  EXPECT_EQ(g.slack_monitor().epochs(), 1u);
+  EXPECT_GE(g.q_table()->total_updates(), updates_before);
+}
+
+TEST(RtmGovernor, UpdPolicyVariantConstructs) {
+  RtmParams p;
+  p.policy = "upd";
+  RtmGovernor g(p);
+  const hw::OppTable opps = hw::OppTable::odroid_xu3_a15();
+  EXPECT_LT(g.decide(make_ctx(opps), std::nullopt), opps.size());
+}
+
+TEST(RtmGovernor, LinearRewardVariantConstructs) {
+  RtmParams p;
+  p.reward = "linear-slack";
+  RtmGovernor g(p);
+  const hw::OppTable opps = hw::OppTable::odroid_xu3_a15();
+  EXPECT_LT(g.decide(make_ctx(opps), std::nullopt), opps.size());
+}
+
+TEST(RtmGovernor, OverheadIsSingleUpdateScale) {
+  RtmGovernor g;
+  const OverheadModel m;
+  EXPECT_NEAR(g.epoch_overhead(), m.epoch_overhead(1), 1e-12);
+}
+
+TEST(RtmGovernor, PredictorFollowsObservations) {
+  const hw::OppTable opps = hw::OppTable::odroid_xu3_a15();
+  RtmGovernor g;
+  std::optional<gov::EpochObservation> obs;
+  for (std::size_t i = 0; i < 30; ++i) {
+    const auto idx = g.decide(make_ctx(opps, i), obs);
+    obs = make_obs(opps, i, idx, 0.030, 100000000);
+  }
+  EXPECT_NEAR(static_cast<double>(g.predictor().prediction()), 1.0e8, 2.0e6);
+}
+
+TEST(RtmGovernor, ResetClearsLearning) {
+  const hw::OppTable opps = hw::OppTable::odroid_xu3_a15();
+  RtmGovernor g;
+  std::optional<gov::EpochObservation> obs;
+  for (std::size_t i = 0; i < 50; ++i) {
+    const auto idx = g.decide(make_ctx(opps, i), obs);
+    obs = make_obs(opps, i, idx, 0.030, 120000000);
+  }
+  g.reset();
+  EXPECT_EQ(g.exploration_count(), 0u);
+  EXPECT_DOUBLE_EQ(g.epsilon(), g.params().epsilon.epsilon0);
+  EXPECT_EQ(g.q_table()->total_updates(), 0u);
+  EXPECT_FALSE(g.predictor().primed());
+}
+
+TEST(RtmGovernor, GreedyPolicyEmptyBeforeInit) {
+  RtmGovernor g;
+  EXPECT_TRUE(g.greedy_policy().empty());
+}
+
+/// Property: under persistent deep deadline misses the learned greedy action
+/// for the visited states must climb towards fast OPPs.
+TEST(RtmGovernor, LearnsToClimbUnderMisses) {
+  const hw::OppTable opps = hw::OppTable::odroid_xu3_a15();
+  RtmParams p;
+  p.epsilon.epsilon0 = 0.0;  // pure exploitation: learning shows directly
+  p.epsilon.epsilon_min = 0.0;
+  RtmGovernor g(p);
+  std::optional<gov::EpochObservation> obs;
+  std::size_t idx = g.decide(make_ctx(opps, 0), obs);
+  const std::size_t start = idx;
+  for (std::size_t i = 1; i < 80; ++i) {
+    // Whatever it chooses, the frame badly misses (heavy workload).
+    obs = make_obs(opps, i, idx, 0.060, 300000000);
+    idx = g.decide(make_ctx(opps, i), obs);
+  }
+  EXPECT_GT(idx, start);
+}
+
+}  // namespace
+}  // namespace prime::rtm

@@ -1,0 +1,148 @@
+/// \file test_schedutil_pid.cpp
+/// \brief Unit tests for the schedutil and PID baseline governors.
+#include <gtest/gtest.h>
+
+#include "gov/pid.hpp"
+#include "gov/schedutil.hpp"
+
+namespace prime::gov {
+namespace {
+
+DecisionContext make_ctx(const hw::OppTable& opps) {
+  DecisionContext ctx;
+  ctx.period = 0.040;
+  ctx.cores = 4;
+  ctx.opps = &opps;
+  return ctx;
+}
+
+EpochObservation obs_with_load(const hw::OppTable& opps, std::size_t opp_index,
+                               double load) {
+  EpochObservation o;
+  o.period = 0.040;
+  o.window = 0.040;
+  o.frame_time = load * 0.040;
+  o.opp_index = opp_index;
+  o.core_cycles = {
+      common::cycles_at(opps.at(opp_index).frequency, load * 0.040), 0, 0, 0};
+  o.deadline_met = o.frame_time <= o.period;
+  return o;
+}
+
+TEST(Schedutil, StartsFast) {
+  const hw::OppTable opps = hw::OppTable::odroid_xu3_a15();
+  SchedutilGovernor g;
+  EXPECT_EQ(g.decide(make_ctx(opps), std::nullopt), 18u);
+}
+
+TEST(Schedutil, FrequencyInvariantFormula) {
+  const hw::OppTable opps = hw::OppTable::odroid_xu3_a15();
+  SchedutilGovernor g;
+  auto ctx = make_ctx(opps);
+  (void)g.decide(ctx, std::nullopt);
+  // 50 % load at 1000 MHz -> util_cap 0.25 -> f = 1.25 * 0.25 * 2000 = 625.
+  std::size_t idx = 0;
+  // Ramp-down is rate-limited; feed the observation until allowed.
+  for (int i = 0; i < 4; ++i) idx = g.decide(ctx, obs_with_load(opps, 8, 0.5));
+  EXPECT_EQ(idx, opps.lowest_at_least(common::mhz(625.0)));
+}
+
+TEST(Schedutil, RampUpImmediate) {
+  const hw::OppTable opps = hw::OppTable::odroid_xu3_a15();
+  SchedutilGovernor g;
+  auto ctx = make_ctx(opps);
+  (void)g.decide(ctx, std::nullopt);
+  std::size_t idx = 0;
+  for (int i = 0; i < 4; ++i) idx = g.decide(ctx, obs_with_load(opps, 8, 0.3));
+  const std::size_t low = idx;
+  // Saturated at 1000 MHz: util_cap = 0.5 -> target 1.25 * 0.5 * 2000 = 1250.
+  idx = g.decide(ctx, obs_with_load(opps, 8, 1.0));
+  EXPECT_GT(idx, low);
+  EXPECT_EQ(idx, opps.lowest_at_least(common::mhz(1250.0)));
+}
+
+TEST(Schedutil, RampDownRateLimited) {
+  const hw::OppTable opps = hw::OppTable::odroid_xu3_a15();
+  SchedutilGovernor g;
+  auto ctx = make_ctx(opps);
+  const std::size_t start = g.decide(ctx, std::nullopt);
+  // First low-load observation must hold (down-rate limit of 2 epochs).
+  EXPECT_EQ(g.decide(ctx, obs_with_load(opps, start, 0.1)), start);
+  EXPECT_LT(g.decide(ctx, obs_with_load(opps, start, 0.1)), start);
+}
+
+TEST(Schedutil, ResetForgets) {
+  const hw::OppTable opps = hw::OppTable::odroid_xu3_a15();
+  SchedutilGovernor g;
+  auto ctx = make_ctx(opps);
+  (void)g.decide(ctx, std::nullopt);
+  g.reset();
+  EXPECT_EQ(g.decide(ctx, std::nullopt), 18u);
+}
+
+TEST(Pid, StartsFastThenSettles) {
+  const hw::OppTable opps = hw::OppTable::odroid_xu3_a15();
+  PidGovernor g;
+  auto ctx = make_ctx(opps);
+  const std::size_t start = g.decide(ctx, std::nullopt);
+  EXPECT_EQ(start, 18u);
+}
+
+TEST(Pid, DrivesSlackTowardSetpoint) {
+  const hw::OppTable opps = hw::OppTable::odroid_xu3_a15();
+  PidGovernor g;
+  auto ctx = make_ctx(opps);
+  std::size_t idx = g.decide(ctx, std::nullopt);
+  // Closed loop against a fixed-cycle workload: 36 Mcycles on the critical
+  // core, so slack(f) = 1 - 0.9 GHz / f.
+  const common::Cycles demand = 36000000;
+  for (int i = 0; i < 60; ++i) {
+    EpochObservation o;
+    o.period = 0.040;
+    o.opp_index = idx;
+    o.frame_time = common::time_for(demand, opps.at(idx).frequency);
+    o.window = std::max(o.frame_time, o.period);
+    o.core_cycles = {demand, 0, 0, 0};
+    o.deadline_met = o.frame_time <= o.period;
+    idx = g.decide(ctx, o);
+  }
+  // Setpoint slack 0.10 -> f ~ 0.9/0.9 = 1.0 GHz; allow one step either way.
+  const double f = common::to_mhz(opps.at(idx).frequency);
+  EXPECT_GE(f, 900.0);
+  EXPECT_LE(f, 1200.0);
+}
+
+TEST(Pid, IntegralAntiWindup) {
+  const hw::OppTable opps = hw::OppTable::odroid_xu3_a15();
+  PidGovernor g;
+  auto ctx = make_ctx(opps);
+  std::size_t idx = g.decide(ctx, std::nullopt);
+  // Long saturation at the top (impossible demand), then demand vanishes:
+  // the controller must come down quickly (integral clamped).
+  for (int i = 0; i < 50; ++i) idx = g.decide(ctx, obs_with_load(opps, idx, 2.0));
+  EXPECT_EQ(idx, 18u);
+  int steps_to_drop = 0;
+  while (idx > 4 && steps_to_drop < 25) {
+    idx = g.decide(ctx, obs_with_load(opps, idx, 0.05));
+    ++steps_to_drop;
+  }
+  EXPECT_LT(steps_to_drop, 25);
+}
+
+TEST(Pid, CheapOverhead) {
+  PidGovernor g;
+  EXPECT_LT(g.epoch_overhead(), common::us(5.0));
+}
+
+TEST(Pid, ResetClearsState) {
+  const hw::OppTable opps = hw::OppTable::odroid_xu3_a15();
+  PidGovernor g;
+  auto ctx = make_ctx(opps);
+  (void)g.decide(ctx, std::nullopt);
+  (void)g.decide(ctx, obs_with_load(opps, 18, 0.1));
+  g.reset();
+  EXPECT_EQ(g.decide(ctx, std::nullopt), 18u);
+}
+
+}  // namespace
+}  // namespace prime::gov

@@ -1,0 +1,96 @@
+/// \file test_slack.cpp
+/// \brief Unit tests for the average slack-ratio monitor (eq. 5).
+#include <gtest/gtest.h>
+
+#include "rtm/slack.hpp"
+
+namespace prime::rtm {
+namespace {
+
+TEST(SlackMonitor, RejectsBadAlpha) {
+  EXPECT_THROW(SlackMonitor(SlackAveraging::kExponential, 0.0),
+               std::invalid_argument);
+  EXPECT_THROW(SlackMonitor(SlackAveraging::kExponential, 1.5),
+               std::invalid_argument);
+}
+
+TEST(SlackMonitor, PerEpochSlackFormula) {
+  SlackMonitor m(SlackAveraging::kCumulative);
+  // (Tref - Ti - Tovh)/Tref = (40 - 30 - 2)/40 = 0.2
+  const double L = m.observe(0.040, 0.030, 0.002);
+  EXPECT_NEAR(L, 0.2, 1e-12);
+  EXPECT_NEAR(m.last_slack(), 0.2, 1e-12);
+}
+
+TEST(SlackMonitor, CumulativeAveragesSinceStart) {
+  SlackMonitor m(SlackAveraging::kCumulative);
+  (void)m.observe(0.040, 0.020, 0.0);  // slack 0.5
+  const double L = m.observe(0.040, 0.040, 0.0);  // slack 0.0
+  EXPECT_NEAR(L, 0.25, 1e-12);
+  EXPECT_EQ(m.epochs(), 2u);
+}
+
+TEST(SlackMonitor, ExponentialWeightsRecent) {
+  SlackMonitor m(SlackAveraging::kExponential, 0.5);
+  (void)m.observe(0.040, 0.020, 0.0);  // 0.5, seeds average
+  const double L = m.observe(0.040, 0.040, 0.0);  // 0.0
+  EXPECT_NEAR(L, 0.25, 1e-12);  // 0.5*0 + 0.5*0.5
+  const double L2 = m.observe(0.040, 0.040, 0.0);
+  EXPECT_NEAR(L2, 0.125, 1e-12);
+}
+
+TEST(SlackMonitor, DeltaTracksChange) {
+  SlackMonitor m(SlackAveraging::kCumulative);
+  (void)m.observe(0.040, 0.020, 0.0);  // avg 0.5
+  EXPECT_NEAR(m.delta_slack(), 0.5, 1e-12);  // from 0
+  (void)m.observe(0.040, 0.040, 0.0);        // avg 0.25
+  EXPECT_NEAR(m.delta_slack(), -0.25, 1e-12);
+}
+
+TEST(SlackMonitor, NegativeSlackOnMiss) {
+  SlackMonitor m;
+  const double L = m.observe(0.040, 0.050, 0.0);
+  EXPECT_LT(L, 0.0);
+}
+
+TEST(SlackMonitor, OverheadReducesSlack) {
+  SlackMonitor a;
+  SlackMonitor b;
+  const double without = a.observe(0.040, 0.030, 0.0);
+  const double with = b.observe(0.040, 0.030, 0.005);
+  EXPECT_LT(with, without);
+}
+
+TEST(SlackMonitor, ZeroPeriodIgnored) {
+  SlackMonitor m;
+  const double L = m.observe(0.0, 0.030, 0.0);
+  EXPECT_DOUBLE_EQ(L, 0.0);
+  EXPECT_EQ(m.epochs(), 0u);
+}
+
+TEST(SlackMonitor, ResetRestarts) {
+  SlackMonitor m(SlackAveraging::kCumulative);
+  (void)m.observe(0.040, 0.020, 0.0);
+  m.reset();
+  EXPECT_EQ(m.epochs(), 0u);
+  EXPECT_DOUBLE_EQ(m.average_slack(), 0.0);
+  EXPECT_DOUBLE_EQ(m.delta_slack(), 0.0);
+}
+
+/// Property: both averaging modes converge to the same value under constant
+/// per-epoch slack.
+class SlackModeSweep : public ::testing::TestWithParam<SlackAveraging> {};
+
+TEST_P(SlackModeSweep, ConstantInputConverges) {
+  SlackMonitor m(GetParam(), 0.3);
+  double L = 0.0;
+  for (int i = 0; i < 200; ++i) L = m.observe(0.040, 0.028, 0.0);
+  EXPECT_NEAR(L, 0.3, 1e-6);
+}
+
+INSTANTIATE_TEST_SUITE_P(Modes, SlackModeSweep,
+                         ::testing::Values(SlackAveraging::kCumulative,
+                                           SlackAveraging::kExponential));
+
+}  // namespace
+}  // namespace prime::rtm

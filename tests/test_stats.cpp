@@ -1,0 +1,184 @@
+/// \file test_stats.cpp
+/// \brief Unit tests for streaming statistics.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+
+namespace prime::common {
+namespace {
+
+TEST(RunningStats, EmptyDefaults) {
+  RunningStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.cv(), 0.0);
+}
+
+TEST(RunningStats, SingleValue) {
+  RunningStats s;
+  s.add(5.0);
+  EXPECT_EQ(s.count(), 1u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(s.min(), 5.0);
+  EXPECT_DOUBLE_EQ(s.max(), 5.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+}
+
+TEST(RunningStats, KnownMoments) {
+  RunningStats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);  // unbiased
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(RunningStats, MergeEqualsSequential) {
+  RunningStats all;
+  RunningStats a;
+  RunningStats b;
+  Rng r(5);
+  for (int i = 0; i < 1000; ++i) {
+    const double x = r.normal(3.0, 2.0);
+    all.add(x);
+    (i % 2 == 0 ? a : b).add(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-9);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-9);
+  EXPECT_DOUBLE_EQ(a.min(), all.min());
+  EXPECT_DOUBLE_EQ(a.max(), all.max());
+}
+
+TEST(RunningStats, MergeWithEmptyIsIdentity) {
+  RunningStats a;
+  a.add(1.0);
+  a.add(2.0);
+  RunningStats empty;
+  a.merge(empty);
+  EXPECT_EQ(a.count(), 2u);
+  empty.merge(a);
+  EXPECT_EQ(empty.count(), 2u);
+  EXPECT_DOUBLE_EQ(empty.mean(), 1.5);
+}
+
+TEST(RunningStats, ResetClears) {
+  RunningStats s;
+  s.add(10.0);
+  s.reset();
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+}
+
+TEST(Histogram, RejectsInvalidConstruction) {
+  EXPECT_THROW(Histogram(0.0, 1.0, 0), std::invalid_argument);
+  EXPECT_THROW(Histogram(1.0, 1.0, 4), std::invalid_argument);
+  EXPECT_THROW(Histogram(2.0, 1.0, 4), std::invalid_argument);
+}
+
+TEST(Histogram, BinningAndClamping) {
+  Histogram h(0.0, 10.0, 10);
+  h.add(0.5);    // bin 0
+  h.add(9.99);   // bin 9
+  h.add(-5.0);   // clamps to bin 0
+  h.add(50.0);   // clamps to bin 9
+  EXPECT_EQ(h.bin_count(0), 2u);
+  EXPECT_EQ(h.bin_count(9), 2u);
+  EXPECT_EQ(h.count(), 4u);
+}
+
+TEST(Histogram, PercentileOfUniformFill) {
+  Histogram h(0.0, 100.0, 100);
+  for (int i = 0; i < 100; ++i) h.add(i + 0.5);
+  EXPECT_NEAR(h.percentile(50.0), 50.0, 1.5);
+  EXPECT_NEAR(h.percentile(90.0), 90.0, 1.5);
+  EXPECT_NEAR(h.percentile(0.0), 0.0, 1.5);
+}
+
+TEST(Histogram, PercentileEmptyReturnsLo) {
+  Histogram h(5.0, 10.0, 5);
+  EXPECT_DOUBLE_EQ(h.percentile(50.0), 5.0);
+}
+
+TEST(MovingAverage, WindowEviction) {
+  MovingAverage m(3);
+  m.add(1.0);
+  m.add(2.0);
+  m.add(3.0);
+  EXPECT_DOUBLE_EQ(m.mean(), 2.0);
+  EXPECT_TRUE(m.full());
+  m.add(10.0);  // evicts 1.0
+  EXPECT_DOUBLE_EQ(m.mean(), 5.0);
+}
+
+TEST(MovingAverage, PartialWindow) {
+  MovingAverage m(10);
+  m.add(4.0);
+  m.add(6.0);
+  EXPECT_DOUBLE_EQ(m.mean(), 5.0);
+  EXPECT_EQ(m.size(), 2u);
+  EXPECT_FALSE(m.full());
+}
+
+TEST(MovingAverage, ZeroCapacityClampedToOne) {
+  MovingAverage m(0);
+  EXPECT_EQ(m.capacity(), 1u);
+  m.add(7.0);
+  m.add(9.0);
+  EXPECT_DOUBLE_EQ(m.mean(), 9.0);
+}
+
+TEST(MovingAverage, ResetEmpties) {
+  MovingAverage m(4);
+  m.add(1.0);
+  m.reset();
+  EXPECT_EQ(m.size(), 0u);
+  EXPECT_DOUBLE_EQ(m.mean(), 0.0);
+}
+
+TEST(PercentileOf, InterpolatesSortedSamples) {
+  const std::vector<double> v{1.0, 2.0, 3.0, 4.0, 5.0};
+  EXPECT_DOUBLE_EQ(percentile_of(v, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile_of(v, 100.0), 5.0);
+  EXPECT_DOUBLE_EQ(percentile_of(v, 50.0), 3.0);
+  EXPECT_DOUBLE_EQ(percentile_of(v, 25.0), 2.0);
+}
+
+TEST(PercentileOf, EmptyReturnsZero) {
+  EXPECT_DOUBLE_EQ(percentile_of({}, 50.0), 0.0);
+}
+
+TEST(Mape, BasicRelativeError) {
+  EXPECT_NEAR(mape({100.0, 200.0}, {110.0, 180.0}), (0.10 + 0.10) / 2.0, 1e-12);
+}
+
+TEST(Mape, SkipsZeroReference) {
+  EXPECT_NEAR(mape({0.0, 100.0}, {5.0, 90.0}), 0.10, 1e-12);
+}
+
+TEST(Mape, EmptyIsZero) { EXPECT_DOUBLE_EQ(mape({}, {}), 0.0); }
+
+/// Property: variance is never negative across random streams.
+class StatsPropertySweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(StatsPropertySweep, VarianceNonNegative) {
+  Rng r(GetParam());
+  RunningStats s;
+  for (int i = 0; i < 500; ++i) s.add(r.uniform(-100.0, 100.0));
+  EXPECT_GE(s.variance(), 0.0);
+  EXPECT_GE(s.max(), s.min());
+  EXPECT_GE(s.mean(), s.min());
+  EXPECT_LE(s.mean(), s.max());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, StatsPropertySweep,
+                         ::testing::Values(1ull, 2ull, 3ull, 4ull, 5ull));
+
+}  // namespace
+}  // namespace prime::common

@@ -1,0 +1,70 @@
+/// \file test_strings.cpp
+/// \brief Unit tests for string utilities.
+#include <gtest/gtest.h>
+
+#include "common/strings.hpp"
+
+namespace prime::common {
+namespace {
+
+TEST(Split, BasicAndEmptyFields) {
+  const auto v = split("a,b,,c", ',');
+  ASSERT_EQ(v.size(), 4u);
+  EXPECT_EQ(v[0], "a");
+  EXPECT_EQ(v[2], "");
+  EXPECT_EQ(v[3], "c");
+}
+
+TEST(Split, NoSeparator) {
+  const auto v = split("abc", ',');
+  ASSERT_EQ(v.size(), 1u);
+  EXPECT_EQ(v[0], "abc");
+}
+
+TEST(Split, TrailingSeparator) {
+  const auto v = split("a,", ',');
+  ASSERT_EQ(v.size(), 2u);
+  EXPECT_EQ(v[1], "");
+}
+
+TEST(Trim, RemovesSurroundingWhitespace) {
+  EXPECT_EQ(trim("  hello \t\n"), "hello");
+  EXPECT_EQ(trim(""), "");
+  EXPECT_EQ(trim("   "), "");
+  EXPECT_EQ(trim("inner space kept"), "inner space kept");
+}
+
+TEST(ToLower, Ascii) {
+  EXPECT_EQ(to_lower("MiXeD 123"), "mixed 123");
+}
+
+TEST(StartsEndsWith, Basics) {
+  EXPECT_TRUE(starts_with("prime-rtm", "prime"));
+  EXPECT_FALSE(starts_with("rtm", "prime"));
+  EXPECT_TRUE(ends_with("table1.csv", ".csv"));
+  EXPECT_FALSE(ends_with(".csv", "table1.csv"));
+  EXPECT_TRUE(starts_with("x", ""));
+  EXPECT_TRUE(ends_with("x", ""));
+}
+
+TEST(Join, WithSeparator) {
+  EXPECT_EQ(join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(join({}, ","), "");
+  EXPECT_EQ(join({"solo"}, ","), "solo");
+}
+
+TEST(FormatDouble, Precision) {
+  EXPECT_EQ(format_double(1.23456, 2), "1.23");
+  EXPECT_EQ(format_double(1.0, 0), "1");
+  EXPECT_EQ(format_double(-0.5, 1), "-0.5");
+}
+
+TEST(Pad, LeftAndRight) {
+  EXPECT_EQ(pad_left("ab", 4), "  ab");
+  EXPECT_EQ(pad_right("ab", 4), "ab  ");
+  EXPECT_EQ(pad_left("abcdef", 4), "abcd");  // truncates
+  EXPECT_EQ(pad_right("abcdef", 4), "abcd");
+}
+
+}  // namespace
+}  // namespace prime::common

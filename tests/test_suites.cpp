@@ -1,0 +1,85 @@
+/// \file test_suites.cpp
+/// \brief Unit tests for PARSEC/SPLASH-2 workload presets.
+#include <gtest/gtest.h>
+
+#include "wl/suites.hpp"
+
+namespace prime::wl {
+namespace {
+
+TEST(Suites, AllParsecNamesConstruct) {
+  for (const auto& name : parsec_names()) {
+    const auto g = make_parsec(name);
+    ASSERT_NE(g, nullptr) << name;
+    const WorkloadTrace t = g->generate(50, 1);
+    EXPECT_EQ(t.size(), 50u) << name;
+    EXPECT_GT(t.mean_cycles(), 0.0) << name;
+  }
+}
+
+TEST(Suites, AllSplash2NamesConstruct) {
+  for (const auto& name : splash2_names()) {
+    const auto g = make_splash2(name);
+    ASSERT_NE(g, nullptr) << name;
+    const WorkloadTrace t = g->generate(50, 1);
+    EXPECT_EQ(t.size(), 50u) << name;
+  }
+}
+
+TEST(Suites, UnknownNamesThrow) {
+  EXPECT_THROW(make_parsec("nope"), std::invalid_argument);
+  EXPECT_THROW(make_splash2("nope"), std::invalid_argument);
+  EXPECT_THROW(make_workload("nope"), std::invalid_argument);
+}
+
+TEST(Suites, MakeWorkloadCoversEverything) {
+  for (const auto& name : all_workload_names()) {
+    const auto g = make_workload(name);
+    ASSERT_NE(g, nullptr) << name;
+    EXPECT_FALSE(g->name().empty()) << name;
+  }
+}
+
+TEST(Suites, AllWorkloadNamesIncludePaperApplications) {
+  const auto names = all_workload_names();
+  auto has = [&](const char* n) {
+    return std::find(names.begin(), names.end(), n) != names.end();
+  };
+  EXPECT_TRUE(has("mpeg4"));
+  EXPECT_TRUE(has("h264"));
+  EXPECT_TRUE(has("fft"));
+  EXPECT_TRUE(has("blackscholes"));
+  EXPECT_TRUE(has("radix"));
+}
+
+TEST(Suites, BlackscholesIsFlat) {
+  const auto g = make_parsec("blackscholes");
+  EXPECT_LT(g->generate(1000, 2).cv(), 0.08);
+}
+
+TEST(Suites, BodytrackVariesMoreThanBlackscholes) {
+  const double flat = make_parsec("blackscholes")->generate(2000, 3).cv();
+  const double track = make_parsec("bodytrack")->generate(2000, 3).cv();
+  EXPECT_GT(track, flat);
+}
+
+TEST(Suites, LuDemandShrinksOverRun) {
+  const auto g = make_splash2("lu");
+  const WorkloadTrace t = g->generate(200, 4);
+  double early = 0.0;
+  double late = 0.0;
+  for (std::size_t i = 0; i < 50; ++i) early += static_cast<double>(t.at(i).cycles);
+  for (std::size_t i = 150; i < 200; ++i) late += static_cast<double>(t.at(i).cycles);
+  EXPECT_LT(late, early);
+}
+
+TEST(Suites, DeterministicAcrossCalls) {
+  const auto a = make_parsec("ferret")->generate(100, 77);
+  const auto b = make_parsec("ferret")->generate(100, 77);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a.at(i).cycles, b.at(i).cycles);
+  }
+}
+
+}  // namespace
+}  // namespace prime::wl

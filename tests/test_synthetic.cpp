@@ -1,0 +1,107 @@
+/// \file test_synthetic.cpp
+/// \brief Unit tests for phase- and Markov-modulated workload generators.
+#include <gtest/gtest.h>
+
+#include "wl/synthetic.hpp"
+
+namespace prime::wl {
+namespace {
+
+TEST(PhaseTraceGenerator, RejectsInvalidPrograms) {
+  EXPECT_THROW(PhaseTraceGenerator("x", {}), std::invalid_argument);
+  EXPECT_THROW(PhaseTraceGenerator("x", {Phase{0, 1.0e6, 0.0, 0.0}}),
+               std::invalid_argument);
+  EXPECT_THROW(PhaseTraceGenerator("x", {Phase{10, -1.0, 0.0, 0.0}}),
+               std::invalid_argument);
+}
+
+TEST(PhaseTraceGenerator, PhasesFollowProgram) {
+  const PhaseTraceGenerator g(
+      "two-phase",
+      {Phase{50, 100.0e6, 0.0, 0.0}, Phase{50, 200.0e6, 0.0, 0.0}});
+  const WorkloadTrace t = g.generate(100, 1);
+  EXPECT_NEAR(static_cast<double>(t.at(10).cycles), 100.0e6, 1.0e4);
+  EXPECT_NEAR(static_cast<double>(t.at(60).cycles), 200.0e6, 1.0e4);
+}
+
+TEST(PhaseTraceGenerator, LoopsWhenExhausted) {
+  const PhaseTraceGenerator g("loop", {Phase{10, 100.0e6, 0.0, 0.0},
+                                       Phase{10, 300.0e6, 0.0, 0.0}});
+  const WorkloadTrace t = g.generate(45, 2);
+  // Frames 40-44 are back in phase 0.
+  EXPECT_NEAR(static_cast<double>(t.at(42).cycles), 100.0e6, 1.0e4);
+}
+
+TEST(PhaseTraceGenerator, RampDriftsAcrossPhase) {
+  const PhaseTraceGenerator g("ramp", {Phase{100, 100.0e6, 0.0, 0.5}});
+  const WorkloadTrace t = g.generate(100, 3);
+  // +-25 % linear drift: late frames heavier than early ones.
+  EXPECT_GT(static_cast<double>(t.at(99).cycles),
+            static_cast<double>(t.at(0).cycles) * 1.3);
+}
+
+TEST(PhaseTraceGenerator, Deterministic) {
+  const PhaseTraceGenerator g("d", {Phase{20, 100.0e6, 0.1, 0.0}});
+  const WorkloadTrace a = g.generate(20, 9);
+  const WorkloadTrace b = g.generate(20, 9);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a.at(i).cycles, b.at(i).cycles);
+  }
+}
+
+TEST(MarkovTraceGenerator, RejectsBadParams) {
+  MarkovParams p;
+  p.state_means = {};
+  EXPECT_THROW(MarkovTraceGenerator{p}, std::invalid_argument);
+  p.state_means = {1.0e6, 2.0e6};
+  p.transition = {1.0};  // wrong size
+  EXPECT_THROW(MarkovTraceGenerator{p}, std::invalid_argument);
+  p.transition = {0.5, 0.5, 0.5, 0.5};
+  p.initial_state = 5;
+  EXPECT_THROW(MarkovTraceGenerator{p}, std::invalid_argument);
+}
+
+TEST(MarkovTraceGenerator, VisitsAllStates) {
+  MarkovParams p;  // defaults: 3 states
+  p.jitter_cv = 0.0;
+  const MarkovTraceGenerator g(p);
+  const WorkloadTrace t = g.generate(3000, 4);
+  bool lo = false;
+  bool mid = false;
+  bool hi = false;
+  for (const auto& f : t.frames()) {
+    const auto c = static_cast<double>(f.cycles);
+    lo = lo || std::abs(c - 80.0e6) < 1.0e4;
+    mid = mid || std::abs(c - 120.0e6) < 1.0e4;
+    hi = hi || std::abs(c - 180.0e6) < 1.0e4;
+  }
+  EXPECT_TRUE(lo);
+  EXPECT_TRUE(mid);
+  EXPECT_TRUE(hi);
+}
+
+TEST(MarkovTraceGenerator, AbsorbingStatePinsDemand) {
+  MarkovParams p;
+  p.state_means = {50.0e6, 150.0e6};
+  p.transition = {1.0, 0.0,   // state 0 never leaves
+                  0.0, 1.0};
+  p.jitter_cv = 0.0;
+  p.initial_state = 0;
+  const MarkovTraceGenerator g(p);
+  const WorkloadTrace t = g.generate(100, 5);
+  for (const auto& f : t.frames()) {
+    EXPECT_NEAR(static_cast<double>(f.cycles), 50.0e6, 1.0);
+  }
+}
+
+TEST(MarkovTraceGenerator, Deterministic) {
+  const MarkovTraceGenerator g{MarkovParams{}};
+  const WorkloadTrace a = g.generate(200, 6);
+  const WorkloadTrace b = g.generate(200, 6);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a.at(i).cycles, b.at(i).cycles);
+  }
+}
+
+}  // namespace
+}  // namespace prime::wl

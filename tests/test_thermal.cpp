@@ -1,0 +1,115 @@
+/// \file test_thermal.cpp
+/// \brief Unit tests for the RC thermal model.
+#include <cmath>
+#include <gtest/gtest.h>
+
+#include "hw/thermal_model.hpp"
+
+namespace prime::hw {
+namespace {
+
+TEST(ThermalModel, StartsAtInitialTemperature) {
+  ThermalModelParams p;
+  p.t_init = 42.0;
+  const ThermalModel m(p);
+  EXPECT_DOUBLE_EQ(m.temperature(), 42.0);
+}
+
+TEST(ThermalModel, SteadyStateFormula) {
+  ThermalModelParams p;
+  p.ambient = 25.0;
+  p.r_th = 5.0;
+  const ThermalModel m(p);
+  EXPECT_DOUBLE_EQ(m.steady_state(4.0), 45.0);
+  EXPECT_DOUBLE_EQ(m.steady_state(0.0), 25.0);
+}
+
+TEST(ThermalModel, ConvergesToSteadyState) {
+  ThermalModelParams p;
+  p.ambient = 25.0;
+  p.r_th = 5.0;
+  p.tau = 2.0;
+  p.t_init = 25.0;
+  ThermalModel m(p);
+  for (int i = 0; i < 200; ++i) m.step(6.0, 0.1);  // 20 s >> tau
+  EXPECT_NEAR(m.temperature(), 55.0, 0.2);
+}
+
+TEST(ThermalModel, CoolsWhenPowerRemoved) {
+  ThermalModelParams p;
+  p.t_init = 80.0;
+  ThermalModel m(p);
+  m.step(0.0, 10.0);
+  EXPECT_LT(m.temperature(), 80.0);
+  EXPECT_GT(m.temperature(), p.ambient - 0.01);
+}
+
+TEST(ThermalModel, ExactExponentialStepIsStableForLargeDt) {
+  ThermalModelParams p;
+  p.t_init = 30.0;
+  ThermalModel m(p);
+  m.step(5.0, 1000.0);  // dt >> tau: must land exactly on steady state
+  EXPECT_NEAR(m.temperature(), m.steady_state(5.0), 1e-6);
+}
+
+TEST(ThermalModel, OneTauReaches63Percent) {
+  ThermalModelParams p;
+  p.ambient = 0.0;
+  p.r_th = 1.0;
+  p.tau = 2.0;
+  p.t_init = 0.0;
+  ThermalModel m(p);
+  m.step(100.0, 2.0);  // exactly one time constant
+  EXPECT_NEAR(m.temperature(), 100.0 * (1.0 - std::exp(-1.0)), 1e-9);
+}
+
+TEST(ThermalModel, ZeroOrNegativeDtIsNoOp) {
+  ThermalModel m;
+  const double before = m.temperature();
+  m.step(100.0, 0.0);
+  m.step(100.0, -1.0);
+  EXPECT_DOUBLE_EQ(m.temperature(), before);
+}
+
+TEST(ThermalModel, TripDetection) {
+  ThermalModelParams p;
+  p.t_max = 50.0;
+  p.t_init = 49.0;
+  p.r_th = 10.0;
+  ThermalModel m(p);
+  EXPECT_FALSE(m.over_trip());
+  m.step(50.0, 100.0);
+  EXPECT_TRUE(m.over_trip());
+}
+
+TEST(ThermalModel, ResetRestoresInit) {
+  ThermalModelParams p;
+  p.t_init = 40.0;
+  ThermalModel m(p);
+  m.step(10.0, 5.0);
+  m.reset();
+  EXPECT_DOUBLE_EQ(m.temperature(), 40.0);
+}
+
+/// Property: temperature stays bounded between ambient and steady state when
+/// starting from ambient under constant power.
+class ThermalSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(ThermalSweep, BoundedTrajectory) {
+  ThermalModelParams p;
+  p.t_init = p.ambient;
+  ThermalModel m(p);
+  const double power = GetParam();
+  const double target = m.steady_state(power);
+  for (int i = 0; i < 100; ++i) {
+    m.step(power, 0.05);
+    EXPECT_GE(m.temperature(), p.ambient - 1e-9);
+    EXPECT_LE(m.temperature(), target + 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Powers, ThermalSweep,
+                         ::testing::Values(0.5, 2.0, 6.0, 10.0));
+
+}  // namespace
+}  // namespace prime::hw

@@ -1,0 +1,108 @@
+/// \file test_thermal_cap.cpp
+/// \brief Unit tests for the thermal-capping governor decorator.
+#include <gtest/gtest.h>
+
+#include "gov/simple.hpp"
+#include "gov/thermal_cap.hpp"
+
+namespace prime::gov {
+namespace {
+
+DecisionContext make_ctx(const hw::OppTable& opps) {
+  DecisionContext ctx;
+  ctx.period = 0.040;
+  ctx.cores = 4;
+  ctx.opps = &opps;
+  return ctx;
+}
+
+EpochObservation obs_at_temp(double celsius) {
+  EpochObservation o;
+  o.period = 0.040;
+  o.frame_time = 0.030;
+  o.window = 0.040;
+  o.temperature = celsius;
+  o.deadline_met = true;
+  return o;
+}
+
+TEST(ThermalCap, RejectsBadConstruction) {
+  EXPECT_THROW(ThermalCapGovernor(nullptr), std::invalid_argument);
+  ThermalCapParams p;
+  p.trip = 70.0;
+  p.release = 80.0;
+  EXPECT_THROW(
+      ThermalCapGovernor(std::make_unique<PerformanceGovernor>(), p),
+      std::invalid_argument);
+}
+
+TEST(ThermalCap, TransparentWhenCool) {
+  const hw::OppTable opps = hw::OppTable::odroid_xu3_a15();
+  ThermalCapGovernor g(std::make_unique<PerformanceGovernor>());
+  auto ctx = make_ctx(opps);
+  EXPECT_EQ(g.decide(ctx, std::nullopt), 18u);
+  EXPECT_EQ(g.decide(ctx, obs_at_temp(50.0)), 18u);
+  EXPECT_EQ(g.capped_epochs(), 0u);
+}
+
+TEST(ThermalCap, CapsAboveTrip) {
+  const hw::OppTable opps = hw::OppTable::odroid_xu3_a15();
+  ThermalCapParams p;
+  p.trip = 85.0;
+  p.cap_step = 2;
+  ThermalCapGovernor g(std::make_unique<PerformanceGovernor>(), p);
+  auto ctx = make_ctx(opps);
+  (void)g.decide(ctx, std::nullopt);
+  const std::size_t first_capped = g.decide(ctx, obs_at_temp(90.0));
+  EXPECT_EQ(first_capped, 16u);  // 18 -> cap 16
+  const std::size_t second = g.decide(ctx, obs_at_temp(90.0));
+  EXPECT_EQ(second, 14u);  // ratchets down while hot
+  EXPECT_EQ(g.capped_epochs(), 2u);
+}
+
+TEST(ThermalCap, ReleasesWithHysteresis) {
+  const hw::OppTable opps = hw::OppTable::odroid_xu3_a15();
+  ThermalCapParams p;
+  p.trip = 85.0;
+  p.release = 78.0;
+  ThermalCapGovernor g(std::make_unique<PerformanceGovernor>(), p);
+  auto ctx = make_ctx(opps);
+  (void)g.decide(ctx, std::nullopt);
+  (void)g.decide(ctx, obs_at_temp(90.0));  // cap at 16
+  // Between release and trip: cap holds.
+  EXPECT_EQ(g.decide(ctx, obs_at_temp(82.0)), 16u);
+  // Below release: relaxes one step per epoch.
+  EXPECT_EQ(g.decide(ctx, obs_at_temp(70.0)), 17u);
+  EXPECT_EQ(g.decide(ctx, obs_at_temp(70.0)), 18u);  // fully released
+}
+
+TEST(ThermalCap, NameComposes) {
+  ThermalCapGovernor g(std::make_unique<PerformanceGovernor>());
+  EXPECT_EQ(g.name(), "performance+thermal-cap");
+}
+
+TEST(ThermalCap, ResetClearsCapAndInner) {
+  const hw::OppTable opps = hw::OppTable::odroid_xu3_a15();
+  ThermalCapGovernor g(std::make_unique<PerformanceGovernor>());
+  auto ctx = make_ctx(opps);
+  (void)g.decide(ctx, std::nullopt);
+  (void)g.decide(ctx, obs_at_temp(95.0));
+  g.reset();
+  EXPECT_EQ(g.capped_epochs(), 0u);
+  EXPECT_EQ(g.decide(ctx, std::nullopt), 18u);
+}
+
+TEST(ThermalCap, CapNeverBelowZeroIndex) {
+  const hw::OppTable opps = hw::OppTable::odroid_xu3_a15();
+  ThermalCapParams p;
+  p.cap_step = 7;
+  ThermalCapGovernor g(std::make_unique<PerformanceGovernor>(), p);
+  auto ctx = make_ctx(opps);
+  (void)g.decide(ctx, std::nullopt);
+  std::size_t idx = 18;
+  for (int i = 0; i < 10; ++i) idx = g.decide(ctx, obs_at_temp(99.0));
+  EXPECT_EQ(idx, 0u);
+}
+
+}  // namespace
+}  // namespace prime::gov

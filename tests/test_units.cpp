@@ -1,0 +1,46 @@
+/// \file test_units.cpp
+/// \brief Unit tests for unit conversion helpers.
+#include <gtest/gtest.h>
+
+#include "common/units.hpp"
+
+namespace prime::common {
+namespace {
+
+TEST(Units, FrequencyConversions) {
+  EXPECT_DOUBLE_EQ(mhz(200.0), 2.0e8);
+  EXPECT_DOUBLE_EQ(ghz(2.0), 2.0e9);
+  EXPECT_DOUBLE_EQ(to_mhz(mhz(1400.0)), 1400.0);
+}
+
+TEST(Units, TimeConversions) {
+  EXPECT_DOUBLE_EQ(ms(31.0), 0.031);
+  EXPECT_DOUBLE_EQ(us(100.0), 1.0e-4);
+  EXPECT_DOUBLE_EQ(to_ms(ms(42.0)), 42.0);
+}
+
+TEST(Units, EnergyPowerConversions) {
+  EXPECT_DOUBLE_EQ(mj(500.0), 0.5);
+  EXPECT_DOUBLE_EQ(to_mj(mj(7.0)), 7.0);
+  EXPECT_DOUBLE_EQ(mw(1500.0), 1.5);
+}
+
+TEST(Units, CyclesAtFrequency) {
+  EXPECT_EQ(cycles_at(ghz(1.0), 0.001), 1000000u);
+  EXPECT_EQ(cycles_at(mhz(200.0), 0.0), 0u);
+}
+
+TEST(Units, TimeForCycles) {
+  EXPECT_DOUBLE_EQ(time_for(2000000000ull, ghz(2.0)), 1.0);
+  EXPECT_DOUBLE_EQ(time_for(0, ghz(1.0)), 0.0);
+}
+
+TEST(Units, RoundTripCyclesTime) {
+  const Hertz f = mhz(1300.0);
+  const Seconds t = 0.040;
+  const Cycles c = cycles_at(f, t);
+  EXPECT_NEAR(time_for(c, f), t, 1e-8);
+}
+
+}  // namespace
+}  // namespace prime::common

@@ -1,0 +1,111 @@
+/// \file test_video_gen.cpp
+/// \brief Unit tests for the GOP-structured video workload generator.
+#include <gtest/gtest.h>
+
+#include "wl/video.hpp"
+
+namespace prime::wl {
+namespace {
+
+TEST(VideoTraceGenerator, DeterministicForSeed) {
+  const VideoTraceGenerator g = VideoTraceGenerator::mpeg4_svga();
+  const WorkloadTrace a = g.generate(200, 42);
+  const WorkloadTrace b = g.generate(200, 42);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a.at(i).cycles, b.at(i).cycles);
+  }
+}
+
+TEST(VideoTraceGenerator, SeedsDiffer) {
+  const VideoTraceGenerator g = VideoTraceGenerator::mpeg4_svga();
+  const WorkloadTrace a = g.generate(100, 1);
+  const WorkloadTrace b = g.generate(100, 2);
+  std::size_t same = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a.at(i).cycles == b.at(i).cycles) ++same;
+  }
+  EXPECT_LT(same, 5u);
+}
+
+TEST(VideoTraceGenerator, GopStructure) {
+  const VideoTraceGenerator g = VideoTraceGenerator::mpeg4_svga();
+  const WorkloadTrace t = g.generate(48, 7);
+  const std::size_t gop = g.params().gop_length;
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    if (i % gop == 0) {
+      EXPECT_EQ(t.at(i).kind, FrameKind::kIntra) << "frame " << i;
+    } else {
+      EXPECT_NE(t.at(i).kind, FrameKind::kIntra) << "frame " << i;
+    }
+  }
+}
+
+TEST(VideoTraceGenerator, IFramesHeavierOnAverage) {
+  const VideoTraceGenerator g = VideoTraceGenerator::mpeg4_svga();
+  const WorkloadTrace t = g.generate(2000, 11);
+  double i_sum = 0.0;
+  double b_sum = 0.0;
+  std::size_t i_n = 0;
+  std::size_t b_n = 0;
+  for (const auto& f : t.frames()) {
+    if (f.kind == FrameKind::kIntra) {
+      i_sum += static_cast<double>(f.cycles);
+      ++i_n;
+    } else if (f.kind == FrameKind::kBidirectional) {
+      b_sum += static_cast<double>(f.cycles);
+      ++b_n;
+    }
+  }
+  ASSERT_GT(i_n, 0u);
+  ASSERT_GT(b_n, 0u);
+  EXPECT_GT(i_sum / static_cast<double>(i_n), b_sum / static_cast<double>(b_n));
+}
+
+TEST(VideoTraceGenerator, MeanMatchesConfiguredLevel) {
+  const VideoTraceGenerator g = VideoTraceGenerator::mpeg4_svga();
+  const WorkloadTrace t = g.generate(5000, 13);
+  EXPECT_NEAR(t.mean_cycles() / g.params().mean_cycles, 1.0, 0.15);
+}
+
+TEST(VideoTraceGenerator, FootballHasHigherVariabilityThanMpeg4) {
+  const WorkloadTrace fb =
+      VideoTraceGenerator::h264_football().generate(3000, 17);
+  const WorkloadTrace mp =
+      VideoTraceGenerator::mpeg4_svga().generate(3000, 17);
+  EXPECT_GT(fb.cv(), mp.cv());
+}
+
+TEST(VideoTraceGenerator, AllDemandsPositive) {
+  const WorkloadTrace t =
+      VideoTraceGenerator::h264_football().generate(3000, 19);
+  for (const auto& f : t.frames()) EXPECT_GT(f.cycles, 0u);
+}
+
+TEST(VideoTraceGenerator, NameFollowsLabel) {
+  EXPECT_EQ(VideoTraceGenerator::mpeg4_svga().name(), "mpeg4-svga");
+  EXPECT_EQ(VideoTraceGenerator::h264_football().name(), "h264-football");
+}
+
+/// Property: scene changes rescale demand but never produce outliers beyond
+/// the configured envelope (weights x scene scale x clamped jitter).
+class VideoSeedSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(VideoSeedSweep, DemandStaysInEnvelope) {
+  const VideoTraceGenerator g = VideoTraceGenerator::h264_football();
+  const WorkloadTrace t = g.generate(1000, GetParam());
+  const auto& p = g.params();
+  // Envelope: base * i_weight * scene_hi * (1 + 6 sigma jitter).
+  const double gop_mean_weight = 1.0;  // weights normalised to the mean
+  const double hi = p.mean_cycles / gop_mean_weight * p.i_weight *
+                    p.scene_scale_hi * (1.0 + 6.0 * p.jitter_cv) * 1.6;
+  for (const auto& f : t.frames()) {
+    EXPECT_LT(static_cast<double>(f.cycles), hi);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, VideoSeedSweep,
+                         ::testing::Values(1ull, 7ull, 42ull, 1234ull));
+
+}  // namespace
+}  // namespace prime::wl
