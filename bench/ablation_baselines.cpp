@@ -14,8 +14,7 @@
 #include <iostream>
 
 #include "common/config.hpp"
-#include "hw/platform.hpp"
-#include "sim/experiment.hpp"
+#include "sim/builder.hpp"
 #include "sim/report.hpp"
 
 int main(int argc, char** argv) {
@@ -24,21 +23,20 @@ int main(int argc, char** argv) {
   common::Config cfg;
   cfg.parse_args(argc, argv);
 
-  const auto platform = hw::Platform::odroid_xu3_a15();
-  sim::ExperimentSpec spec;
-  spec.workload = "h264";
-  spec.fps = 25.0;
-  spec.frames = static_cast<std::size_t>(cfg.get_int("frames", 2000));
-  spec.seed = static_cast<std::uint64_t>(cfg.get_int("seed", 42));
-  const wl::Application app = sim::make_application(spec, *platform);
+  const auto frames = static_cast<std::size_t>(cfg.get_int("frames", 2000));
+  std::cout << "=== Extended baseline comparison (h264 @ 25 fps, " << frames
+            << " frames) ===\n\n";
 
-  std::cout << "=== Extended baseline comparison (h264 @ 25 fps, "
-            << spec.frames << " frames) ===\n\n";
-
-  const sim::Comparison cmp = sim::compare_governors(
-      *platform, app,
-      {"performance", "powersave", "ondemand", "conservative", "schedutil",
-       "pid", "shen-rl", "mcdvfs", "rtm-manycore", "rtm-thermal"});
+  const sim::Comparison cmp =
+      sim::ExperimentBuilder()
+          .workload("h264")
+          .fps(25.0)
+          .frames(frames)
+          .trace_seed(static_cast<std::uint64_t>(cfg.get_int("seed", 42)))
+          .governors({"performance", "powersave", "ondemand", "conservative",
+                      "schedutil", "pid", "shen-rl", "mcdvfs", "rtm-manycore",
+                      "rtm-thermal"})
+          .compare();
   sim::print_table(std::cout,
                    sim::make_comparison_table(
                        "Normalised energy & performance (Oracle = 1.0)",

@@ -5,16 +5,16 @@
 /// Low gamma lags behind workload shifts (stale predictions after scene
 /// changes); gamma = 1 chases single-frame noise. The sweep reports the mean
 /// misprediction and the resulting control quality for MPEG4 @ 24 fps — the
-/// same workload as Fig. 3.
+/// same workload as Fig. 3. Each gamma is one parameterised governor spec
+/// ("rtm-manycore(gamma=0.6)") run through the ExperimentBuilder sweep.
 ///
 /// Usage: ablation_gamma [frames=1500] [seed=7]
 #include <iostream>
 
 #include "common/config.hpp"
 #include "common/strings.hpp"
-#include "hw/platform.hpp"
 #include "rtm/manycore.hpp"
-#include "sim/experiment.hpp"
+#include "sim/builder.hpp"
 #include "sim/report.hpp"
 
 int main(int argc, char** argv) {
@@ -28,35 +28,26 @@ int main(int argc, char** argv) {
   std::cout << "=== Ablation: EWMA smoothing factor gamma (paper: 0.6) ===\n"
             << "mpeg4 @ 24 fps, " << frames << " frames\n\n";
 
+  const std::vector<double> gammas{0.1, 0.3, 0.5, 0.6, 0.8, 1.0};
+  sim::ExperimentBuilder builder;
+  builder.workload("mpeg4").fps(24.0).frames(frames).trace_seed(seed)
+      .governor_seed(seed);
+  for (const double gamma : gammas) {
+    builder.governor("rtm-manycore(gamma=" + common::format_double(gamma, 1) +
+                     ")");
+  }
+  const sim::SweepResult sweep = builder.run();
+
   sim::TextTable t;
   t.headers = {"gamma", "Avg misprediction", "Norm. energy", "Miss rate"};
-
-  for (double gamma : {0.1, 0.3, 0.5, 0.6, 0.8, 1.0}) {
-    auto platform = hw::Platform::odroid_xu3_a15();
-    sim::ExperimentSpec spec;
-    spec.workload = "mpeg4";
-    spec.fps = 24.0;
-    spec.frames = frames;
-    spec.seed = seed;
-    const wl::Application app = sim::make_application(spec, *platform);
-
-    const sim::RunResult oracle = [&] {
-      const auto g = sim::make_governor("oracle");
-      return sim::run_simulation(*platform, app, *g);
-    }();
-
-    rtm::ManycoreRtmParams p;
-    p.base.ewma_gamma = gamma;
-    p.base.seed = seed;
-    rtm::ManycoreRtmGovernor g(p);
-    const sim::RunResult run = sim::run_simulation(*platform, app, g);
-    const sim::NormalizedMetrics m = sim::normalize_against(run, oracle);
-
+  for (std::size_t i = 0; i < sweep.results.size(); ++i) {
+    const auto& r = sweep.results[i];
+    const auto& g = dynamic_cast<const rtm::ManycoreRtmGovernor&>(*r.governor);
     t.rows.push_back(
-        {common::format_double(gamma, 1),
+        {common::format_double(gammas[i], 1),
          common::format_double(g.predictor().misprediction_stats().mean() * 100.0, 2) + " %",
-         common::format_double(m.normalized_energy, 3),
-         common::format_double(m.miss_rate, 3)});
+         common::format_double(r.row.normalized_energy, 3),
+         common::format_double(r.row.miss_rate, 3)});
   }
   sim::print_table(std::cout, t);
   std::cout << "\nExpected shape: misprediction minimised in the mid-gamma"

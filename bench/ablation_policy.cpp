@@ -7,26 +7,18 @@
 /// identical epsilon schedules; (b) disabling exploration entirely (pure
 /// greedy from an empty table) gets stuck in poor policies. Also contrasts
 /// the literal cumulative slack average of eq. (5) with the exponentially
-/// weighted variant the governor defaults to.
+/// weighted variant the governor defaults to. Every variant is one
+/// parameterised governor spec run through the ExperimentBuilder sweep.
 ///
 /// Usage: ablation_policy [frames=2000] [seed=42]
 #include <iostream>
+#include <string>
 
 #include "common/config.hpp"
 #include "common/strings.hpp"
-#include "hw/platform.hpp"
 #include "rtm/manycore.hpp"
-#include "sim/experiment.hpp"
+#include "sim/builder.hpp"
 #include "sim/report.hpp"
-
-namespace {
-
-struct Variant {
-  const char* label;
-  prime::rtm::ManycoreRtmParams params;
-};
-
-}  // namespace
 
 int main(int argc, char** argv) {
   using namespace prime;
@@ -36,67 +28,43 @@ int main(int argc, char** argv) {
   const auto frames = static_cast<std::size_t>(cfg.get_int("frames", 2000));
   const auto seed = static_cast<std::uint64_t>(cfg.get_int("seed", 42));
 
-  std::vector<Variant> variants;
-  {
-    Variant v;
-    v.label = "EPD (proposed)";
-    variants.push_back(v);
-  }
-  {
-    Variant v;
-    v.label = "UPD (prior work)";
-    v.params.base.policy = "upd";
-    variants.push_back(v);
-  }
-  {
-    Variant v;
-    v.label = "No exploration (greedy)";
-    v.params.base.epsilon.epsilon0 = 0.0;
-    v.params.base.epsilon.epsilon_min = 0.0;
-    variants.push_back(v);
-  }
-  {
-    Variant v;
-    v.label = "EPD + cumulative slack (eq.5 literal)";
-    v.params.base.slack_mode = rtm::SlackAveraging::kCumulative;
-    variants.push_back(v);
-  }
+  struct Variant {
+    const char* label;
+    const char* spec;
+  };
+  const std::vector<Variant> variants{
+      {"EPD (proposed)", "rtm-manycore"},
+      {"UPD (prior work)", "rtm-manycore(policy=upd)"},
+      {"No exploration (greedy)", "rtm-manycore(epsilon0=0,eps-min=0)"},
+      {"EPD + cumulative slack (eq.5 literal)",
+       "rtm-manycore(slack-mode=cumulative)"},
+  };
 
   std::cout << "=== Ablation: exploration policy & slack averaging ===\n"
             << "h264 @ 25 fps, " << frames << " frames\n\n";
 
+  sim::ExperimentBuilder builder;
+  builder.workload("h264").fps(25.0).frames(frames).trace_seed(seed)
+      .governor_seed(seed);
+  for (const auto& variant : variants) builder.governor(variant.spec);
+  const sim::SweepResult sweep = builder.run();
+
   sim::TextTable t;
   t.headers = {"Variant", "Norm. energy", "Norm. perf", "Miss rate",
                "Misses in first 150 epochs", "Explorations"};
-
-  for (auto& variant : variants) {
-    auto platform = hw::Platform::odroid_xu3_a15();
-    sim::ExperimentSpec spec;
-    spec.workload = "h264";
-    spec.fps = 25.0;
-    spec.frames = frames;
-    spec.seed = seed;
-    const wl::Application app = sim::make_application(spec, *platform);
-
-    const sim::RunResult oracle = [&] {
-      const auto g = sim::make_governor("oracle");
-      return sim::run_simulation(*platform, app, *g);
-    }();
-
-    variant.params.base.seed = seed;
-    rtm::ManycoreRtmGovernor g(variant.params);
-    const sim::RunResult run = sim::run_simulation(*platform, app, g);
-    const sim::NormalizedMetrics m = sim::normalize_against(run, oracle);
+  for (std::size_t i = 0; i < sweep.results.size(); ++i) {
+    const auto& r = sweep.results[i];
+    const auto& g = dynamic_cast<const rtm::ManycoreRtmGovernor&>(*r.governor);
 
     std::size_t early_misses = 0;
-    for (std::size_t i = 0; i < run.epochs.size() && i < 150; ++i) {
-      if (!run.epochs[i].deadline_met) ++early_misses;
+    for (std::size_t e = 0; e < r.run.epochs.size() && e < 150; ++e) {
+      if (!r.run.epochs[e].deadline_met) ++early_misses;
     }
 
-    t.rows.push_back({variant.label,
-                      common::format_double(m.normalized_energy, 3),
-                      common::format_double(m.normalized_performance, 3),
-                      common::format_double(m.miss_rate, 3),
+    t.rows.push_back({variants[i].label,
+                      common::format_double(r.row.normalized_energy, 3),
+                      common::format_double(r.row.normalized_performance, 3),
+                      common::format_double(r.row.miss_rate, 3),
                       std::to_string(early_misses),
                       std::to_string(g.exploration_count())});
   }

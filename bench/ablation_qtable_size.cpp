@@ -7,17 +7,17 @@
 /// trade-off between learning overhead and the energy minimization achieved"
 /// (Section II-A). Small N cannot separate workload/slack regimes (worse
 /// energy or misses); large N multiplies states, slowing convergence for no
-/// return. The sweep prints normalised energy, miss rate and learning
-/// duration per N.
+/// return. Each N is one parameterised spec ("rtm-manycore(levels=5)") run
+/// through the ExperimentBuilder sweep; the single (h264, 25 fps) cell shares
+/// one Oracle baseline across all table sizes.
 ///
 /// Usage: ablation_qtable_size [frames=2000] [seed=42]
 #include <iostream>
 
 #include "common/config.hpp"
 #include "common/strings.hpp"
-#include "hw/platform.hpp"
 #include "rtm/manycore.hpp"
-#include "sim/experiment.hpp"
+#include "sim/builder.hpp"
 #include "sim/report.hpp"
 
 int main(int argc, char** argv) {
@@ -32,37 +32,27 @@ int main(int argc, char** argv) {
             << "h264 @ 25 fps, " << frames << " frames; energy normalised to"
                " the Oracle\n\n";
 
+  const std::vector<std::size_t> sizes{2, 3, 4, 5, 6, 8};
+  sim::ExperimentBuilder builder;
+  builder.workload("h264").fps(25.0).frames(frames).trace_seed(seed)
+      .governor_seed(seed);
+  for (const std::size_t n : sizes) {
+    builder.governor("rtm-manycore(levels=" + std::to_string(n) + ")");
+  }
+  const sim::SweepResult sweep = builder.run();
+
   sim::TextTable t;
   t.headers = {"N", "States |S|", "Norm. energy", "Norm. perf", "Miss rate",
                "Learning epochs"};
-
-  for (std::size_t n : {2, 3, 4, 5, 6, 8}) {
-    auto platform = hw::Platform::odroid_xu3_a15();
-    sim::ExperimentSpec spec;
-    spec.workload = "h264";
-    spec.fps = 25.0;
-    spec.frames = frames;
-    spec.seed = seed;
-    const wl::Application app = sim::make_application(spec, *platform);
-
-    const sim::RunResult oracle = [&] {
-      const auto g = sim::make_governor("oracle");
-      return sim::run_simulation(*platform, app, *g);
-    }();
-
-    rtm::ManycoreRtmParams p;
-    p.base.discretizer.workload_levels = n;
-    p.base.discretizer.slack_levels = n;
-    p.base.seed = seed;
-    rtm::ManycoreRtmGovernor g(p);
-    const sim::RunResult run = sim::run_simulation(*platform, app, g);
-    const sim::NormalizedMetrics m = sim::normalize_against(run, oracle);
-
+  for (std::size_t i = 0; i < sweep.results.size(); ++i) {
+    const auto& r = sweep.results[i];
+    const auto& g = dynamic_cast<const rtm::ManycoreRtmGovernor&>(*r.governor);
+    const std::size_t n = sizes[i];
     t.rows.push_back(
         {std::to_string(n), std::to_string(n * n),
-         common::format_double(m.normalized_energy, 3),
-         common::format_double(m.normalized_performance, 3),
-         common::format_double(m.miss_rate, 3),
+         common::format_double(r.row.normalized_energy, 3),
+         common::format_double(r.row.normalized_performance, 3),
+         common::format_double(r.row.miss_rate, 3),
          std::to_string(g.learning_complete_epoch())});
   }
   sim::print_table(std::cout, t);

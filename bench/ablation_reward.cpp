@@ -8,16 +8,16 @@
 /// drifts upward and oscillates instead of holding the lowest feasible OPP.
 /// This bench quantifies the damage: the linear variant burns measurably more
 /// energy *and* misses more deadlines than the target-band interpretation.
+/// Each variant is one parameterised spec ("rtm-manycore(reward=...)").
 ///
 /// Usage: ablation_reward [frames=2000] [seed=42]
 #include <iostream>
+#include <string>
 
 #include "common/config.hpp"
 #include "common/stats.hpp"
 #include "common/strings.hpp"
-#include "hw/platform.hpp"
-#include "rtm/manycore.hpp"
-#include "sim/experiment.hpp"
+#include "sim/builder.hpp"
 #include "sim/report.hpp"
 
 int main(int argc, char** argv) {
@@ -31,39 +31,28 @@ int main(int argc, char** argv) {
   std::cout << "=== Ablation: reward shaping (eq. 4 literal vs target band) ===\n"
             << "h264 @ 25 fps, " << frames << " frames\n\n";
 
+  const std::vector<std::string> rewards{"target-slack", "linear-slack"};
+  sim::ExperimentBuilder builder;
+  builder.workload("h264").fps(25.0).frames(frames).trace_seed(seed)
+      .governor_seed(seed);
+  for (const auto& reward : rewards) {
+    builder.governor("rtm-manycore(reward=" + reward + ")");
+  }
+  const sim::SweepResult sweep = builder.run();
+
   sim::TextTable t;
   t.headers = {"Reward", "Norm. energy", "Norm. perf", "Miss rate",
                "Mean OPP (2nd half)"};
-
-  for (const char* reward : {"target-slack", "linear-slack"}) {
-    auto platform = hw::Platform::odroid_xu3_a15();
-    sim::ExperimentSpec spec;
-    spec.workload = "h264";
-    spec.fps = 25.0;
-    spec.frames = frames;
-    spec.seed = seed;
-    const wl::Application app = sim::make_application(spec, *platform);
-
-    const sim::RunResult oracle = [&] {
-      const auto g = sim::make_governor("oracle");
-      return sim::run_simulation(*platform, app, *g);
-    }();
-
-    rtm::ManycoreRtmParams p;
-    p.base.reward = reward;
-    p.base.seed = seed;
-    rtm::ManycoreRtmGovernor g(p);
-    const sim::RunResult run = sim::run_simulation(*platform, app, g);
-    const sim::NormalizedMetrics m = sim::normalize_against(run, oracle);
-
+  for (std::size_t i = 0; i < sweep.results.size(); ++i) {
+    const auto& r = sweep.results[i];
     common::RunningStats late_opp;
-    for (std::size_t i = run.epochs.size() / 2; i < run.epochs.size(); ++i) {
-      late_opp.add(static_cast<double>(run.epochs[i].opp_index));
+    for (std::size_t e = r.run.epochs.size() / 2; e < r.run.epochs.size(); ++e) {
+      late_opp.add(static_cast<double>(r.run.epochs[e].opp_index));
     }
-
-    t.rows.push_back({reward, common::format_double(m.normalized_energy, 3),
-                      common::format_double(m.normalized_performance, 3),
-                      common::format_double(m.miss_rate, 3),
+    t.rows.push_back({rewards[i],
+                      common::format_double(r.row.normalized_energy, 3),
+                      common::format_double(r.row.normalized_performance, 3),
+                      common::format_double(r.row.miss_rate, 3),
                       common::format_double(late_opp.mean(), 1) + " / 18"});
   }
   sim::print_table(std::cout, t);

@@ -13,8 +13,7 @@
 
 #include "common/config.hpp"
 #include "common/strings.hpp"
-#include "hw/platform.hpp"
-#include "sim/experiment.hpp"
+#include "sim/builder.hpp"
 #include "sim/report.hpp"
 
 int main(int argc, char** argv) {
@@ -23,21 +22,21 @@ int main(int argc, char** argv) {
   common::Config cfg;
   cfg.parse_args(argc, argv);
 
-  const auto platform = hw::Platform::odroid_xu3_a15();
-  sim::ExperimentSpec spec;
-  spec.workload = "h264";
-  spec.fps = cfg.get_double("fps", 25.0);
-  spec.frames = static_cast<std::size_t>(cfg.get_int("frames", 3000));
-  spec.seed = static_cast<std::uint64_t>(cfg.get_int("seed", 42));
-  const wl::Application app = sim::make_application(spec, *platform);
+  const auto frames = static_cast<std::size_t>(cfg.get_int("frames", 3000));
+  const double fps = cfg.get_double("fps", 25.0);
 
   std::cout << "=== Table I: comparative normalised energy and performance ===\n"
-            << "Workload: " << app.name() << " 'football', "
-            << app.frame_count() << " frames @ " << spec.fps
+            << "Workload: h264 'football', " << frames << " frames @ " << fps
             << " fps on 4x A15 (19 OPPs)\n\n";
 
-  const sim::Comparison cmp = sim::compare_governors(
-      *platform, app, {"ondemand", "mcdvfs", "rtm-manycore"});
+  const sim::Comparison cmp =
+      sim::ExperimentBuilder()
+          .workload("h264")
+          .fps(fps)
+          .frames(frames)
+          .trace_seed(static_cast<std::uint64_t>(cfg.get_int("seed", 42)))
+          .governors({"ondemand", "mcdvfs", "rtm-manycore"})
+          .compare();
 
   struct PaperRow {
     const char* name;

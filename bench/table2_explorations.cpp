@@ -15,9 +15,8 @@
 #include "common/config.hpp"
 #include "common/strings.hpp"
 #include "gov/shen_rl.hpp"
-#include "hw/platform.hpp"
 #include "rtm/manycore.hpp"
-#include "sim/experiment.hpp"
+#include "sim/builder.hpp"
 #include "sim/report.hpp"
 
 int main(int argc, char** argv) {
@@ -50,24 +49,22 @@ int main(int argc, char** argv) {
     double upd_sum = 0.0;
     double epd_sum = 0.0;
     for (std::uint64_t seed = 1; seed <= seeds; ++seed) {
-      auto platform = hw::Platform::odroid_xu3_a15();
-      sim::ExperimentSpec spec;
-      spec.workload = row.workload;
-      spec.fps = row.fps;
-      spec.frames = frames;
-      spec.seed = seed;
-      const wl::Application app = sim::make_application(spec, *platform);
-
-      gov::ShenRlParams sp;
-      sp.seed = seed * 7919;
-      gov::ShenRlGovernor upd(sp);
-      (void)sim::run_simulation(*platform, app, upd);
+      // Both learners are registry specs sharing one (workload, fps) cell;
+      // the sweep returns the governors for the exploration-count readout.
+      const sim::SweepResult sweep = sim::ExperimentBuilder()
+                                         .workload(row.workload)
+                                         .fps(row.fps)
+                                         .frames(frames)
+                                         .trace_seed(seed)
+                                         .governor_seed(seed * 7919)
+                                         .governors({"shen-rl", "rtm-manycore"})
+                                         .oracle_baseline(false)  // counts only
+                                         .run();
+      const auto& upd = dynamic_cast<const gov::ShenRlGovernor&>(
+          *sweep.results[0].governor);
       upd_sum += static_cast<double>(upd.exploration_count());
-
-      rtm::ManycoreRtmParams rp;
-      rp.base.seed = seed * 7919;
-      rtm::ManycoreRtmGovernor epd(rp);
-      (void)sim::run_simulation(*platform, app, epd);
+      const auto& epd = dynamic_cast<const rtm::ManycoreRtmGovernor&>(
+          *sweep.results[1].governor);
       epd_sum += static_cast<double>(epd.exploration_count());
     }
     const double upd_avg = upd_sum / static_cast<double>(seeds);

@@ -16,9 +16,8 @@
 #include "common/config.hpp"
 #include "common/strings.hpp"
 #include "gov/mcdvfs.hpp"
-#include "hw/platform.hpp"
 #include "rtm/manycore.hpp"
-#include "sim/experiment.hpp"
+#include "sim/builder.hpp"
 #include "sim/report.hpp"
 
 int main(int argc, char** argv) {
@@ -35,25 +34,22 @@ int main(int argc, char** argv) {
   double mc_us = 0.0;
   double rtm_us = 0.0;
   for (std::uint64_t seed = 1; seed <= seeds; ++seed) {
-    auto platform = hw::Platform::odroid_xu3_a15();
-    sim::ExperimentSpec spec;
-    spec.workload = "mpeg4";
-    spec.fps = 32.0;  // Tref ~= 31 ms
-    spec.frames = frames;
-    spec.seed = seed;
-    const wl::Application app = sim::make_application(spec, *platform);
-
-    gov::McdvfsParams mp;
-    mp.seed = seed * 17;
-    gov::MulticoreDvfsGovernor mcdvfs(mp);
-    (void)sim::run_simulation(*platform, app, mcdvfs);
+    const sim::SweepResult sweep = sim::ExperimentBuilder()
+                                       .workload("mpeg4")
+                                       .fps(32.0)  // Tref ~= 31 ms
+                                       .frames(frames)
+                                       .trace_seed(seed)
+                                       .governor_seed(seed * 17)
+                                       .governors({"mcdvfs", "rtm-manycore"})
+                                       .oracle_baseline(false)  // epochs only
+                                       .run();
+    const auto& mcdvfs = dynamic_cast<const gov::MulticoreDvfsGovernor&>(
+        *sweep.results[0].governor);
     mc_sum += static_cast<double>(mcdvfs.learning_complete_epoch());
     mc_us = mcdvfs.epoch_overhead() * 1.0e6;
 
-    rtm::ManycoreRtmParams rp;
-    rp.base.seed = seed * 17;
-    rtm::ManycoreRtmGovernor rtm(rp);
-    (void)sim::run_simulation(*platform, app, rtm);
+    const auto& rtm = dynamic_cast<const rtm::ManycoreRtmGovernor&>(
+        *sweep.results[1].governor);
     rtm_sum += static_cast<double>(rtm.learning_complete_epoch());
     rtm_us = rtm.epoch_overhead() * 1.0e6;
   }

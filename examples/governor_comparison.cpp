@@ -15,7 +15,7 @@
 #include "common/stats.hpp"
 #include "common/strings.hpp"
 #include "hw/platform.hpp"
-#include "sim/experiment.hpp"
+#include "sim/builder.hpp"
 #include "sim/report.hpp"
 
 namespace {
@@ -79,28 +79,28 @@ int main(int argc, char** argv) {
   common::Config cfg;
   cfg.parse_args(argc, argv);
 
-  const auto platform = hw::Platform::odroid_xu3_a15();
-
-  sim::ExperimentSpec spec;
-  spec.workload = cfg.get_string("app.workload", "h264");
-  spec.fps = cfg.get_double("app.fps", 25.0);
-  spec.frames = static_cast<std::size_t>(cfg.get_int("app.frames", 3000));
-  spec.seed = static_cast<std::uint64_t>(cfg.get_int("app.seed", 42));
-  const wl::Application app = sim::make_application(spec, *platform);
-
   std::vector<std::string> names;
   const std::string list = cfg.get_string(
       "gov.list", "performance,powersave,ondemand,conservative,shen-rl,"
                   "mcdvfs,rtm,rtm-manycore");
-  for (auto& n : common::split(list, ',')) {
-    if (!n.empty()) names.push_back(common::trim(n));
+  for (auto& n : common::split_outside_parens(list, ',')) {
+    if (!common::trim(n).empty()) names.push_back(common::trim(n));
   }
 
-  std::cout << "Workload " << app.name() << " (" << app.frame_count()
-            << " frames @ " << spec.fps << " fps), platform "
-            << platform->name() << "\n\n";
+  const std::string workload = cfg.get_string("app.workload", "h264");
+  const double fps = cfg.get_double("app.fps", 25.0);
+  std::cout << "Workload " << workload << " ("
+            << cfg.get_int("app.frames", 3000) << " frames @ " << fps
+            << " fps)\n\n";
 
-  const sim::Comparison cmp = sim::compare_governors(*platform, app, names);
+  const sim::Comparison cmp =
+      sim::ExperimentBuilder()
+          .workload(workload)
+          .fps(fps)
+          .frames(static_cast<std::size_t>(cfg.get_int("app.frames", 3000)))
+          .trace_seed(static_cast<std::uint64_t>(cfg.get_int("app.seed", 42)))
+          .governors(names)
+          .compare();
   sim::print_table(std::cout, sim::make_comparison_table(
                                   "Normalised comparison (Oracle = 1.0)",
                                   cmp.rows));

@@ -53,9 +53,12 @@ int main(int argc, char** argv) {
       return sim::run_simulation(*platform, app, *g);
     }();
 
-    rtm::ManycoreRtmGovernor g;
-    const sim::RunResult run = sim::run_simulation(*platform, app, g);
+    // Registry-constructed RTM; the concrete type is recovered only for the
+    // Q-table introspection columns.
+    const auto governor = sim::make_governor("rtm-manycore");
+    const sim::RunResult run = sim::run_simulation(*platform, app, *governor);
     const sim::NormalizedMetrics m = sim::normalize_against(run, oracle);
+    const auto& g = dynamic_cast<const rtm::ManycoreRtmGovernor&>(*governor);
 
     t.rows.push_back(
         {std::to_string(cores),

@@ -3,17 +3,18 @@
 ///
 /// Builds the paper's platform (4x A15, 19 OPPs), a 600-frame H.264 workload
 /// at 25 fps, runs the proposed many-core Q-learning RTM against the Linux
-/// ondemand governor and the offline Oracle, and prints a Table-I-style
-/// normalised comparison.
+/// ondemand governor and the offline Oracle through the ExperimentBuilder,
+/// and prints a Table-I-style normalised comparison.
 ///
 /// Usage: quickstart [key=value ...]
 ///   e.g. quickstart app.fps=30 app.frames=1200 app.workload=mpeg4
+///        quickstart gov.list=ondemand,rtm(policy=upd),rtm-manycore
 #include <iostream>
 
 #include "common/config.hpp"
 #include "common/strings.hpp"
 #include "hw/platform.hpp"
-#include "sim/experiment.hpp"
+#include "sim/builder.hpp"
 #include "sim/report.hpp"
 
 int main(int argc, char** argv) {
@@ -22,26 +23,30 @@ int main(int argc, char** argv) {
   common::Config cfg;
   cfg.parse_args(argc, argv);
 
-  // 1. The hardware: an ODROID-XU3-like A15 cluster.
+  // The hardware the builder will instantiate per run: an ODROID-XU3-like
+  // A15 cluster (shown here only for the banner).
   const auto platform = hw::Platform::odroid_xu3_a15();
   std::cout << "Platform: " << platform->name() << " ("
             << platform->opp_table().describe() << ", "
-            << platform->cluster().core_count() << " cores)\n";
+            << platform->cluster().core_count() << " cores)\n\n";
 
-  // 2. The application: a periodic frame workload with a deadline.
-  sim::ExperimentSpec spec;
-  spec.workload = cfg.get_string("app.workload", "h264");
-  spec.fps = cfg.get_double("app.fps", 25.0);
-  spec.frames = static_cast<std::size_t>(cfg.get_int("app.frames", 600));
-  spec.seed = static_cast<std::uint64_t>(cfg.get_int("app.seed", 42));
-  const wl::Application app = sim::make_application(spec, *platform);
-  std::cout << "Application: " << app.name() << ", " << app.frame_count()
-            << " frames @ " << spec.fps << " fps (Tref = "
-            << common::to_ms(app.deadline_at(0)) << " ms)\n\n";
+  // Assemble the scenario: one workload, one requirement, three governors.
+  // Governor names are registry specs — any `gov.list` entry may carry
+  // parameters, e.g. "rtm(policy=upd,alpha=0.2)".
+  std::vector<std::string> governors;
+  for (auto& name : common::split_outside_parens(
+           cfg.get_string("gov.list", "ondemand,mcdvfs,rtm-manycore"), ',')) {
+    if (!common::trim(name).empty()) governors.push_back(common::trim(name));
+  }
 
-  // 3. Compare governors, normalised against the Oracle.
-  const sim::Comparison cmp = sim::compare_governors(
-      *platform, app, {"ondemand", "mcdvfs", "rtm-manycore"});
+  const sim::Comparison cmp =
+      sim::ExperimentBuilder()
+          .workload(cfg.get_string("app.workload", "h264"))
+          .fps(cfg.get_double("app.fps", 25.0))
+          .frames(static_cast<std::size_t>(cfg.get_int("app.frames", 600)))
+          .trace_seed(static_cast<std::uint64_t>(cfg.get_int("app.seed", 42)))
+          .governors(governors)
+          .compare();
 
   sim::print_table(std::cout,
                    sim::make_comparison_table(

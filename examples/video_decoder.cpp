@@ -10,7 +10,9 @@
 ///
 /// Usage: video_decoder [key=value ...]
 ///   app.fps=24 app.frames=300 app.seed=7 out.csv=run.csv out.head=40
-///   gov.name=rtm-manycore (any make_governor name)
+///   gov.name=rtm-manycore — any registered governor spec, including
+///   parameterised ones such as "gov.name=rtm(policy=upd,alpha=0.2)" or
+///   "gov.name=thermal-cap(inner=rtm-manycore,trip=80)"
 #include <fstream>
 #include <iostream>
 

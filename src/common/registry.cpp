@@ -1,0 +1,64 @@
+#include "common/registry.hpp"
+
+#include <algorithm>
+
+#include "common/strings.hpp"
+
+namespace prime::common {
+namespace {
+
+/// Closest candidate by edit distance when it is plausibly a typo (distance
+/// small relative to the target's length); "" when nothing is close enough.
+std::string closest_match(const std::string& target,
+                          const std::vector<std::string>& candidates) {
+  std::size_t best = std::string::npos;
+  std::string suggestion;
+  for (const auto& candidate : candidates) {
+    const std::size_t d = edit_distance(target, candidate);
+    if (d < best) {
+      best = d;
+      suggestion = candidate;
+    }
+  }
+  if (suggestion.empty() || best > std::max<std::size_t>(2, target.size() / 3)) {
+    return "";
+  }
+  return suggestion;
+}
+
+std::string build_message(const std::string& kind, const std::string& name,
+                          const std::vector<std::string>& known) {
+  std::string msg = kind + ": unknown name '" + name + "'.";
+  const std::string suggestion = closest_match(name, known);
+  if (!suggestion.empty()) msg += " Did you mean '" + suggestion + "'?";
+  msg += " Registered: " + join(known, ", ") + ".";
+  return msg;
+}
+
+std::string build_key_message(const std::string& kind, const std::string& name,
+                              const std::vector<std::string>& unknown,
+                              const std::vector<std::string>& supported) {
+  std::string msg = kind + " '" + name + "': unknown key" +
+                    (unknown.size() > 1 ? "s" : "") + " '" +
+                    join(unknown, "', '") + "'.";
+  const std::string suggestion = closest_match(unknown.front(), supported);
+  if (!suggestion.empty()) msg += " Did you mean '" + suggestion + "'?";
+  msg += supported.empty() ? " This " + kind + " takes no keys."
+                           : " Supported: " + join(supported, ", ") + ".";
+  return msg;
+}
+
+}  // namespace
+
+UnknownNameError::UnknownNameError(const std::string& kind,
+                                   const std::string& name,
+                                   const std::vector<std::string>& known)
+    : std::invalid_argument(build_message(kind, name, known)) {}
+
+UnknownKeyError::UnknownKeyError(const std::string& kind,
+                                 const std::string& name,
+                                 const std::vector<std::string>& unknown,
+                                 const std::vector<std::string>& supported)
+    : std::invalid_argument(build_key_message(kind, name, unknown, supported)) {}
+
+}  // namespace prime::common

@@ -1,0 +1,157 @@
+/// \file registry.hpp
+/// \brief Generic self-registering factory registry.
+///
+/// Each constructible domain (governors, workloads, rewards, exploration
+/// policies) owns one process-wide Registry instance. Implementations
+/// register themselves from their own translation unit through a static
+/// Registrar object, so adding a new governor or workload never touches the
+/// sim layer — the same pattern plugin/pass registries use in large C++
+/// systems. Lookup failures throw UnknownNameError, which lists every
+/// registered name and suggests the closest match.
+///
+/// Thread safety: registration happens during static initialisation
+/// (single-threaded); create()/names() take a mutex so the multi-threaded
+/// sweep runner can construct scenarios concurrently.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/spec.hpp"
+
+namespace prime::common {
+
+/// \brief Unknown registry name: lists registered names, did-you-mean style.
+///        Derives from std::invalid_argument so existing catch sites and
+///        EXPECT_THROW assertions keep working.
+class UnknownNameError : public std::invalid_argument {
+ public:
+  /// \brief Build the message for an unknown \p name in the \p kind registry.
+  UnknownNameError(const std::string& kind, const std::string& name,
+                   const std::vector<std::string>& known);
+};
+
+/// \brief Spec keys the factory never read — typos like `gama=0.5` — listing
+///        the keys the factory does support, did-you-mean style.
+class UnknownKeyError : public std::invalid_argument {
+ public:
+  /// \brief Build the message for \p unknown keys on a \p name spec whose
+  ///        factory requested only \p supported keys.
+  UnknownKeyError(const std::string& kind, const std::string& name,
+                  const std::vector<std::string>& unknown,
+                  const std::vector<std::string>& supported);
+};
+
+/// \brief Registry of named factories producing std::unique_ptr<T>.
+///        Factories receive the parsed Spec plus domain-specific Args
+///        (e.g. the governor registry passes the experiment seed).
+template <class T, class... Args>
+class Registry {
+ public:
+  using Factory = std::function<std::unique_ptr<T>(const Spec&, Args...)>;
+
+  /// \brief Construct with a human-readable domain name for error messages.
+  explicit Registry(std::string kind) : kind_(std::move(kind)) {}
+
+  Registry(const Registry&) = delete;
+  Registry& operator=(const Registry&) = delete;
+
+  /// \brief Register \p factory under \p name. Throws std::logic_error on a
+  ///        duplicate name (two translation units claiming the same spec).
+  void add(const std::string& name, std::string description, Factory factory) {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    const bool inserted =
+        entries_.emplace(name, Entry{std::move(description), std::move(factory)})
+            .second;
+    if (!inserted) {
+      throw std::logic_error(kind_ + " registry: duplicate name '" + name + "'");
+    }
+  }
+
+  /// \brief True if \p name is registered.
+  [[nodiscard]] bool contains(const std::string& name) const {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return entries_.find(name) != entries_.end();
+  }
+
+  /// \brief Construct from a parsed spec. Throws UnknownNameError when the
+  ///        spec's name is not registered, UnknownKeyError when the spec
+  ///        carries keys the factory never reads (typo'd parameters would
+  ///        otherwise silently fall back to defaults).
+  [[nodiscard]] std::unique_ptr<T> create(const Spec& spec, Args... args) const {
+    Factory factory;
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      const auto it = entries_.find(spec.name());
+      if (it == entries_.end()) {
+        throw UnknownNameError(kind_, spec.name(), names_locked());
+      }
+      factory = it->second.factory;
+    }
+    // Invoke outside the lock: factories may recurse into the registry to
+    // build nested specs (e.g. rtm-thermal(inner=rtm)). The local copy gets
+    // fresh request tracking, so the keys the factory reads are known after
+    // the call and leftovers can be rejected.
+    const Spec local(spec.name(), spec.args());
+    auto object = factory(local, args...);
+    const std::vector<std::string> unknown = local.unrequested_keys();
+    if (!unknown.empty()) {
+      throw UnknownKeyError(kind_, spec.name(), unknown, local.requested_keys());
+    }
+    return object;
+  }
+
+  /// \brief Parse \p spec_text and construct.
+  [[nodiscard]] std::unique_ptr<T> create(const std::string& spec_text,
+                                          Args... args) const {
+    return create(Spec::parse(spec_text), args...);
+  }
+
+  /// \brief All registered names, sorted.
+  [[nodiscard]] std::vector<std::string> names() const {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return names_locked();
+  }
+
+  /// \brief One-line description of a registered name ("" when absent).
+  [[nodiscard]] std::string describe(const std::string& name) const {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = entries_.find(name);
+    return it == entries_.end() ? std::string() : it->second.description;
+  }
+
+ private:
+  struct Entry {
+    std::string description;
+    Factory factory;
+  };
+
+  [[nodiscard]] std::vector<std::string> names_locked() const {
+    std::vector<std::string> out;
+    out.reserve(entries_.size());
+    for (const auto& [name, entry] : entries_) out.push_back(name);
+    return out;
+  }
+
+  std::string kind_;
+  mutable std::mutex mutex_;
+  std::map<std::string, Entry> entries_;
+};
+
+/// \brief Static self-registration helper:
+///        `const Registrar<MyRegistry> r{my_registry(), "name", "desc", f};`
+template <class R>
+struct Registrar {
+  Registrar(R& registry, const std::string& name, std::string description,
+            typename R::Factory factory) {
+    registry.add(name, std::move(description), std::move(factory));
+  }
+};
+
+}  // namespace prime::common

@@ -21,6 +21,24 @@ std::vector<std::string> split(std::string_view text, char sep) {
   return out;
 }
 
+std::vector<std::string> split_outside_parens(std::string_view text, char sep) {
+  std::vector<std::string> out;
+  std::string current;
+  int depth = 0;
+  for (const char c : text) {
+    if (c == '(') ++depth;
+    if (c == ')' && depth > 0) --depth;
+    if (c == sep && depth == 0) {
+      out.push_back(current);
+      current.clear();
+    } else {
+      current.push_back(c);
+    }
+  }
+  out.push_back(current);
+  return out;
+}
+
 std::string trim(std::string_view text) {
   std::size_t b = 0;
   std::size_t e = text.size();
@@ -53,6 +71,22 @@ std::string join(const std::vector<std::string>& parts, std::string_view sep) {
     out.append(parts[i]);
   }
   return out;
+}
+
+std::size_t edit_distance(std::string_view a, std::string_view b) {
+  // Single-row dynamic program; names are short so O(|a|*|b|) is fine.
+  std::vector<std::size_t> row(b.size() + 1);
+  for (std::size_t j = 0; j <= b.size(); ++j) row[j] = j;
+  for (std::size_t i = 1; i <= a.size(); ++i) {
+    std::size_t diag = row[0];
+    row[0] = i;
+    for (std::size_t j = 1; j <= b.size(); ++j) {
+      const std::size_t sub = diag + (a[i - 1] == b[j - 1] ? 0 : 1);
+      diag = row[j];
+      row[j] = std::min({row[j] + 1, row[j - 1] + 1, sub});
+    }
+  }
+  return row[b.size()];
 }
 
 std::string format_double(double value, int precision) {

@@ -11,6 +11,12 @@ namespace prime::common {
 /// \brief Split \p text on \p sep; empty fields are preserved.
 [[nodiscard]] std::vector<std::string> split(std::string_view text, char sep);
 
+/// \brief Split \p text on \p sep, ignoring separators inside parentheses —
+///        so "a,rtm(policy=upd,alpha=0.3)" splits into two fields, not three.
+///        Used wherever users list construction specs (gov.list=...).
+[[nodiscard]] std::vector<std::string> split_outside_parens(
+    std::string_view text, char sep);
+
 /// \brief Strip leading/trailing ASCII whitespace.
 [[nodiscard]] std::string trim(std::string_view text);
 
@@ -26,6 +32,10 @@ namespace prime::common {
 /// \brief Join strings with a separator.
 [[nodiscard]] std::string join(const std::vector<std::string>& parts,
                                std::string_view sep);
+
+/// \brief Levenshtein edit distance (insert/delete/substitute, unit costs).
+///        Used for did-you-mean suggestions in registry error messages.
+[[nodiscard]] std::size_t edit_distance(std::string_view a, std::string_view b);
 
 /// \brief printf-style double formatting (e.g. format_double(1.234, 2) == "1.23").
 [[nodiscard]] std::string format_double(double value, int precision);

@@ -1,6 +1,9 @@
 #include "gov/conservative.hpp"
 
 #include <algorithm>
+#include <memory>
+
+#include "gov/registry.hpp"
 
 namespace prime::gov {
 
@@ -28,5 +31,21 @@ std::size_t ConservativeGovernor::decide(
 }
 
 void ConservativeGovernor::reset() { index_ = -1; }
+
+namespace {
+
+const GovernorRegistrar kRegisterConservative{
+    governor_registry(), "conservative",
+    "Linux conservative: stepwise reactive; keys: up, down, step",
+    [](const common::Spec& spec, std::uint64_t) {
+      ConservativeParams p;
+      p.up_threshold = spec.get_double("up", p.up_threshold);
+      p.down_threshold = spec.get_double("down", p.down_threshold);
+      p.freq_step = static_cast<std::size_t>(
+          spec.get_int("step", static_cast<long long>(p.freq_step)));
+      return std::make_unique<ConservativeGovernor>(p);
+    }};
+
+}  // namespace
 
 }  // namespace prime::gov

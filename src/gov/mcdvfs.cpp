@@ -1,6 +1,9 @@
 #include "gov/mcdvfs.hpp"
 
 #include <algorithm>
+#include <memory>
+
+#include "gov/registry.hpp"
 
 namespace prime::gov {
 
@@ -144,5 +147,26 @@ std::vector<std::size_t> MulticoreDvfsGovernor::greedy_policy() const {
   }
   return policy;
 }
+
+namespace {
+
+const GovernorRegistrar kRegisterMcdvfs{
+    governor_registry(), "mcdvfs",
+    "multi-core DVFS control baseline [20]: per-core Q-learning, UPD; "
+    "keys: levels, alpha, discount, epsilon0, decay, eps-min, seed",
+    [](const common::Spec& spec, std::uint64_t seed) {
+      McdvfsParams p;
+      p.util_levels = static_cast<std::size_t>(
+          spec.get_int("levels", static_cast<long long>(p.util_levels)));
+      p.learning_rate = spec.get_double("alpha", p.learning_rate);
+      p.discount = spec.get_double("discount", p.discount);
+      p.epsilon0 = spec.get_double("epsilon0", p.epsilon0);
+      p.epsilon_decay = spec.get_double("decay", p.epsilon_decay);
+      p.epsilon_min = spec.get_double("eps-min", p.epsilon_min);
+      p.seed = effective_seed(spec, seed);
+      return std::make_unique<MulticoreDvfsGovernor>(p);
+    }};
+
+}  // namespace
 
 }  // namespace prime::gov

@@ -1,6 +1,9 @@
 #include "gov/ondemand.hpp"
 
 #include <algorithm>
+#include <memory>
+
+#include "gov/registry.hpp"
 
 namespace prime::gov {
 
@@ -51,5 +54,22 @@ void OndemandGovernor::reset() {
   epochs_since_sample_ = 0;
   initialised_ = false;
 }
+
+namespace {
+
+const GovernorRegistrar kRegisterOndemand{
+    governor_registry(), "ondemand",
+    "Linux ondemand [5]: load-reactive, deadline-blind; "
+    "keys: up, down, sampling",
+    [](const common::Spec& spec, std::uint64_t) {
+      OndemandParams p;
+      p.up_threshold = spec.get_double("up", p.up_threshold);
+      p.down_differential = spec.get_double("down", p.down_differential);
+      p.sampling_epochs = static_cast<std::size_t>(
+          spec.get_int("sampling", static_cast<long long>(p.sampling_epochs)));
+      return std::make_unique<OndemandGovernor>(p);
+    }};
+
+}  // namespace
 
 }  // namespace prime::gov

@@ -1,5 +1,9 @@
 #include "gov/oracle.hpp"
 
+#include <memory>
+
+#include "gov/registry.hpp"
+
 namespace prime::gov {
 
 void OracleGovernor::preview_next_frame(const FramePreview& preview) {
@@ -30,5 +34,19 @@ void OracleGovernor::reset() {
   preview_ = FramePreview{};
   has_preview_ = false;
 }
+
+namespace {
+
+const GovernorRegistrar kRegisterOracle{
+    governor_registry(), "oracle",
+    "clairvoyant minimum-frequency baseline (Table I denominator); "
+    "keys: guard",
+    [](const common::Spec& spec, std::uint64_t) {
+      OracleParams p;
+      p.guard_band = spec.get_double("guard", p.guard_band);
+      return std::make_unique<OracleGovernor>(p);
+    }};
+
+}  // namespace
 
 }  // namespace prime::gov

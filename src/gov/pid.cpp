@@ -2,6 +2,9 @@
 
 #include <algorithm>
 #include <cmath>
+#include <memory>
+
+#include "gov/registry.hpp"
 
 namespace prime::gov {
 
@@ -29,5 +32,21 @@ void PidGovernor::reset() {
   last_error_ = 0.0;
   index_ = -1.0;
 }
+
+namespace {
+
+const GovernorRegistrar kRegisterPid{
+    governor_registry(), "pid",
+    "control-theoretic DVS [4]: PID on slack; keys: setpoint, kp, ki, kd",
+    [](const common::Spec& spec, std::uint64_t) {
+      PidParams p;
+      p.setpoint = spec.get_double("setpoint", p.setpoint);
+      p.kp = spec.get_double("kp", p.kp);
+      p.ki = spec.get_double("ki", p.ki);
+      p.kd = spec.get_double("kd", p.kd);
+      return std::make_unique<PidGovernor>(p);
+    }};
+
+}  // namespace
 
 }  // namespace prime::gov

@@ -1,0 +1,33 @@
+/// \file registry.hpp
+/// \brief The process-wide governor registry.
+///
+/// Governors register themselves from their own translation unit via a static
+/// GovernorRegistrar, parameterised by a `name(key=value,...)` spec — e.g.
+/// `"rtm(policy=upd,alpha=0.2)"` or the composed
+/// `"rtm-thermal(inner=rtm(policy=upd))"`. The factory receives the parsed
+/// spec plus the experiment's governor seed; a `seed=` spec key overrides the
+/// passed seed. Adding a governor therefore never touches the sim layer.
+#pragma once
+
+#include <cstdint>
+
+#include "common/registry.hpp"
+#include "gov/governor.hpp"
+
+namespace prime::gov {
+
+/// \brief Registry of governor factories: (Spec, seed) -> Governor.
+using GovernorRegistry = common::Registry<Governor, std::uint64_t>;
+
+/// \brief The process-wide governor registry.
+[[nodiscard]] GovernorRegistry& governor_registry();
+
+/// \brief Static self-registration helper for governor translation units.
+using GovernorRegistrar = common::Registrar<GovernorRegistry>;
+
+/// \brief Seed in effect for a governor factory: the spec's `seed=` key when
+///        present, the experiment's seed otherwise.
+[[nodiscard]] std::uint64_t effective_seed(const common::Spec& spec,
+                                           std::uint64_t fallback);
+
+}  // namespace prime::gov

@@ -1,6 +1,9 @@
 #include "gov/schedutil.hpp"
 
 #include <algorithm>
+#include <memory>
+
+#include "gov/registry.hpp"
 
 namespace prime::gov {
 
@@ -44,5 +47,21 @@ void SchedutilGovernor::reset() {
   epochs_since_down_ = 0;
   initialised_ = false;
 }
+
+namespace {
+
+const GovernorRegistrar kRegisterSchedutil{
+    governor_registry(), "schedutil",
+    "Linux schedutil: utilisation-proportional with asymmetric rate limit; "
+    "keys: headroom, down-rate",
+    [](const common::Spec& spec, std::uint64_t) {
+      SchedutilParams p;
+      p.headroom = spec.get_double("headroom", p.headroom);
+      p.down_rate_epochs = static_cast<std::size_t>(spec.get_int(
+          "down-rate", static_cast<long long>(p.down_rate_epochs)));
+      return std::make_unique<SchedutilGovernor>(p);
+    }};
+
+}  // namespace
 
 }  // namespace prime::gov

@@ -1,6 +1,9 @@
 #include "gov/shen_rl.hpp"
 
 #include <algorithm>
+#include <memory>
+
+#include "gov/registry.hpp"
 
 namespace prime::gov {
 
@@ -115,5 +118,24 @@ std::vector<std::size_t> ShenRlGovernor::greedy_policy() const {
   for (std::size_t s = 0; s < states_; ++s) policy.push_back(argmax_action(s));
   return policy;
 }
+
+namespace {
+
+const GovernorRegistrar kRegisterShenRl{
+    governor_registry(), "shen-rl",
+    "autonomous RL baseline [21]: cluster-level Q-learning, UPD exploration; "
+    "keys: alpha, discount, epsilon0, decay, eps-min, seed",
+    [](const common::Spec& spec, std::uint64_t seed) {
+      ShenRlParams p;
+      p.learning_rate = spec.get_double("alpha", p.learning_rate);
+      p.discount = spec.get_double("discount", p.discount);
+      p.epsilon0 = spec.get_double("epsilon0", p.epsilon0);
+      p.epsilon_decay = spec.get_double("decay", p.epsilon_decay);
+      p.epsilon_min = spec.get_double("eps-min", p.epsilon_min);
+      p.seed = effective_seed(spec, seed);
+      return std::make_unique<ShenRlGovernor>(p);
+    }};
+
+}  // namespace
 
 }  // namespace prime::gov

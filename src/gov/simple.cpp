@@ -1,5 +1,9 @@
 #include "gov/simple.hpp"
 
+#include <memory>
+
+#include "gov/registry.hpp"
+
 namespace prime::gov {
 
 std::size_t PerformanceGovernor::decide(
@@ -16,5 +20,31 @@ std::size_t UserspaceGovernor::decide(const DecisionContext& ctx,
                                       const std::optional<EpochObservation>&) {
   return ctx.opps->clamp_index(static_cast<long long>(index_));
 }
+
+namespace {
+
+const GovernorRegistrar kRegisterPerformance{
+    governor_registry(), "performance",
+    "fastest OPP always (Linux 'performance'; upper perf / energy anchor)",
+    [](const common::Spec&, std::uint64_t) {
+      return std::make_unique<PerformanceGovernor>();
+    }};
+
+const GovernorRegistrar kRegisterPowersave{
+    governor_registry(), "powersave",
+    "slowest OPP always (Linux 'powersave'; lower bound anchor)",
+    [](const common::Spec&, std::uint64_t) {
+      return std::make_unique<PowersaveGovernor>();
+    }};
+
+const GovernorRegistrar kRegisterUserspace{
+    governor_registry(), "userspace",
+    "fixed user-chosen OPP (Linux 'userspace'); keys: opp",
+    [](const common::Spec& spec, std::uint64_t) {
+      return std::make_unique<UserspaceGovernor>(
+          static_cast<std::size_t>(spec.get_int("opp", 0)));
+    }};
+
+}  // namespace
 
 }  // namespace prime::gov

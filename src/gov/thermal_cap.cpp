@@ -1,7 +1,10 @@
 #include "gov/thermal_cap.hpp"
 
 #include <limits>
+#include <memory>
 #include <stdexcept>
+
+#include "gov/registry.hpp"
 
 namespace prime::gov {
 
@@ -51,5 +54,35 @@ void ThermalCapGovernor::reset() {
   cap_ = std::numeric_limits<std::size_t>::max();
   capped_ = 0;
 }
+
+namespace {
+
+/// Composition through the registry: the inner governor is itself a spec
+/// (default rtm-manycore), so "thermal-cap(inner=rtm(policy=upd))" nests.
+std::unique_ptr<Governor> make_thermal_cap(const common::Spec& spec,
+                                           std::uint64_t seed) {
+  ThermalCapParams p;
+  p.trip = spec.get_double("trip", p.trip);
+  p.release = spec.get_double("release", p.release);
+  p.cap_step = static_cast<std::size_t>(
+      spec.get_int("step", static_cast<long long>(p.cap_step)));
+  auto inner = governor_registry().create(
+      spec.get_string("inner", "rtm-manycore"), effective_seed(spec, seed));
+  return std::make_unique<ThermalCapGovernor>(std::move(inner), p);
+}
+
+const GovernorRegistrar kRegisterThermalCap{
+    governor_registry(), "thermal-cap",
+    "thermal-capping decorator around any governor; "
+    "keys: inner (a governor spec), trip, release, step",
+    make_thermal_cap};
+
+const GovernorRegistrar kRegisterRtmThermal{
+    governor_registry(), "rtm-thermal",
+    "the proposed many-core RTM wrapped in the thermal cap (alias of "
+    "thermal-cap with inner=rtm-manycore)",
+    make_thermal_cap};
+
+}  // namespace
 
 }  // namespace prime::gov

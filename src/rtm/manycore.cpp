@@ -1,6 +1,10 @@
 #include "rtm/manycore.hpp"
 
 #include <algorithm>
+#include <memory>
+#include <stdexcept>
+
+#include "gov/registry.hpp"
 
 namespace prime::rtm {
 
@@ -50,5 +54,47 @@ void ManycoreRtmGovernor::reset() {
   predictors_.clear();
   learner_ = 0;
 }
+
+namespace {
+
+ManycoreRtmParams manycore_params_from_spec(const common::Spec& spec,
+                                            std::uint64_t seed,
+                                            WorkloadStateMode default_mode) {
+  ManycoreRtmParams p;
+  p.base = rtm_params_from_spec(spec, seed);
+  p.mode = default_mode;
+  if (spec.has("mode")) {
+    const std::string mode = spec.get_string("mode", "");
+    if (mode == "absolute") {
+      p.mode = WorkloadStateMode::kAbsolute;
+    } else if (mode == "normalized") {
+      p.mode = WorkloadStateMode::kNormalized;
+    } else {
+      throw std::invalid_argument(
+          "rtm-manycore: mode must be 'absolute' or 'normalized', got '" +
+          mode + "'");
+    }
+  }
+  return p;
+}
+
+const gov::GovernorRegistrar kRegisterManycore{
+    gov::governor_registry(), "rtm-manycore",
+    "proposed many-core shared-Q-table RTM (Section II-D); keys: all rtm "
+    "keys plus mode=absolute|normalized",
+    [](const common::Spec& spec, std::uint64_t seed) {
+      return std::make_unique<ManycoreRtmGovernor>(
+          manycore_params_from_spec(spec, seed, WorkloadStateMode::kAbsolute));
+    }};
+
+const gov::GovernorRegistrar kRegisterManycoreNormalized{
+    gov::governor_registry(), "rtm-manycore-normalized",
+    "many-core RTM with the literal eq. (7) per-core share normalisation",
+    [](const common::Spec& spec, std::uint64_t seed) {
+      return std::make_unique<ManycoreRtmGovernor>(manycore_params_from_spec(
+          spec, seed, WorkloadStateMode::kNormalized));
+    }};
+
+}  // namespace
 
 }  // namespace prime::rtm

@@ -40,11 +40,30 @@ std::size_t UpdPolicy::sample(const hw::OppTable& opps, double /*slack*/,
       rng.uniform_int(0, static_cast<std::int64_t>(opps.size()) - 1));
 }
 
-std::unique_ptr<ExplorationPolicy> make_policy(const std::string& name) {
-  if (name == "epd") return std::make_unique<EpdPolicy>();
-  if (name == "upd") return std::make_unique<UpdPolicy>();
-  throw std::invalid_argument("make_policy: unknown policy '" + name + "'");
+PolicyRegistry& policy_registry() {
+  static PolicyRegistry registry("exploration policy");
+  return registry;
 }
+
+std::unique_ptr<ExplorationPolicy> make_policy(const std::string& name) {
+  return policy_registry().create(name);
+}
+
+namespace {
+
+const PolicyRegistrar kRegisterEpd{
+    policy_registry(), "epd",
+    "the paper's slack-directed exponential distribution (eq. 2); keys: beta",
+    [](const common::Spec& spec) {
+      return std::make_unique<EpdPolicy>(spec.get_double("beta", 3.0));
+    }};
+
+const PolicyRegistrar kRegisterUpd{
+    policy_registry(), "upd",
+    "uniform random selection of prior work [19][21]",
+    [](const common::Spec&) { return std::make_unique<UpdPolicy>(); }};
+
+}  // namespace
 
 EpsilonSchedule::EpsilonSchedule(const Params& params)
     : params_(params), epsilon_(params.epsilon0) {

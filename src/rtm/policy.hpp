@@ -19,6 +19,7 @@
 #include <string>
 #include <vector>
 
+#include "common/registry.hpp"
 #include "common/rng.hpp"
 #include "hw/opp.hpp"
 
@@ -68,7 +69,20 @@ class UpdPolicy final : public ExplorationPolicy {
   [[nodiscard]] std::string name() const override { return "upd"; }
 };
 
-/// \brief Factory: "epd" or "upd". Throws std::invalid_argument when unknown.
+/// \brief Registry of exploration-policy factories: Spec -> ExplorationPolicy.
+///        Policies self-register in policy.cpp; RTM specs reference them by
+///        name or parameterised spec (e.g. "epd(beta=5)").
+using PolicyRegistry = common::Registry<ExplorationPolicy>;
+
+/// \brief The process-wide exploration-policy registry.
+[[nodiscard]] PolicyRegistry& policy_registry();
+
+/// \brief Static self-registration helper for exploration policies.
+using PolicyRegistrar = common::Registrar<PolicyRegistry>;
+
+/// \brief Factory shim over the registry. Accepts any registered spec, e.g.
+///        "epd", "epd(beta=5)", "upd". Throws std::invalid_argument (with the
+///        registered names) when unknown.
 [[nodiscard]] std::unique_ptr<ExplorationPolicy> make_policy(
     const std::string& name);
 

@@ -18,6 +18,8 @@
 #include <memory>
 #include <string>
 
+#include "common/registry.hpp"
+
 namespace prime::rtm {
 
 /// \brief Interface of a pay-off function R(L, dL).
@@ -79,8 +81,20 @@ class LinearSlackReward final : public RewardFunction {
   double b_;
 };
 
-/// \brief Factory: "target-slack" or "linear-slack".
-///        Throws std::invalid_argument for unknown names.
+/// \brief Registry of reward factories: Spec -> RewardFunction. Rewards
+///        self-register in reward.cpp; RTM specs reference them by name or
+///        parameterised spec (e.g. "target-slack(target=0.15,b=1)").
+using RewardRegistry = common::Registry<RewardFunction>;
+
+/// \brief The process-wide reward registry.
+[[nodiscard]] RewardRegistry& reward_registry();
+
+/// \brief Static self-registration helper for reward functions.
+using RewardRegistrar = common::Registrar<RewardRegistry>;
+
+/// \brief Factory shim over the registry. Accepts any registered spec, e.g.
+///        "target-slack", "linear-slack(a=2)". Throws std::invalid_argument
+///        (with the registered names) when unknown.
 [[nodiscard]] std::unique_ptr<RewardFunction> make_reward(const std::string& name);
 
 }  // namespace prime::rtm

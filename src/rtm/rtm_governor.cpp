@@ -1,6 +1,10 @@
 #include "rtm/rtm_governor.hpp"
 
 #include <algorithm>
+#include <memory>
+#include <stdexcept>
+
+#include "gov/registry.hpp"
 
 namespace prime::rtm {
 
@@ -103,5 +107,65 @@ std::vector<std::size_t> RtmGovernor::greedy_policy() const {
   if (!qtable_) return {};
   return qtable_->greedy_policy();
 }
+
+RtmParams rtm_params_from_spec(const common::Spec& spec, std::uint64_t seed) {
+  RtmParams p;
+  p.seed = gov::effective_seed(spec, seed);
+  p.ewma_gamma = spec.get_double("gamma", p.ewma_gamma);
+  p.learning_rate = spec.get_double("alpha", p.learning_rate);
+  p.discount = spec.get_double("discount", p.discount);
+  p.policy = spec.get_string("policy", p.policy);
+  p.reward = spec.get_string("reward", p.reward);
+  p.epd_beta = spec.get_double("beta", p.epd_beta);
+  p.epsilon.epsilon0 = spec.get_double("epsilon0", p.epsilon.epsilon0);
+  p.epsilon.alpha = spec.get_double("eps-alpha", p.epsilon.alpha);
+  p.epsilon.epsilon_min = spec.get_double("eps-min", p.epsilon.epsilon_min);
+  if (spec.has("levels")) {
+    const auto n = static_cast<std::size_t>(spec.get_int("levels", 5));
+    p.discretizer.workload_levels = n;
+    p.discretizer.slack_levels = n;
+  }
+  p.discretizer.workload_levels = static_cast<std::size_t>(spec.get_int(
+      "workload-levels", static_cast<long long>(p.discretizer.workload_levels)));
+  p.discretizer.slack_levels = static_cast<std::size_t>(spec.get_int(
+      "slack-levels", static_cast<long long>(p.discretizer.slack_levels)));
+  p.slack_ewma_alpha = spec.get_double("slack-alpha", p.slack_ewma_alpha);
+  if (spec.has("slack-mode")) {
+    const std::string mode = spec.get_string("slack-mode", "");
+    if (mode == "cumulative") {
+      p.slack_mode = SlackAveraging::kCumulative;
+    } else if (mode == "exponential") {
+      p.slack_mode = SlackAveraging::kExponential;
+    } else {
+      throw std::invalid_argument(
+          "rtm: slack-mode must be 'cumulative' or 'exponential', got '" +
+          mode + "'");
+    }
+  }
+  return p;
+}
+
+namespace {
+
+const gov::GovernorRegistrar kRegisterRtm{
+    gov::governor_registry(), "rtm",
+    "proposed single-cluster Q-learning RTM (Section II); keys: policy, "
+    "reward, gamma, alpha, discount, beta, epsilon0, eps-alpha, eps-min, "
+    "levels, slack-alpha, seed",
+    [](const common::Spec& spec, std::uint64_t seed) {
+      return std::make_unique<RtmGovernor>(rtm_params_from_spec(spec, seed));
+    }};
+
+const gov::GovernorRegistrar kRegisterRtmUpd{
+    gov::governor_registry(), "rtm-upd",
+    "proposed RTM with the UPD exploration of prior work (Table II "
+    "baseline); same keys as rtm",
+    [](const common::Spec& spec, std::uint64_t seed) {
+      RtmParams p = rtm_params_from_spec(spec, seed);
+      if (!spec.has("policy")) p.policy = "upd";
+      return std::make_unique<RtmGovernor>(p);
+    }};
+
+}  // namespace
 
 }  // namespace prime::rtm

@@ -18,6 +18,7 @@
 #include <string>
 
 #include "common/rng.hpp"
+#include "common/spec.hpp"
 #include "gov/governor.hpp"
 #include "rtm/discretizer.hpp"
 #include "rtm/ewma.hpp"
@@ -44,6 +45,15 @@ struct RtmParams {
   OverheadParams overhead{};          ///< T_OVH component costs.
   std::uint64_t seed = 0x271828;      ///< Exploration RNG seed.
 };
+
+/// \brief Read RtmParams from a registry spec. Recognised keys: gamma (EWMA),
+///        alpha (learning rate), discount, policy, reward (both may be nested
+///        specs, e.g. policy=epd(beta=5)), beta (EPD), epsilon0, eps-alpha,
+///        eps-min, levels (sets both state dimensions), workload-levels,
+///        slack-levels, slack-alpha, seed (overrides \p seed). Shared by the
+///        rtm, rtm-upd and rtm-manycore registrations.
+[[nodiscard]] RtmParams rtm_params_from_spec(const common::Spec& spec,
+                                             std::uint64_t seed);
 
 /// \brief The proposed single-cluster Q-learning governor.
 class RtmGovernor : public gov::Governor {

@@ -1,0 +1,261 @@
+#include "sim/builder.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <optional>
+#include <stdexcept>
+#include <thread>
+#include <utility>
+
+namespace prime::sim {
+namespace {
+
+/// Run body(0..n-1) on a pool of worker threads. The first exception thrown
+/// by any task is rethrown on the caller's thread after the pool drains.
+void parallel_for(std::size_t n, std::size_t workers,
+                  const std::function<void(std::size_t)>& body) {
+  if (n == 0) return;
+  std::size_t count = workers == 0 ? std::thread::hardware_concurrency() : workers;
+  if (count == 0) count = 1;
+  count = std::min(count, n);
+  if (count <= 1) {
+    for (std::size_t i = 0; i < n; ++i) body(i);
+    return;
+  }
+
+  std::atomic<std::size_t> next{0};
+  std::mutex error_mutex;
+  std::exception_ptr error;
+  const auto work = [&] {
+    while (true) {
+      const std::size_t i = next.fetch_add(1);
+      if (i >= n) return;
+      try {
+        body(i);
+      } catch (...) {
+        const std::lock_guard<std::mutex> lock(error_mutex);
+        if (!error) error = std::current_exception();
+      }
+    }
+  };
+  std::vector<std::thread> threads;
+  threads.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) threads.emplace_back(work);
+  for (auto& t : threads) t.join();
+  if (error) std::rethrow_exception(error);
+}
+
+}  // namespace
+
+std::vector<NormalizedMetrics> SweepResult::rows() const {
+  std::vector<NormalizedMetrics> out;
+  out.reserve(results.size());
+  for (const auto& r : results) out.push_back(r.row);
+  return out;
+}
+
+const ScenarioResult* SweepResult::find(const std::string& governor,
+                                        const std::string& workload,
+                                        double fps) const {
+  for (const auto& r : results) {
+    // Tolerant fps match: callers may look up with a recomputed rate
+    // (e.g. 24000/1001) that is not bit-identical to the one they built with.
+    if (r.scenario.governor == governor && r.scenario.workload == workload &&
+        std::abs(r.scenario.fps - fps) < 1e-9 * std::max(1.0, fps)) {
+      return &r;
+    }
+  }
+  return nullptr;
+}
+
+ExperimentBuilder& ExperimentBuilder::platform(const common::Config& cfg) {
+  platform_cfg_ = cfg;
+  custom_platform_ = true;
+  return *this;
+}
+
+ExperimentBuilder& ExperimentBuilder::cores(std::size_t n) {
+  platform_cfg_.set_int("hw.cores", static_cast<long long>(n));
+  custom_platform_ = true;
+  return *this;
+}
+
+ExperimentBuilder& ExperimentBuilder::governor(const std::string& spec) {
+  governors_.push_back(spec);
+  return *this;
+}
+
+ExperimentBuilder& ExperimentBuilder::governors(
+    const std::vector<std::string>& specs) {
+  governors_.insert(governors_.end(), specs.begin(), specs.end());
+  return *this;
+}
+
+ExperimentBuilder& ExperimentBuilder::workload(const std::string& spec) {
+  workloads_.push_back(spec);
+  return *this;
+}
+
+ExperimentBuilder& ExperimentBuilder::workloads(
+    const std::vector<std::string>& specs) {
+  workloads_.insert(workloads_.end(), specs.begin(), specs.end());
+  return *this;
+}
+
+ExperimentBuilder& ExperimentBuilder::fps(double f) {
+  fps_.push_back(f);
+  return *this;
+}
+
+ExperimentBuilder& ExperimentBuilder::fps_set(const std::vector<double>& fs) {
+  fps_.insert(fps_.end(), fs.begin(), fs.end());
+  return *this;
+}
+
+ExperimentBuilder& ExperimentBuilder::frames(std::size_t n) {
+  base_.frames = n;
+  return *this;
+}
+
+ExperimentBuilder& ExperimentBuilder::trace_seed(std::uint64_t seed) {
+  base_.seed = seed;
+  return *this;
+}
+
+ExperimentBuilder& ExperimentBuilder::governor_seed(std::uint64_t seed) {
+  governor_seed_ = seed;
+  return *this;
+}
+
+ExperimentBuilder& ExperimentBuilder::threads_per_frame(std::size_t n) {
+  base_.threads = n;
+  return *this;
+}
+
+ExperimentBuilder& ExperimentBuilder::target_utilisation(double u) {
+  base_.target_utilisation = u;
+  return *this;
+}
+
+ExperimentBuilder& ExperimentBuilder::mem_fraction(double f) {
+  base_.mem_fraction = f;
+  return *this;
+}
+
+ExperimentBuilder& ExperimentBuilder::parallelism(std::size_t workers) {
+  parallelism_ = workers;
+  return *this;
+}
+
+ExperimentBuilder& ExperimentBuilder::oracle_baseline(bool enabled) {
+  oracle_baseline_ = enabled;
+  return *this;
+}
+
+std::vector<double> ExperimentBuilder::fps_list() const {
+  return fps_.empty() ? std::vector<double>{base_.fps} : fps_;
+}
+
+std::unique_ptr<hw::Platform> ExperimentBuilder::make_platform() const {
+  return custom_platform_ ? hw::Platform::from_config(platform_cfg_)
+                          : hw::Platform::odroid_xu3_a15();
+}
+
+std::vector<Scenario> ExperimentBuilder::scenarios() const {
+  if (governors_.empty()) {
+    throw std::invalid_argument("ExperimentBuilder: no governors added");
+  }
+  if (workloads_.empty()) {
+    throw std::invalid_argument("ExperimentBuilder: no workloads added");
+  }
+  std::vector<Scenario> out;
+  const std::vector<double> rates = fps_list();
+  out.reserve(workloads_.size() * rates.size() * governors_.size());
+  std::size_t cell = 0;
+  for (const auto& workload : workloads_) {
+    for (const double rate : rates) {
+      for (const auto& governor : governors_) {
+        Scenario s;
+        s.governor = governor;
+        s.workload = workload;
+        s.fps = rate;
+        s.cell = cell;
+        s.app = base_;
+        s.app.workload = workload;
+        s.app.fps = rate;
+        out.push_back(std::move(s));
+      }
+      ++cell;
+    }
+  }
+  return out;
+}
+
+SweepResult ExperimentBuilder::run() const {
+  const std::vector<Scenario> matrix = scenarios();
+  const std::size_t cell_count = workloads_.size() * fps_list().size();
+
+  // Phase 1: one task per (workload, fps) cell — generate and calibrate the
+  // application, then run the Oracle normalisation baseline on it.
+  struct Cell {
+    std::optional<wl::Application> app;
+    RunResult oracle;
+  };
+  std::vector<Cell> cells(cell_count);
+  const std::size_t per_cell = governors_.size();
+  parallel_for(cell_count, parallelism_, [&](std::size_t i) {
+    const Scenario& first = matrix[i * per_cell];
+    const auto platform = make_platform();
+    cells[i].app.emplace(make_application(first.app, *platform));
+    if (oracle_baseline_) {
+      const auto oracle = make_governor("oracle", governor_seed_);
+      cells[i].oracle = run_simulation(*platform, *cells[i].app, *oracle);
+    }
+  });
+
+  // Phase 2: one task per scenario, against the shared (const) application
+  // and a fresh platform + governor.
+  SweepResult sweep;
+  sweep.results.resize(matrix.size());
+  parallel_for(matrix.size(), parallelism_, [&](std::size_t i) {
+    const Scenario& scenario = matrix[i];
+    const Cell& cell = cells[scenario.cell];
+    const auto platform = make_platform();
+    auto governor = make_governor(scenario.governor, governor_seed_);
+    RunResult run = run_simulation(*platform, *cell.app, *governor);
+    ScenarioResult& result = sweep.results[i];
+    result.scenario = scenario;
+    result.row = normalize_against(run, cell.oracle);
+    result.run = std::move(run);
+    result.governor = std::move(governor);
+  });
+
+  if (oracle_baseline_) {
+    sweep.oracle_runs.reserve(cells.size());
+    for (auto& cell : cells) sweep.oracle_runs.push_back(std::move(cell.oracle));
+  }
+  return sweep;
+}
+
+Comparison ExperimentBuilder::compare() const {
+  if (workloads_.size() != 1 || fps_list().size() != 1) {
+    throw std::invalid_argument(
+        "ExperimentBuilder::compare: exactly one workload and one fps "
+        "required (use run() for a matrix sweep)");
+  }
+  if (governors_.empty()) {
+    throw std::invalid_argument("ExperimentBuilder: no governors added");
+  }
+  ExperimentSpec spec = base_;
+  spec.workload = workloads_.front();
+  spec.fps = fps_list().front();
+  const auto platform = make_platform();
+  const wl::Application app = make_application(spec, *platform);
+  return compare_governors(*platform, app, governors_, governor_seed_);
+}
+
+}  // namespace prime::sim

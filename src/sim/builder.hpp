@@ -1,0 +1,145 @@
+/// \file builder.hpp
+/// \brief Fluent scenario construction: ExperimentBuilder and the sweep runner.
+///
+/// The paper's evaluation is a matrix — governors × workloads × frame rates —
+/// and every bench used to assemble its corner of that matrix by hand. The
+/// builder assembles the whole thing from registry specs:
+///
+///     const sim::SweepResult sweep = sim::ExperimentBuilder()
+///         .workloads({"h264", "fft"})
+///         .fps(25.0)
+///         .governors({"ondemand", "mcdvfs", "rtm-manycore"})
+///         .frames(3000)
+///         .run();
+///
+/// run() executes the matrix through a multi-threaded runner (one fresh
+/// platform per scenario, so runs never share mutable hardware state), with
+/// each (workload, fps) cell normalised against its own Oracle run — the
+/// normalised rows every table in the paper reports. Results are ordered
+/// deterministically (workload-major, governor-minor) regardless of thread
+/// scheduling, and every construction goes through the governor/workload
+/// registries, so parameterised specs like "rtm(policy=upd)" work anywhere.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/config.hpp"
+#include "sim/experiment.hpp"
+
+namespace prime::sim {
+
+/// \brief One point of the scenario matrix.
+struct Scenario {
+  std::string governor;  ///< Governor spec string.
+  std::string workload;  ///< Workload spec string.
+  double fps = 25.0;     ///< Performance requirement.
+  std::size_t cell = 0;  ///< Index of the (workload, fps) cell.
+  ExperimentSpec app;    ///< Fully resolved application spec.
+};
+
+/// \brief Outcome of one scenario.
+struct ScenarioResult {
+  Scenario scenario;
+  RunResult run;
+  NormalizedMetrics row;  ///< Normalised against the cell's Oracle run.
+  /// The governor instance after its run, for post-run introspection
+  /// (Q-table size, exploration counts, predictor statistics) — recover the
+  /// concrete type with dynamic_cast.
+  std::unique_ptr<gov::Governor> governor;
+};
+
+/// \brief Outcome of a whole sweep.
+struct SweepResult {
+  /// Scenario outcomes, workload-major then fps then governor — the order
+  /// scenarios() reports, independent of thread scheduling.
+  std::vector<ScenarioResult> results;
+  /// The Oracle baseline runs, one per (workload, fps) cell; results[i]
+  /// was normalised against oracle_runs[results[i].scenario.cell].
+  std::vector<RunResult> oracle_runs;
+
+  /// \brief The normalised rows in result order (Table-I shape).
+  [[nodiscard]] std::vector<NormalizedMetrics> rows() const;
+  /// \brief Look up one scenario's outcome (nullptr when absent).
+  [[nodiscard]] const ScenarioResult* find(const std::string& governor,
+                                           const std::string& workload,
+                                           double fps) const;
+};
+
+/// \brief Fluent assembly of platform + applications + governor set.
+///
+/// Every setter returns *this. Governors, workloads and frame rates
+/// accumulate; the other knobs apply to every scenario.
+class ExperimentBuilder {
+ public:
+  ExperimentBuilder() = default;
+
+  /// \brief Use a config-driven platform (hw::Platform::from_config keys).
+  ExperimentBuilder& platform(const common::Config& cfg);
+  /// \brief Shorthand: config-driven platform with `hw.cores` cores.
+  ExperimentBuilder& cores(std::size_t n);
+
+  /// \brief Add one governor spec (e.g. "rtm(policy=upd)").
+  ExperimentBuilder& governor(const std::string& spec);
+  /// \brief Add several governor specs.
+  ExperimentBuilder& governors(const std::vector<std::string>& specs);
+  /// \brief Add one workload spec (e.g. "h264", "flat(mean=2e8)").
+  ExperimentBuilder& workload(const std::string& spec);
+  /// \brief Add several workload specs.
+  ExperimentBuilder& workloads(const std::vector<std::string>& specs);
+  /// \brief Add one frame-rate requirement (default when none added: 25).
+  ExperimentBuilder& fps(double f);
+  /// \brief Add several frame-rate requirements.
+  ExperimentBuilder& fps_set(const std::vector<double>& fs);
+
+  /// \brief Trace length in frames (default 3000).
+  ExperimentBuilder& frames(std::size_t n);
+  /// \brief Trace generation seed.
+  ExperimentBuilder& trace_seed(std::uint64_t seed);
+  /// \brief Seed handed to every governor factory (spec seed= overrides).
+  ExperimentBuilder& governor_seed(std::uint64_t seed);
+  /// \brief Worker threads per frame (ExperimentSpec::threads).
+  ExperimentBuilder& threads_per_frame(std::size_t n);
+  /// \brief Calibration target utilisation (0 disables calibration).
+  ExperimentBuilder& target_utilisation(double u);
+  /// \brief Memory-boundedness override (negative = per-workload default).
+  ExperimentBuilder& mem_fraction(double f);
+  /// \brief Sweep worker threads (0 = hardware concurrency).
+  ExperimentBuilder& parallelism(std::size_t workers);
+  /// \brief Enable/disable the per-cell Oracle baseline (default on). With it
+  ///        off no Oracle simulations run, oracle_runs stays empty and each
+  ///        row's normalized_energy is 0 — for sweeps that only read absolute
+  ///        metrics or governor introspection, this halves the work.
+  ExperimentBuilder& oracle_baseline(bool enabled);
+
+  /// \brief The scenario matrix this builder would run, in result order.
+  ///        Throws std::invalid_argument when no governor or workload is set.
+  [[nodiscard]] std::vector<Scenario> scenarios() const;
+
+  /// \brief Run the whole matrix through the multi-threaded sweep runner.
+  [[nodiscard]] SweepResult run() const;
+
+  /// \brief Single-cell convenience: requires exactly one workload and at
+  ///        most one fps, runs every governor against that application and
+  ///        returns the classic Comparison (same shape and determinism as
+  ///        compare_governors()).
+  [[nodiscard]] Comparison compare() const;
+
+ private:
+  [[nodiscard]] std::vector<double> fps_list() const;
+  [[nodiscard]] std::unique_ptr<hw::Platform> make_platform() const;
+
+  common::Config platform_cfg_;
+  bool custom_platform_ = false;
+  std::vector<std::string> governors_;
+  std::vector<std::string> workloads_;
+  std::vector<double> fps_;
+  ExperimentSpec base_;
+  std::uint64_t governor_seed_ = 0x271828;
+  std::size_t parallelism_ = 0;
+  bool oracle_baseline_ = true;
+};
+
+}  // namespace prime::sim

@@ -1,25 +1,16 @@
 #include "sim/experiment.hpp"
 
-#include <stdexcept>
-
-#include "gov/conservative.hpp"
-#include "gov/mcdvfs.hpp"
-#include "gov/ondemand.hpp"
-#include "gov/oracle.hpp"
-#include "gov/pid.hpp"
-#include "gov/schedutil.hpp"
-#include "gov/shen_rl.hpp"
-#include "gov/thermal_cap.hpp"
-#include "gov/simple.hpp"
-#include "rtm/manycore.hpp"
-#include "rtm/rtm_governor.hpp"
+#include "common/spec.hpp"
+#include "gov/registry.hpp"
+#include "wl/registry.hpp"
 #include "wl/suites.hpp"
 
 namespace prime::sim {
 
 wl::Application make_application(const ExperimentSpec& spec,
                                  const hw::Platform& platform) {
-  const auto generator = wl::make_workload(spec.workload);
+  const common::Spec workload_spec = common::Spec::parse(spec.workload);
+  const auto generator = wl::workload_registry().create(workload_spec);
   wl::WorkloadTrace trace = generator->generate(spec.frames, spec.seed);
 
   if (spec.target_utilisation > 0.0) {
@@ -34,12 +25,13 @@ wl::Application make_application(const ExperimentSpec& spec,
                       spec.thread_imbalance);
   double mem = spec.mem_fraction;
   if (mem < 0.0) {
-    // Per-workload defaults: video decode touches DRAM per macroblock; FFT
-    // batches largely fit in L2.
-    if (spec.workload == "mpeg4" || spec.workload == "h264" ||
-        spec.workload == "x264") {
+    // Per-workload defaults keyed on the spec's base name: video decode
+    // touches DRAM per macroblock; FFT batches largely fit in L2.
+    const std::string& base = workload_spec.name();
+    if (base == "mpeg4" || base == "h264" || base == "x264" ||
+        base == "video") {
       mem = 0.15;
-    } else if (spec.workload == "fft" || spec.workload == "splash-fft") {
+    } else if (base == "fft" || base == "splash-fft") {
       mem = 0.08;
     } else {
       mem = 0.12;
@@ -51,62 +43,11 @@ wl::Application make_application(const ExperimentSpec& spec,
 
 std::unique_ptr<gov::Governor> make_governor(const std::string& name,
                                              std::uint64_t seed) {
-  if (name == "performance") return std::make_unique<gov::PerformanceGovernor>();
-  if (name == "powersave") return std::make_unique<gov::PowersaveGovernor>();
-  if (name == "ondemand") return std::make_unique<gov::OndemandGovernor>();
-  if (name == "conservative") {
-    return std::make_unique<gov::ConservativeGovernor>();
-  }
-  if (name == "schedutil") return std::make_unique<gov::SchedutilGovernor>();
-  if (name == "pid") return std::make_unique<gov::PidGovernor>();
-  if (name == "rtm-thermal") {
-    rtm::ManycoreRtmParams p;
-    p.base.seed = seed;
-    return std::make_unique<gov::ThermalCapGovernor>(
-        std::make_unique<rtm::ManycoreRtmGovernor>(p));
-  }
-  if (name == "oracle") return std::make_unique<gov::OracleGovernor>();
-  if (name == "mcdvfs") {
-    gov::McdvfsParams p;
-    p.seed = seed;
-    return std::make_unique<gov::MulticoreDvfsGovernor>(p);
-  }
-  if (name == "shen-rl") {
-    gov::ShenRlParams p;
-    p.seed = seed;
-    return std::make_unique<gov::ShenRlGovernor>(p);
-  }
-  if (name == "rtm") {
-    rtm::RtmParams p;
-    p.seed = seed;
-    return std::make_unique<rtm::RtmGovernor>(p);
-  }
-  if (name == "rtm-upd") {
-    rtm::RtmParams p;
-    p.policy = "upd";
-    p.seed = seed;
-    return std::make_unique<rtm::RtmGovernor>(p);
-  }
-  if (name == "rtm-manycore") {
-    rtm::ManycoreRtmParams p;
-    p.base.seed = seed;
-    return std::make_unique<rtm::ManycoreRtmGovernor>(p);
-  }
-  if (name == "rtm-manycore-normalized") {
-    rtm::ManycoreRtmParams p;
-    p.base.seed = seed;
-    p.mode = rtm::WorkloadStateMode::kNormalized;
-    return std::make_unique<rtm::ManycoreRtmGovernor>(p);
-  }
-  throw std::invalid_argument("make_governor: unknown governor '" + name + "'");
+  return gov::governor_registry().create(name, seed);
 }
 
 std::vector<std::string> governor_names() {
-  return {"performance",  "powersave",    "ondemand",
-          "conservative", "schedutil",    "pid",
-          "oracle",       "mcdvfs",       "shen-rl",
-          "rtm",          "rtm-upd",      "rtm-manycore",
-          "rtm-manycore-normalized",      "rtm-thermal"};
+  return gov::governor_registry().names();
 }
 
 Comparison compare_governors(hw::Platform& platform, const wl::Application& app,

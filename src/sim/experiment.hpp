@@ -21,7 +21,9 @@ namespace prime::sim {
 
 /// \brief Specification of one experiment's application.
 struct ExperimentSpec {
-  std::string workload = "h264";  ///< Name accepted by wl::make_workload().
+  /// Workload spec accepted by the workload registry: a registered name,
+  /// optionally parameterised — "h264", "flat(mean=2e8,cv=0.1)", ...
+  std::string workload = "h264";
   double fps = 25.0;              ///< Performance requirement.
   std::size_t frames = 3000;      ///< Trace length.
   std::uint64_t seed = 42;        ///< Trace generation seed.
@@ -41,18 +43,17 @@ struct ExperimentSpec {
 [[nodiscard]] wl::Application make_application(const ExperimentSpec& spec,
                                                const hw::Platform& platform);
 
-/// \brief Governor factory. Accepted names: "performance", "powersave",
-///        "ondemand", "conservative", "oracle", "mcdvfs", "shen-rl",
-///        "rtm" (single-cluster proposed), "rtm-upd" (proposed with UPD
-///        exploration), "rtm-manycore" (the paper's many-core formulation),
-///        "rtm-manycore-normalized" (eq. 7 literal normalisation),
-///        "schedutil", "pid" (extra baselines), "rtm-thermal" (proposed RTM
-///        wrapped in the thermal cap).
-///        Throws std::invalid_argument for unknown names.
+/// \brief Governor factory: a thin shim over gov::governor_registry().
+///        Accepts any registered governor spec — a bare name ("ondemand",
+///        "rtm-manycore", ...) or a parameterised spec such as
+///        "rtm(policy=upd,alpha=0.2)" or "thermal-cap(inner=rtm)". Governors
+///        self-register next to their definitions; see governor_names() for
+///        the live list. Throws std::invalid_argument (listing the registered
+///        names, did-you-mean style) for unknown names.
 [[nodiscard]] std::unique_ptr<gov::Governor> make_governor(
     const std::string& name, std::uint64_t seed = 0x271828);
 
-/// \brief All names accepted by make_governor().
+/// \brief All governor names registered with the registry, sorted.
 [[nodiscard]] std::vector<std::string> governor_names();
 
 /// \brief Result of a multi-governor comparison (Table I shape).

@@ -4,6 +4,7 @@
 
 #include "common/csv.hpp"
 #include "common/strings.hpp"
+#include "sim/builder.hpp"
 
 namespace prime::sim {
 
@@ -55,6 +56,29 @@ TextTable make_comparison_table(const std::string& title,
                       common::format_double(r.normalized_performance, 2),
                       common::format_double(r.miss_rate, 3),
                       common::format_double(r.mean_power, 2)});
+  }
+  return t;
+}
+
+TextTable make_sweep_table(const std::string& title, const SweepResult& sweep) {
+  TextTable t;
+  t.title = title;
+  t.headers = {"Governor",  "Workload",  "fps",
+               "Norm. energy", "Norm. perf", "Miss rate", "Mean power (W)"};
+  // Enough precision to tell 23.98 from 24 apart; integral rates print bare.
+  const auto format_fps = [](double fps) {
+    std::string s = common::format_double(fps, 2);
+    while (!s.empty() && s.back() == '0') s.pop_back();
+    if (!s.empty() && s.back() == '.') s.pop_back();
+    return s;
+  };
+  for (const auto& r : sweep.results) {
+    t.rows.push_back({r.scenario.governor, r.scenario.workload,
+                      format_fps(r.scenario.fps),
+                      common::format_double(r.row.normalized_energy, 2),
+                      common::format_double(r.row.normalized_performance, 2),
+                      common::format_double(r.row.miss_rate, 3),
+                      common::format_double(r.row.mean_power, 2)});
   }
   return t;
 }

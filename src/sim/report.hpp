@@ -27,6 +27,13 @@ void print_table(std::ostream& out, const TextTable& table);
 [[nodiscard]] TextTable make_comparison_table(
     const std::string& title, const std::vector<NormalizedMetrics>& rows);
 
+struct SweepResult;
+
+/// \brief Render an ExperimentBuilder sweep (governors × workloads × fps) as
+///        one table, one row per scenario, normalised per cell.
+[[nodiscard]] TextTable make_sweep_table(const std::string& title,
+                                         const SweepResult& sweep);
+
 /// \brief Write per-frame series as CSV ("frame,demand,freq_mhz,slack,power_w,
 ///        energy_mj") to \p out.
 void write_series_csv(std::ostream& out, const RunSeries& series);

@@ -1,8 +1,10 @@
 #include "wl/fft.hpp"
 
 #include <algorithm>
+#include <memory>
 
 #include "common/rng.hpp"
+#include "wl/registry.hpp"
 
 namespace prime::wl {
 
@@ -28,5 +30,16 @@ WorkloadTrace FftTraceGenerator::generate(std::size_t n,
   }
   return WorkloadTrace(params_.label, std::move(frames));
 }
+
+namespace {
+
+const WorkloadRegistrar kRegisterFft{
+    workload_registry(), "fft",
+    "the paper's batched-FFT stream (Table II workload)",
+    [](const common::Spec&) {
+      return std::make_unique<FftTraceGenerator>(FftTraceGenerator::paper_fft());
+    }};
+
+}  // namespace
 
 }  // namespace prime::wl

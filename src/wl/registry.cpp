@@ -1,0 +1,10 @@
+#include "wl/registry.hpp"
+
+namespace prime::wl {
+
+WorkloadRegistry& workload_registry() {
+  static WorkloadRegistry registry("workload");
+  return registry;
+}
+
+}  // namespace prime::wl

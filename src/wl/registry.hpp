@@ -1,0 +1,24 @@
+/// \file registry.hpp
+/// \brief The process-wide workload (trace generator) registry.
+///
+/// Workloads register themselves next to their definitions (video.cpp,
+/// fft.cpp, synthetic.cpp, suites.cpp) via a static WorkloadRegistrar and are
+/// constructed from `name(key=value,...)` specs — e.g. `"h264"`,
+/// `"flat(mean=2e8,cv=0.1)"` or `"video(mean=160e6,i-weight=3)"`.
+#pragma once
+
+#include "common/registry.hpp"
+#include "wl/trace.hpp"
+
+namespace prime::wl {
+
+/// \brief Registry of workload factories: Spec -> TraceGenerator.
+using WorkloadRegistry = common::Registry<TraceGenerator>;
+
+/// \brief The process-wide workload registry.
+[[nodiscard]] WorkloadRegistry& workload_registry();
+
+/// \brief Static self-registration helper for workload translation units.
+using WorkloadRegistrar = common::Registrar<WorkloadRegistry>;
+
+}  // namespace prime::wl

@@ -1,8 +1,10 @@
 #include "wl/suites.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 
 #include "wl/fft.hpp"
+#include "wl/registry.hpp"
 #include "wl/synthetic.hpp"
 #include "wl/video.hpp"
 
@@ -124,31 +126,32 @@ std::unique_ptr<TraceGenerator> make_splash2(const std::string& name) {
 }
 
 std::unique_ptr<TraceGenerator> make_workload(const std::string& name) {
-  if (name == "mpeg4") {
-    return std::make_unique<VideoTraceGenerator>(
-        VideoTraceGenerator::mpeg4_svga());
-  }
-  if (name == "h264") {
-    return std::make_unique<VideoTraceGenerator>(
-        VideoTraceGenerator::h264_football());
-  }
-  if (name == "fft") {
-    return std::make_unique<FftTraceGenerator>(FftTraceGenerator::paper_fft());
-  }
-  for (const auto& n : parsec_names()) {
-    if (n == name) return make_parsec(name);
-  }
-  for (const auto& n : splash2_names()) {
-    if (n == name) return make_splash2(name);
-  }
-  throw std::invalid_argument("make_workload: unknown workload '" + name + "'");
+  return workload_registry().create(name);
 }
 
 std::vector<std::string> all_workload_names() {
-  std::vector<std::string> out{"mpeg4", "h264", "fft"};
-  for (const auto& n : parsec_names()) out.push_back(n);
-  for (const auto& n : splash2_names()) out.push_back(n);
-  return out;
+  return workload_registry().names();
 }
+
+namespace {
+
+/// Registers every PARSEC and SPLASH-2 preset with the workload registry.
+/// One static object registers the whole suite; the preset definitions above
+/// (make_parsec / make_splash2) stay the single source of truth.
+const struct SuiteRegistration {
+  SuiteRegistration() {
+    auto& registry = workload_registry();
+    for (const auto& name : parsec_names()) {
+      registry.add(name, "PARSEC preset (see make_parsec)",
+                   [name](const common::Spec&) { return make_parsec(name); });
+    }
+    for (const auto& name : splash2_names()) {
+      registry.add(name, "SPLASH-2 preset (see make_splash2)",
+                   [name](const common::Spec&) { return make_splash2(name); });
+    }
+  }
+} kSuiteRegistration;
+
+}  // namespace
 
 }  // namespace prime::wl

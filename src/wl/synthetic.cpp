@@ -1,9 +1,11 @@
 #include "wl/synthetic.hpp"
 
 #include <algorithm>
+#include <memory>
 #include <stdexcept>
 
 #include "common/rng.hpp"
+#include "wl/registry.hpp"
 
 namespace prime::wl {
 
@@ -80,5 +82,22 @@ WorkloadTrace MarkovTraceGenerator::generate(std::size_t n,
   }
   return WorkloadTrace(params_.label, std::move(frames));
 }
+
+namespace {
+
+const WorkloadRegistrar kRegisterFlat{
+    workload_registry(), "flat",
+    "single-phase synthetic workload; keys: mean (cycles/frame), cv, ramp",
+    [](const common::Spec& spec) {
+      Phase phase;
+      phase.frames = 1000;
+      phase.mean_cycles = spec.get_double("mean", 120.0e6);
+      phase.jitter_cv = spec.get_double("cv", 0.05);
+      phase.ramp = spec.get_double("ramp", 0.0);
+      return std::make_unique<PhaseTraceGenerator>(
+          "flat", std::vector<Phase>{phase});
+    }};
+
+}  // namespace
 
 }  // namespace prime::wl

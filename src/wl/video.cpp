@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <cmath>
+#include <memory>
 
 #include "common/rng.hpp"
+#include "wl/registry.hpp"
 
 namespace prime::wl {
 
@@ -94,5 +96,42 @@ WorkloadTrace VideoTraceGenerator::generate(std::size_t n,
   }
   return WorkloadTrace(params_.label, std::move(frames));
 }
+
+namespace {
+
+const WorkloadRegistrar kRegisterMpeg4{
+    workload_registry(), "mpeg4",
+    "the paper's MPEG4 SVGA decode trace (GOP-structured)",
+    [](const common::Spec&) {
+      return std::make_unique<VideoTraceGenerator>(
+          VideoTraceGenerator::mpeg4_svga());
+    }};
+
+const WorkloadRegistrar kRegisterH264{
+    workload_registry(), "h264",
+    "the paper's H.264 'football' decode trace (Table I workload)",
+    [](const common::Spec&) {
+      return std::make_unique<VideoTraceGenerator>(
+          VideoTraceGenerator::h264_football());
+    }};
+
+const WorkloadRegistrar kRegisterVideo{
+    workload_registry(), "video",
+    "parameterisable GOP-structured video decode; keys: mean, gop, i-weight, "
+    "p-weight, b-weight, jitter, scene-change",
+    [](const common::Spec& spec) {
+      VideoParams p;
+      p.mean_cycles = spec.get_double("mean", p.mean_cycles);
+      p.gop_length = static_cast<std::size_t>(
+          spec.get_int("gop", static_cast<long long>(p.gop_length)));
+      p.i_weight = spec.get_double("i-weight", p.i_weight);
+      p.p_weight = spec.get_double("p-weight", p.p_weight);
+      p.b_weight = spec.get_double("b-weight", p.b_weight);
+      p.jitter_cv = spec.get_double("jitter", p.jitter_cv);
+      p.scene_change_prob = spec.get_double("scene-change", p.scene_change_prob);
+      return std::make_unique<VideoTraceGenerator>(p);
+    }};
+
+}  // namespace
 
 }  // namespace prime::wl

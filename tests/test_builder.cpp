@@ -1,0 +1,164 @@
+/// \file test_builder.cpp
+/// \brief Unit tests for ExperimentBuilder and the multi-threaded sweep runner.
+#include <gtest/gtest.h>
+
+#include "hw/platform.hpp"
+#include "sim/builder.hpp"
+#include "sim/report.hpp"
+
+namespace prime::sim {
+namespace {
+
+ExperimentBuilder small_builder() {
+  ExperimentBuilder b;
+  b.workload("fft").fps(25.0).frames(80).governors({"performance", "powersave"});
+  return b;
+}
+
+TEST(ExperimentBuilder, ScenariosFormTheFullMatrix) {
+  ExperimentBuilder b;
+  b.workloads({"fft", "h264"})
+      .fps_set({25.0, 30.0})
+      .governors({"performance", "ondemand"})
+      .frames(50);
+  const std::vector<Scenario> matrix = b.scenarios();
+  ASSERT_EQ(matrix.size(), 8u);  // 2 workloads x 2 fps x 2 governors
+  // Workload-major, then fps, then governor; cells number the (wl, fps) pairs.
+  EXPECT_EQ(matrix[0].workload, "fft");
+  EXPECT_EQ(matrix[0].fps, 25.0);
+  EXPECT_EQ(matrix[0].governor, "performance");
+  EXPECT_EQ(matrix[0].cell, 0u);
+  EXPECT_EQ(matrix[1].governor, "ondemand");
+  EXPECT_EQ(matrix[1].cell, 0u);
+  EXPECT_EQ(matrix[2].fps, 30.0);
+  EXPECT_EQ(matrix[2].cell, 1u);
+  EXPECT_EQ(matrix[7].workload, "h264");
+  EXPECT_EQ(matrix[7].fps, 30.0);
+  EXPECT_EQ(matrix[7].governor, "ondemand");
+  EXPECT_EQ(matrix[7].cell, 3u);
+  // The resolved app spec carries the cell's workload and fps.
+  EXPECT_EQ(matrix[7].app.workload, "h264");
+  EXPECT_EQ(matrix[7].app.fps, 30.0);
+  EXPECT_EQ(matrix[7].app.frames, 50u);
+}
+
+TEST(ExperimentBuilder, EmptyMatrixThrows) {
+  EXPECT_THROW((void)ExperimentBuilder().workload("fft").run(),
+               std::invalid_argument);
+  EXPECT_THROW((void)ExperimentBuilder().governor("oracle").run(),
+               std::invalid_argument);
+}
+
+TEST(ExperimentBuilder, RunProducesOneResultPerScenario) {
+  ExperimentBuilder b;
+  b.workloads({"fft", "flat(mean=1.5e8)"})
+      .fps(25.0)
+      .frames(60)
+      .governors({"performance", "powersave"});
+  const SweepResult sweep = b.run();
+  ASSERT_EQ(sweep.results.size(), 4u);
+  ASSERT_EQ(sweep.oracle_runs.size(), 2u);
+  EXPECT_EQ(sweep.rows().size(), 4u);
+  for (const auto& r : sweep.results) {
+    EXPECT_EQ(r.run.epochs.size(), 60u);
+    EXPECT_GT(r.run.total_energy, 0.0);
+    EXPECT_GT(r.row.normalized_energy, 0.0);
+    ASSERT_NE(r.governor, nullptr);  // post-run introspection handle
+  }
+  // Performance burns more energy than powersave on the same cell.
+  EXPECT_GT(sweep.results[0].run.total_energy,
+            sweep.results[1].run.total_energy);
+}
+
+TEST(ExperimentBuilder, SweepIsDeterministicAcrossThreadCounts) {
+  const SweepResult serial = small_builder().parallelism(1).run();
+  const SweepResult threaded = small_builder().parallelism(4).run();
+  ASSERT_EQ(serial.results.size(), threaded.results.size());
+  for (std::size_t i = 0; i < serial.results.size(); ++i) {
+    EXPECT_EQ(serial.results[i].scenario.governor,
+              threaded.results[i].scenario.governor);
+    EXPECT_DOUBLE_EQ(serial.results[i].run.total_energy,
+                     threaded.results[i].run.total_energy);
+  }
+  ASSERT_EQ(serial.oracle_runs.size(), threaded.oracle_runs.size());
+  EXPECT_DOUBLE_EQ(serial.oracle_runs[0].total_energy,
+                   threaded.oracle_runs[0].total_energy);
+}
+
+TEST(ExperimentBuilder, CompareMatchesCompareGovernors) {
+  const Comparison built = small_builder().compare();
+
+  auto platform = hw::Platform::odroid_xu3_a15();
+  ExperimentSpec spec;
+  spec.workload = "fft";
+  spec.fps = 25.0;
+  spec.frames = 80;
+  const wl::Application app = make_application(spec, *platform);
+  const Comparison direct =
+      compare_governors(*platform, app, {"performance", "powersave"});
+
+  ASSERT_EQ(built.runs.size(), direct.runs.size());
+  EXPECT_DOUBLE_EQ(built.oracle_run.total_energy,
+                   direct.oracle_run.total_energy);
+  for (std::size_t i = 0; i < built.runs.size(); ++i) {
+    EXPECT_DOUBLE_EQ(built.runs[i].total_energy, direct.runs[i].total_energy);
+  }
+}
+
+TEST(ExperimentBuilder, CompareRejectsMatrices) {
+  ExperimentBuilder b;
+  b.workloads({"fft", "h264"}).governor("performance");
+  EXPECT_THROW((void)b.compare(), std::invalid_argument);
+}
+
+TEST(ExperimentBuilder, FindLocatesScenarios) {
+  const SweepResult sweep = small_builder().run();
+  const ScenarioResult* hit = sweep.find("powersave", "fft", 25.0);
+  ASSERT_NE(hit, nullptr);
+  EXPECT_EQ(hit->scenario.governor, "powersave");
+  EXPECT_EQ(sweep.find("powersave", "fft", 60.0), nullptr);
+  EXPECT_EQ(sweep.find("nope", "fft", 25.0), nullptr);
+}
+
+TEST(ExperimentBuilder, CoresControlsThePlatform) {
+  ExperimentBuilder b;
+  b.cores(8).workload("fft").frames(40).governor("performance");
+  const SweepResult sweep = b.run();
+  ASSERT_EQ(sweep.results.size(), 1u);
+  // 8 cores' worth of calibrated work executed without error.
+  EXPECT_EQ(sweep.results[0].run.epochs.size(), 40u);
+}
+
+TEST(ExperimentBuilder, SweepTableHasOneRowPerScenario) {
+  const SweepResult sweep = small_builder().run();
+  const TextTable t = make_sweep_table("sweep", sweep);
+  EXPECT_EQ(t.rows.size(), sweep.results.size());
+  ASSERT_FALSE(t.rows.empty());
+  EXPECT_EQ(t.rows[0][0], "performance");
+  EXPECT_EQ(t.rows[0][1], "fft");
+}
+
+TEST(ExperimentBuilder, OracleBaselineCanBeDisabled) {
+  const SweepResult sweep = small_builder().oracle_baseline(false).run();
+  ASSERT_EQ(sweep.results.size(), 2u);
+  EXPECT_TRUE(sweep.oracle_runs.empty());
+  for (const auto& r : sweep.results) {
+    EXPECT_EQ(r.run.epochs.size(), 80u);
+    EXPECT_GT(r.run.total_energy, 0.0);       // absolute metrics intact
+    EXPECT_EQ(r.row.normalized_energy, 0.0);  // no baseline to normalise by
+  }
+}
+
+TEST(ExperimentBuilder, ParameterisedGovernorSpecsRunInSweeps) {
+  ExperimentBuilder b;
+  b.workload("fft").frames(60).governors(
+      {"rtm(policy=upd)", "rtm(policy=epd)"});
+  const SweepResult sweep = b.run();
+  ASSERT_EQ(sweep.results.size(), 2u);
+  // Different exploration policies, same seed: the runs must diverge.
+  EXPECT_NE(sweep.results[0].run.total_energy,
+            sweep.results[1].run.total_energy);
+}
+
+}  // namespace
+}  // namespace prime::sim
