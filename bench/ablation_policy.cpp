@@ -45,7 +45,8 @@ int main(int argc, char** argv) {
 
   sim::ExperimentBuilder builder;
   builder.workload("h264").fps(25.0).frames(frames).trace_seed(seed)
-      .governor_seed(seed);
+      .governor_seed(seed)
+      .telemetry("trace");  // per-epoch records for the early-miss column
   for (const auto& variant : variants) builder.governor(variant.spec);
   const sim::SweepResult sweep = builder.run();
 
@@ -56,9 +57,10 @@ int main(int argc, char** argv) {
     const auto& r = sweep.results[i];
     const auto& g = dynamic_cast<const rtm::ManycoreRtmGovernor&>(*r.governor);
 
+    const std::vector<sim::EpochRecord>& records = *r.trace();
     std::size_t early_misses = 0;
-    for (std::size_t e = 0; e < r.run.epochs.size() && e < 150; ++e) {
-      if (!r.run.epochs[e].deadline_met) ++early_misses;
+    for (std::size_t e = 0; e < records.size() && e < 150; ++e) {
+      if (!records[e].deadline_met) ++early_misses;
     }
 
     t.rows.push_back({variants[i].label,

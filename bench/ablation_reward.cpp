@@ -34,7 +34,8 @@ int main(int argc, char** argv) {
   const std::vector<std::string> rewards{"target-slack", "linear-slack"};
   sim::ExperimentBuilder builder;
   builder.workload("h264").fps(25.0).frames(frames).trace_seed(seed)
-      .governor_seed(seed);
+      .governor_seed(seed)
+      .telemetry("trace");  // per-epoch records for the late-OPP column
   for (const auto& reward : rewards) {
     builder.governor("rtm-manycore(reward=" + reward + ")");
   }
@@ -45,9 +46,10 @@ int main(int argc, char** argv) {
                "Mean OPP (2nd half)"};
   for (std::size_t i = 0; i < sweep.results.size(); ++i) {
     const auto& r = sweep.results[i];
+    const std::vector<sim::EpochRecord>& records = *r.trace();
     common::RunningStats late_opp;
-    for (std::size_t e = r.run.epochs.size() / 2; e < r.run.epochs.size(); ++e) {
-      late_opp.add(static_cast<double>(r.run.epochs[e].opp_index));
+    for (std::size_t e = records.size() / 2; e < records.size(); ++e) {
+      late_opp.add(static_cast<double>(records[e].opp_index));
     }
     t.rows.push_back({rewards[i],
                       common::format_double(r.row.normalized_energy, 3),

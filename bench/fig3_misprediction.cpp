@@ -20,6 +20,7 @@
 #include "rtm/manycore.hpp"
 #include "sim/experiment.hpp"
 #include "sim/metrics.hpp"
+#include "sim/telemetry.hpp"
 
 int main(int argc, char** argv) {
   using namespace prime;
@@ -41,13 +42,14 @@ int main(int argc, char** argv) {
   std::vector<double> actual;
   std::vector<double> predicted;
   std::vector<double> avg_slack;
-  sim::RunOptions opt;
-  opt.on_epoch = [&](const sim::EpochRecord& e, gov::Governor& g) {
+  sim::CallbackSink probe([&](const sim::EpochRecord& e, gov::Governor& g) {
     auto& r = dynamic_cast<rtm::RtmGovernor&>(g);
     actual.push_back(static_cast<double>(e.executed));
     predicted.push_back(static_cast<double>(r.predictor().prediction()));
     avg_slack.push_back(r.slack_monitor().average_slack());
-  };
+  });
+  sim::RunOptions opt;
+  opt.sinks = {&probe};
   const sim::RunResult run = sim::run_simulation(*platform, app, *governor, opt);
   const auto& rtm = dynamic_cast<const rtm::RtmGovernor&>(*governor);
 
@@ -74,7 +76,7 @@ int main(int argc, char** argv) {
             << "Explorations during run:                 "
             << rtm.exploration_count() << "\n"
             << "Deadline misses (under-prediction):      "
-            << run.deadline_misses << "/" << run.epochs.size() << "\n";
+            << run.deadline_misses << "/" << run.epoch_count << "\n";
 
   const std::string csv_path = cfg.get_string("csv", "");
   if (!csv_path.empty()) {

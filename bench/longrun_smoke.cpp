@@ -1,0 +1,101 @@
+/// \file longrun_smoke.cpp
+/// \brief Long-run memory smoke: proves that a run with only aggregate
+///        telemetry uses memory independent of frame count.
+///
+/// Before the streaming telemetry API the engine materialised one EpochRecord
+/// (~120 B) per frame inside RunResult, so a million-frame run carried a
+/// >100 MB record vector. With aggregates-only observation the per-epoch
+/// footprint is zero; the remaining O(frames) allocation is the workload
+/// trace itself (16 B/frame). This tool runs a configurable number of frames
+/// with no per-epoch sink (plus an optional bounded tail window), prints the
+/// aggregates and the process peak RSS, and — when max-rss-mb is set —
+/// fails loudly if the bound is exceeded, which is how CI pins the
+/// no-O(frames)-telemetry property.
+///
+/// Usage: longrun_smoke [frames=200000] [fps=25] [workload=h264]
+///                      [governor=ondemand] [tail=0] [max-rss-mb=0]
+#include <iostream>
+#include <string>
+
+#include <sys/resource.h>
+
+#include "common/config.hpp"
+#include "common/strings.hpp"
+#include "hw/platform.hpp"
+#include "sim/experiment.hpp"
+#include "sim/telemetry.hpp"
+
+namespace {
+
+/// Peak resident set size of this process in MB, negative when it cannot be
+/// measured (so an enforced bound fails closed instead of silently passing).
+/// ru_maxrss is kilobytes on Linux but bytes on macOS.
+double peak_rss_mb() {
+  rusage usage{};
+  if (getrusage(RUSAGE_SELF, &usage) != 0) return -1.0;
+#ifdef __APPLE__
+  return static_cast<double>(usage.ru_maxrss) / (1024.0 * 1024.0);
+#else
+  return static_cast<double>(usage.ru_maxrss) / 1024.0;
+#endif
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace prime;
+
+  common::Config cfg;
+  cfg.parse_args(argc, argv);
+  const auto frames = static_cast<std::size_t>(cfg.get_int("frames", 200000));
+  const double max_rss_mb = cfg.get_double("max-rss-mb", 0.0);
+  const auto tail = static_cast<std::size_t>(cfg.get_int("tail", 0));
+
+  const auto platform = hw::Platform::odroid_xu3_a15();
+  sim::ExperimentSpec spec;
+  spec.workload = cfg.get_string("workload", "h264");
+  spec.fps = cfg.get_double("fps", 25.0);
+  spec.frames = frames;
+  const wl::Application app = sim::make_application(spec, *platform);
+  const auto governor =
+      sim::make_governor(cfg.get_string("governor", "ondemand"));
+
+  // Aggregate-only observation: RunResult's O(1) aggregates, optionally plus
+  // a fixed-capacity tail window. No O(frames) telemetry anywhere.
+  sim::RunOptions options;
+  std::unique_ptr<sim::TelemetrySink> tail_sink;
+  if (tail > 0) {
+    tail_sink = sim::make_sink("tail(n=" + std::to_string(tail) + ")");
+    options.sinks.push_back(tail_sink.get());
+  }
+  const sim::RunResult run =
+      sim::run_simulation(*platform, app, *governor, options);
+
+  const double rss = peak_rss_mb();
+  std::cout << "Long-run smoke: " << run.application << " @ " << spec.fps
+            << " fps under " << run.governor << "\n"
+            << "  frames:        " << run.epoch_count << "\n"
+            << "  energy:        " << common::format_double(run.total_energy, 1)
+            << " J\n"
+            << "  sim time:      " << common::format_double(run.total_time, 1)
+            << " s\n"
+            << "  miss rate:     " << common::format_double(run.miss_rate(), 4)
+            << "\n"
+            << "  mean power:    " << common::format_double(run.mean_power(), 2)
+            << " W\n"
+            << "  peak RSS:      " << common::format_double(rss, 1) << " MB\n";
+
+  if (max_rss_mb > 0.0 && rss <= 0.0) {
+    std::cerr << "FAIL: peak RSS could not be measured, so the "
+              << common::format_double(max_rss_mb, 1)
+              << " MB bound cannot be enforced\n";
+    return 1;
+  }
+  if (max_rss_mb > 0.0 && rss > max_rss_mb) {
+    std::cerr << "FAIL: peak RSS " << common::format_double(rss, 1)
+              << " MB exceeds the " << common::format_double(max_rss_mb, 1)
+              << " MB bound — per-epoch state is leaking into the run path\n";
+    return 1;
+  }
+  return 0;
+}

@@ -17,11 +17,12 @@
 #include "hw/platform.hpp"
 #include "sim/builder.hpp"
 #include "sim/report.hpp"
+#include "sim/telemetry.hpp"
 
 namespace {
 
-/// Frequency and slack behaviour of one run, split into early (learning) and
-/// late (converged) halves.
+/// Frequency and slack behaviour of one traced run, split into early
+/// (learning) and late (converged) halves.
 struct Diagnostics {
   double mean_opp_early = 0.0;
   double mean_opp_late = 0.0;
@@ -30,9 +31,9 @@ struct Diagnostics {
   double mean_slack_late = 0.0;
 };
 
-Diagnostics diagnose(const prime::sim::RunResult& run) {
+Diagnostics diagnose(const std::vector<prime::sim::EpochRecord>& records) {
   Diagnostics d;
-  const std::size_t n = run.epochs.size();
+  const std::size_t n = records.size();
   if (n == 0) return d;
   const std::size_t half = n / 2;
   prime::common::RunningStats opp_early;
@@ -41,7 +42,7 @@ Diagnostics diagnose(const prime::sim::RunResult& run) {
   prime::common::RunningStats slack_late;
   std::size_t late_misses = 0;
   for (std::size_t i = 0; i < n; ++i) {
-    const auto& e = run.epochs[i];
+    const auto& e = records[i];
     if (i < half) {
       opp_early.add(static_cast<double>(e.opp_index));
     } else {
@@ -93,24 +94,31 @@ int main(int argc, char** argv) {
             << cfg.get_int("app.frames", 3000) << " frames @ " << fps
             << " fps)\n\n";
 
-  const sim::Comparison cmp =
+  // One (workload, fps) cell; every run — Oracle included — carries a
+  // registry-built TraceSink so the diagnostics can read per-epoch records.
+  const sim::SweepResult sweep =
       sim::ExperimentBuilder()
           .workload(workload)
           .fps(fps)
           .frames(static_cast<std::size_t>(cfg.get_int("app.frames", 3000)))
           .trace_seed(static_cast<std::uint64_t>(cfg.get_int("app.seed", 42)))
           .governors(names)
-          .compare();
+          .telemetry("trace")
+          .run();
   sim::print_table(std::cout, sim::make_comparison_table(
                                   "Normalised comparison (Oracle = 1.0)",
-                                  cmp.rows));
+                                  sweep.rows()));
 
   sim::TextTable diag;
   diag.title = "\nDiagnostics (late half of the run = converged behaviour)";
   diag.headers = {"Governor", "Mean OPP 1st half", "Mean OPP 2nd half",
                   "Mean f 2nd half (MHz)", "Late miss rate", "Late mean slack"};
-  add_row(diag, "oracle", diagnose(cmp.oracle_run));
-  for (const auto& run : cmp.runs) add_row(diag, run.governor, diagnose(run));
+  const auto* oracle_trace =
+      sim::find_sink<sim::TraceSink>(sweep.oracle_telemetry.front());
+  add_row(diag, "oracle", diagnose(oracle_trace->records()));
+  for (const auto& r : sweep.results) {
+    add_row(diag, r.run.governor, diagnose(*r.trace()));
+  }
   sim::print_table(std::cout, diag);
   return 0;
 }

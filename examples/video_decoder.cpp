@@ -13,8 +13,8 @@
 ///   gov.name=rtm-manycore — any registered governor spec, including
 ///   parameterised ones such as "gov.name=rtm(policy=upd,alpha=0.2)" or
 ///   "gov.name=thermal-cap(inner=rtm-manycore,trip=80)"
-#include <fstream>
 #include <iostream>
+#include <memory>
 
 #include "common/config.hpp"
 #include "common/strings.hpp"
@@ -22,6 +22,7 @@
 #include "rtm/rtm_governor.hpp"
 #include "sim/experiment.hpp"
 #include "sim/report.hpp"
+#include "sim/telemetry.hpp"
 
 int main(int argc, char** argv) {
   using namespace prime;
@@ -41,14 +42,24 @@ int main(int argc, char** argv) {
   const std::string gov_name = cfg.get_string("gov.name", "rtm-manycore");
   const auto governor = sim::make_governor(gov_name);
 
-  // Track the learning timeline through the epoch callback.
+  // Observation is all telemetry sinks: the head-of-run table reads a full
+  // trace, the learning timeline is an ad-hoc callback probe, and the CSV
+  // (when requested) streams per frame instead of materialising a series.
+  sim::TraceSink trace;
   std::vector<double> epsilons;
-  sim::RunOptions options;
-  options.on_epoch = [&epsilons](const sim::EpochRecord&, gov::Governor& g) {
+  sim::CallbackSink probe([&epsilons](const sim::EpochRecord&, gov::Governor& g) {
     if (const auto* rtm = dynamic_cast<const rtm::RtmGovernor*>(&g)) {
       epsilons.push_back(rtm->epsilon());
     }
-  };
+  });
+  sim::RunOptions options;
+  options.sinks = {&trace, &probe};
+  const std::string csv_path = cfg.get_string("out.csv", "");
+  std::unique_ptr<sim::CsvSink> csv;
+  if (!csv_path.empty()) {
+    csv = std::make_unique<sim::CsvSink>(csv_path);
+    options.sinks.push_back(csv.get());
+  }
 
   const sim::RunResult run = sim::run_simulation(*platform, app, *governor, options);
 
@@ -59,8 +70,9 @@ int main(int argc, char** argv) {
   t.title = "First " + std::to_string(head) + " frames";
   t.headers = {"frame", "kind", "demand (Mcyc)", "OPP (MHz)",
                "frame time (ms)", "slack", "power (W)"};
-  for (std::size_t i = 0; i < run.epochs.size() && i < head; ++i) {
-    const auto& e = run.epochs[i];
+  const std::vector<sim::EpochRecord>& records = trace.records();
+  for (std::size_t i = 0; i < records.size() && i < head; ++i) {
+    const auto& e = records[i];
     t.rows.push_back({std::to_string(e.epoch),
                       wl::frame_kind_tag(app.trace().at(i).kind),
                       common::format_double(static_cast<double>(e.demand) / 1e6, 1),
@@ -73,7 +85,7 @@ int main(int argc, char** argv) {
 
   std::cout << "\nSummary: energy "
             << common::format_double(run.total_energy, 2) << " J, misses "
-            << run.deadline_misses << "/" << run.epochs.size()
+            << run.deadline_misses << "/" << run.epoch_count
             << ", mean normalised performance "
             << common::format_double(run.mean_normalized_performance(), 3)
             << "\n";
@@ -87,11 +99,9 @@ int main(int argc, char** argv) {
               << "%\n";
   }
 
-  const std::string csv_path = cfg.get_string("out.csv", "");
-  if (!csv_path.empty()) {
-    std::ofstream out(csv_path);
-    sim::write_series_csv(out, sim::extract_series(run));
-    std::cout << "Wrote per-frame series to " << csv_path << "\n";
+  if (csv != nullptr) {
+    std::cout << "Streamed " << csv->rows_written() << " per-frame rows to "
+              << csv_path << "\n";
   }
   return 0;
 }

@@ -72,6 +72,27 @@ class Governor {
 
   /// \brief Restore the governor to its initial (untrained) state.
   virtual void reset() = 0;
+
+  /// \brief The wrapped governor of a decorator (thermal-cap, ...), nullptr
+  ///        for leaf governors. Lets observers (telemetry probes) unwrap
+  ///        composed specs to reach the governor that actually learns.
+  [[nodiscard]] virtual const Governor* inner_governor() const noexcept {
+    return nullptr;
+  }
+};
+
+/// \brief Interface for governors whose learning progress is observable: the
+///        greedy policy extracted from the learner's table(s) plus the
+///        cumulative exploration count. Consumed per epoch by telemetry
+///        (sim::ConvergenceSink) to detect when learning completes
+///        (Tables II/III) without knowing the concrete learner type.
+class Learner {
+ public:
+  virtual ~Learner() = default;
+  /// \brief Greedy action per state; empty before initialisation.
+  [[nodiscard]] virtual std::vector<std::size_t> greedy_policy() const = 0;
+  /// \brief Exploration-arm decisions taken so far.
+  [[nodiscard]] virtual std::size_t exploration_count() const = 0;
 };
 
 /// \brief Oracle knowledge of the frame about to run.

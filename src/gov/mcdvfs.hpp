@@ -43,7 +43,7 @@ struct McdvfsParams {
 };
 
 /// \brief Per-core-table Q-learning governor.
-class MulticoreDvfsGovernor final : public Governor {
+class MulticoreDvfsGovernor final : public Governor, public Learner {
  public:
   /// \brief Construct with the given tunables.
   explicit MulticoreDvfsGovernor(const McdvfsParams& params = {});
@@ -57,8 +57,9 @@ class MulticoreDvfsGovernor final : public Governor {
   [[nodiscard]] common::Seconds epoch_overhead() const override;
   void reset() override;
 
-  /// \brief Number of epochs in which at least one core explored.
-  [[nodiscard]] std::size_t exploration_epochs() const noexcept {
+  /// \brief Learner interface: number of epochs in which at least one core
+  ///        explored.
+  [[nodiscard]] std::size_t exploration_count() const noexcept override {
     return exploration_epochs_;
   }
   /// \brief Current epsilon (exposed for convergence analysis).
@@ -69,7 +70,7 @@ class MulticoreDvfsGovernor final : public Governor {
   }
   /// \brief Greedy OPP choice per core state for convergence tracking:
   ///        concatenated argmax table across all cores.
-  [[nodiscard]] std::vector<std::size_t> greedy_policy() const;
+  [[nodiscard]] std::vector<std::size_t> greedy_policy() const override;
 
  private:
   struct CoreAgent {

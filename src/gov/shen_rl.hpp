@@ -38,7 +38,7 @@ struct ShenRlParams {
 };
 
 /// \brief Cluster-level UPD epsilon-greedy Q-learning governor.
-class ShenRlGovernor final : public Governor {
+class ShenRlGovernor final : public Governor, public Learner {
  public:
   /// \brief Construct with the given tunables.
   explicit ShenRlGovernor(const ShenRlParams& params = {});
@@ -54,7 +54,7 @@ class ShenRlGovernor final : public Governor {
   void reset() override;
 
   /// \brief Number of epochs decided by the uniform-random (exploration) arm.
-  [[nodiscard]] std::size_t exploration_count() const noexcept {
+  [[nodiscard]] std::size_t exploration_count() const noexcept override {
     return explorations_;
   }
   /// \brief Current epsilon.
@@ -64,7 +64,7 @@ class ShenRlGovernor final : public Governor {
     return convergence_epoch_;
   }
   /// \brief Greedy action per state (for convergence tracking).
-  [[nodiscard]] std::vector<std::size_t> greedy_policy() const;
+  [[nodiscard]] std::vector<std::size_t> greedy_policy() const override;
 
  private:
   void ensure_initialised(const DecisionContext& ctx);

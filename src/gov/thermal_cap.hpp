@@ -45,6 +45,9 @@ class ThermalCapGovernor final : public Governor {
   [[nodiscard]] std::size_t capped_epochs() const noexcept { return capped_; }
   /// \brief Access the wrapped governor.
   [[nodiscard]] Governor& inner() noexcept { return *inner_; }
+  [[nodiscard]] const Governor* inner_governor() const noexcept override {
+    return inner_.get();
+  }
 
  private:
   std::unique_ptr<Governor> inner_;

@@ -56,7 +56,7 @@ struct RtmParams {
                                              std::uint64_t seed);
 
 /// \brief The proposed single-cluster Q-learning governor.
-class RtmGovernor : public gov::Governor {
+class RtmGovernor : public gov::Governor, public gov::Learner {
  public:
   /// \brief Construct with the given tunables.
   explicit RtmGovernor(const RtmParams& params = {});
@@ -74,7 +74,7 @@ class RtmGovernor : public gov::Governor {
   // --- Introspection (benches, tests, convergence tracking) -----------------
 
   /// \brief Exploration-arm decisions taken so far (Table II numerator).
-  [[nodiscard]] std::size_t exploration_count() const noexcept {
+  [[nodiscard]] std::size_t exploration_count() const noexcept override {
     return explorations_;
   }
   /// \brief Current epsilon of the eq. (6) schedule.
@@ -89,7 +89,7 @@ class RtmGovernor : public gov::Governor {
   /// \brief The learned Q-table (empty until first decide()).
   [[nodiscard]] const QTable* q_table() const noexcept { return qtable_.get(); }
   /// \brief Greedy action per state; empty before initialisation.
-  [[nodiscard]] std::vector<std::size_t> greedy_policy() const;
+  [[nodiscard]] std::vector<std::size_t> greedy_policy() const override;
   /// \brief The EWMA workload predictor (Fig. 3 data source).
   [[nodiscard]] const EwmaPredictor& predictor() const noexcept { return ewma_; }
   /// \brief The slack monitor (Fig. 3 data source).

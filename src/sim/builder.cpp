@@ -7,6 +7,7 @@
 #include <functional>
 #include <mutex>
 #include <optional>
+#include <set>
 #include <stdexcept>
 #include <thread>
 #include <utility>
@@ -49,7 +50,89 @@ void parallel_for(std::size_t n, std::size_t workers,
   if (error) std::rethrow_exception(error);
 }
 
+/// Sanitise a scenario coordinate for spec/path interpolation: spec strings
+/// like "rtm(policy=upd)" would otherwise re-enter the parser (or the
+/// filesystem) with meaningful punctuation.
+std::string sanitize_token(const std::string& value) {
+  std::string out;
+  out.reserve(value.size());
+  for (const char c : value) {
+    const bool keep = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                      (c >= '0' && c <= '9') || c == '.' || c == '_' ||
+                      c == '-';
+    out.push_back(keep ? c : '-');
+  }
+  return out;
+}
+
+/// Render fps compactly ("25", "23.98") for interpolation.
+std::string format_fps_token(double fps) {
+  std::string s = std::to_string(fps);
+  while (!s.empty() && s.back() == '0') s.pop_back();
+  if (!s.empty() && s.back() == '.') s.pop_back();
+  return s;
+}
+
+void replace_all(std::string& text, const std::string& from,
+                 const std::string& to) {
+  for (std::size_t pos = text.find(from); pos != std::string::npos;
+       pos = text.find(from, pos + to.size())) {
+    text.replace(pos, from.size(), to);
+  }
+}
+
+/// Expand the {governor}/{workload}/{fps}/{cell} placeholders of a telemetry
+/// spec with the scenario's coordinates.
+std::string expand_spec(std::string spec, const Scenario& scenario) {
+  replace_all(spec, "{governor}", sanitize_token(scenario.governor));
+  replace_all(spec, "{workload}", sanitize_token(scenario.workload));
+  replace_all(spec, "{fps}", format_fps_token(scenario.fps));
+  replace_all(spec, "{cell}", std::to_string(scenario.cell));
+  return spec;
+}
+
+/// Two CsvSinks streaming into one target interleave and corrupt it —
+/// whether the collision is across concurrent runs or across specs within
+/// one run. Every csv spec therefore needs a path= whose expansion is
+/// unique over the whole sweep (stdout — no path= — is allowed exactly
+/// once, and only when a single run executes). Validated up front so the
+/// error arrives before any simulation work, naming the colliding target.
+/// Malformed specs are not this check's concern — the trial construction in
+/// run() reports those with the registry's did-you-mean diagnostics.
+void validate_csv_targets(const std::vector<std::string>& specs,
+                          const std::vector<Scenario>& runs) {
+  std::set<std::string> targets;
+  for (const auto& raw : specs) {
+    for (const auto& scenario : runs) {
+      const common::Spec parsed =
+          common::Spec::parse(expand_spec(raw, scenario));
+      if (parsed.name() != "csv") break;  // same name for every expansion
+      const std::string path = parsed.get_string("path", "");
+      if (path.empty() && runs.size() > 1) {
+        throw std::invalid_argument(
+            "ExperimentBuilder: telemetry spec '" + raw +
+            "' would stream " + std::to_string(runs.size()) +
+            " concurrent runs to stdout; give csv a path= with {governor}/"
+            "{workload}/{fps}/{cell} placeholders");
+      }
+      const std::string target = path.empty() ? "<stdout>" : path;
+      if (!targets.insert(target).second) {
+        throw std::invalid_argument(
+            "ExperimentBuilder: csv target '" + target +
+            "' is opened more than once by this sweep (spec '" + raw +
+            "'); make csv paths unique per run and per spec with "
+            "{governor}/{workload}/{fps}/{cell} placeholders");
+      }
+    }
+  }
+}
+
 }  // namespace
+
+const std::vector<EpochRecord>* ScenarioResult::trace() const {
+  const auto* hit = find_sink<TraceSink>(telemetry);
+  return hit == nullptr ? nullptr : &hit->records();
+}
 
 std::vector<NormalizedMetrics> SweepResult::rows() const {
   std::vector<NormalizedMetrics> out;
@@ -103,6 +186,23 @@ ExperimentBuilder& ExperimentBuilder::workload(const std::string& spec) {
 ExperimentBuilder& ExperimentBuilder::workloads(
     const std::vector<std::string>& specs) {
   workloads_.insert(workloads_.end(), specs.begin(), specs.end());
+  return *this;
+}
+
+ExperimentBuilder& ExperimentBuilder::telemetry(const std::string& spec) {
+  telemetry_.push_back(spec);
+  return *this;
+}
+
+ExperimentBuilder& ExperimentBuilder::telemetry(
+    const std::vector<std::string>& specs) {
+  telemetry_.insert(telemetry_.end(), specs.begin(), specs.end());
+  return *this;
+}
+
+ExperimentBuilder& ExperimentBuilder::telemetry(
+    std::initializer_list<std::string> specs) {
+  telemetry_.insert(telemetry_.end(), specs.begin(), specs.end());
   return *this;
 }
 
@@ -165,6 +265,16 @@ std::unique_ptr<hw::Platform> ExperimentBuilder::make_platform() const {
                           : hw::Platform::odroid_xu3_a15();
 }
 
+std::vector<std::unique_ptr<TelemetrySink>> ExperimentBuilder::make_sinks(
+    const Scenario& scenario) const {
+  std::vector<std::unique_ptr<TelemetrySink>> sinks;
+  sinks.reserve(telemetry_.size());
+  for (const auto& spec : telemetry_) {
+    sinks.push_back(make_sink(expand_spec(spec, scenario)));
+  }
+  return sinks;
+}
+
 std::vector<Scenario> ExperimentBuilder::scenarios() const {
   if (governors_.empty()) {
     throw std::invalid_argument("ExperimentBuilder: no governors added");
@@ -198,27 +308,56 @@ std::vector<Scenario> ExperimentBuilder::scenarios() const {
 SweepResult ExperimentBuilder::run() const {
   const std::vector<Scenario> matrix = scenarios();
   const std::size_t cell_count = workloads_.size() * fps_list().size();
+  const std::size_t per_cell_runs = governors_.size();
+
+  if (!telemetry_.empty()) {
+    // All runs that will carry telemetry: the scenarios plus, when the
+    // baseline is on, each cell's Oracle run.
+    std::vector<Scenario> runs = matrix;
+    if (oracle_baseline_) {
+      for (std::size_t c = 0; c < cell_count; ++c) {
+        Scenario coords = matrix[c * per_cell_runs];
+        coords.governor = "oracle";
+        runs.push_back(std::move(coords));
+      }
+    }
+    // Fail fast on malformed sink specs (unknown names, typo'd keys, bad
+    // values) before any simulation work, by trial-constructing each spec
+    // once — construction is side-effect-free (CsvSink opens its file
+    // lazily at run begin), so discarding the trial instance is safe.
+    for (const auto& raw : telemetry_) {
+      (void)make_sink(expand_spec(raw, runs.front()));
+    }
+    validate_csv_targets(telemetry_, runs);
+  }
 
   // Phase 1: one task per (workload, fps) cell — generate and calibrate the
   // application, then run the Oracle normalisation baseline on it.
   struct Cell {
     std::optional<wl::Application> app;
     RunResult oracle;
+    std::vector<std::unique_ptr<TelemetrySink>> oracle_telemetry;
   };
   std::vector<Cell> cells(cell_count);
-  const std::size_t per_cell = governors_.size();
   parallel_for(cell_count, parallelism_, [&](std::size_t i) {
-    const Scenario& first = matrix[i * per_cell];
+    const Scenario& first = matrix[i * per_cell_runs];
     const auto platform = make_platform();
     cells[i].app.emplace(make_application(first.app, *platform));
     if (oracle_baseline_) {
       const auto oracle = make_governor("oracle", governor_seed_);
-      cells[i].oracle = run_simulation(*platform, *cells[i].app, *oracle);
+      Scenario coords = first;
+      coords.governor = "oracle";
+      cells[i].oracle_telemetry = make_sinks(coords);
+      RunOptions opt;
+      for (const auto& sink : cells[i].oracle_telemetry) {
+        opt.sinks.push_back(sink.get());
+      }
+      cells[i].oracle = run_simulation(*platform, *cells[i].app, *oracle, opt);
     }
   });
 
   // Phase 2: one task per scenario, against the shared (const) application
-  // and a fresh platform + governor.
+  // and a fresh platform + governor + telemetry set.
   SweepResult sweep;
   sweep.results.resize(matrix.size());
   parallel_for(matrix.size(), parallelism_, [&](std::size_t i) {
@@ -226,8 +365,11 @@ SweepResult ExperimentBuilder::run() const {
     const Cell& cell = cells[scenario.cell];
     const auto platform = make_platform();
     auto governor = make_governor(scenario.governor, governor_seed_);
-    RunResult run = run_simulation(*platform, *cell.app, *governor);
     ScenarioResult& result = sweep.results[i];
+    result.telemetry = make_sinks(scenario);
+    RunOptions opt;
+    for (const auto& sink : result.telemetry) opt.sinks.push_back(sink.get());
+    RunResult run = run_simulation(*platform, *cell.app, *governor, opt);
     result.scenario = scenario;
     result.row = normalize_against(run, cell.oracle);
     result.run = std::move(run);
@@ -236,7 +378,11 @@ SweepResult ExperimentBuilder::run() const {
 
   if (oracle_baseline_) {
     sweep.oracle_runs.reserve(cells.size());
-    for (auto& cell : cells) sweep.oracle_runs.push_back(std::move(cell.oracle));
+    sweep.oracle_telemetry.reserve(cells.size());
+    for (auto& cell : cells) {
+      sweep.oracle_runs.push_back(std::move(cell.oracle));
+      sweep.oracle_telemetry.push_back(std::move(cell.oracle_telemetry));
+    }
   }
   return sweep;
 }
@@ -249,6 +395,11 @@ Comparison ExperimentBuilder::compare() const {
   }
   if (governors_.empty()) {
     throw std::invalid_argument("ExperimentBuilder: no governors added");
+  }
+  if (!telemetry_.empty()) {
+    throw std::invalid_argument(
+        "ExperimentBuilder::compare: telemetry sinks are attached by run(); "
+        "use run() for per-epoch observation");
   }
   ExperimentSpec spec = base_;
   spec.workload = workloads_.front();

@@ -28,6 +28,7 @@
 
 #include "common/config.hpp"
 #include "sim/experiment.hpp"
+#include "sim/telemetry.hpp"
 
 namespace prime::sim {
 
@@ -49,6 +50,19 @@ struct ScenarioResult {
   /// (Q-table size, exploration counts, predictor statistics) — recover the
   /// concrete type with dynamic_cast.
   std::unique_ptr<gov::Governor> governor;
+  /// Telemetry sinks attached to this scenario's run (one fresh instance per
+  /// ExperimentBuilder::telemetry() spec, in spec order), kept for post-run
+  /// introspection just like the governor.
+  std::vector<std::unique_ptr<TelemetrySink>> telemetry;
+
+  /// \brief First attached sink of type T (nullptr when absent).
+  template <class T>
+  [[nodiscard]] T* sink() const {
+    return find_sink<T>(telemetry);
+  }
+  /// \brief Records of the first attached TraceSink (nullptr when the
+  ///        scenario ran without a "trace" spec).
+  [[nodiscard]] const std::vector<EpochRecord>* trace() const;
 };
 
 /// \brief Outcome of a whole sweep.
@@ -59,6 +73,10 @@ struct SweepResult {
   /// The Oracle baseline runs, one per (workload, fps) cell; results[i]
   /// was normalised against oracle_runs[results[i].scenario.cell].
   std::vector<RunResult> oracle_runs;
+  /// Telemetry attached to each cell's Oracle run (same specs as the
+  /// scenarios, with {governor} expanding to "oracle"); indexed like
+  /// oracle_runs, empty when no telemetry specs were added.
+  std::vector<std::vector<std::unique_ptr<TelemetrySink>>> oracle_telemetry;
 
   /// \brief The normalised rows in result order (Table-I shape).
   [[nodiscard]] std::vector<NormalizedMetrics> rows() const;
@@ -93,6 +111,27 @@ class ExperimentBuilder {
   ExperimentBuilder& fps(double f);
   /// \brief Add several frame-rate requirements.
   ExperimentBuilder& fps_set(const std::vector<double>& fs);
+
+  /// \brief Attach one telemetry sink spec (e.g. "trace", "tail(n=256)",
+  ///        "csv(path=out/{governor}-{workload}.csv)") to every scenario of
+  ///        the sweep, including each cell's Oracle baseline run. A fresh
+  ///        sink is constructed per run, so concurrent scenarios never share
+  ///        sink state; the instances are returned in
+  ///        ScenarioResult::telemetry / SweepResult::oracle_telemetry. The
+  ///        placeholders {governor}, {workload}, {fps} and {cell} expand to
+  ///        the (sanitised) scenario coordinates before the spec is parsed.
+  ///        Unknown names/keys throw with did-you-mean suggestions; a csv
+  ///        spec whose expanded path= is not unique per run (or absent, i.e.
+  ///        stdout) is rejected in multi-run sweeps, since concurrent runs
+  ///        streaming into one target would interleave.
+  ExperimentBuilder& telemetry(const std::string& spec);
+  /// \brief Attach several telemetry sink specs (attachment order preserved).
+  ExperimentBuilder& telemetry(const std::vector<std::string>& specs);
+  /// \brief Braced-list form: .telemetry({"trace", "tail(n=256)"}). A
+  ///        distinct overload on purpose: without it a two-element braced
+  ///        list is ambiguous between the string overload (iterator-pair
+  ///        constructor) and the vector one.
+  ExperimentBuilder& telemetry(std::initializer_list<std::string> specs);
 
   /// \brief Trace length in frames (default 3000).
   ExperimentBuilder& frames(std::size_t n);
@@ -131,10 +170,15 @@ class ExperimentBuilder {
   [[nodiscard]] std::vector<double> fps_list() const;
   [[nodiscard]] std::unique_ptr<hw::Platform> make_platform() const;
 
+  /// \brief Instantiate the telemetry specs for one scenario's coordinates.
+  [[nodiscard]] std::vector<std::unique_ptr<TelemetrySink>> make_sinks(
+      const Scenario& scenario) const;
+
   common::Config platform_cfg_;
   bool custom_platform_ = false;
   std::vector<std::string> governors_;
   std::vector<std::string> workloads_;
+  std::vector<std::string> telemetry_;
   std::vector<double> fps_;
   ExperimentSpec base_;
   std::uint64_t governor_seed_ = 0x271828;

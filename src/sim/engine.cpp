@@ -3,28 +3,34 @@
 #include <algorithm>
 #include <numeric>
 
+#include "sim/telemetry.hpp"
+
 namespace prime::sim {
 
+void RunResult::accumulate(const EpochRecord& record) {
+  ++epoch_count;
+  total_energy += record.energy;
+  total_time += record.window;
+  if (!record.deadline_met) ++deadline_misses;
+  performance_sum +=
+      record.period > 0.0 ? record.frame_time / record.period : 0.0;
+  power_sum += record.sensor_power;
+}
+
 double RunResult::mean_normalized_performance() const {
-  if (epochs.empty()) return 0.0;
-  double sum = 0.0;
-  for (const auto& e : epochs) {
-    sum += e.period > 0.0 ? e.frame_time / e.period : 0.0;
-  }
-  return sum / static_cast<double>(epochs.size());
+  if (epoch_count == 0) return 0.0;
+  return performance_sum / static_cast<double>(epoch_count);
 }
 
 double RunResult::miss_rate() const {
-  if (epochs.empty()) return 0.0;
+  if (epoch_count == 0) return 0.0;
   return static_cast<double>(deadline_misses) /
-         static_cast<double>(epochs.size());
+         static_cast<double>(epoch_count);
 }
 
 common::Watt RunResult::mean_power() const {
-  if (epochs.empty()) return 0.0;
-  double sum = 0.0;
-  for (const auto& e : epochs) sum += e.sensor_power;
-  return sum / static_cast<double>(epochs.size());
+  if (epoch_count == 0) return 0.0;
+  return power_sum / static_cast<double>(epoch_count);
 }
 
 RunResult run_simulation(hw::Platform& platform, const wl::Application& app,
@@ -42,9 +48,11 @@ RunResult run_simulation(hw::Platform& platform, const wl::Application& app,
           : std::min(options.max_frames, app.frame_count());
 
   RunResult result;
-  result.governor = governor.name();
-  result.application = app.name();
-  result.epochs.reserve(frames);
+  RunContext ctx;
+  ctx.governor = governor.name();
+  ctx.application = app.name();
+  ctx.frames = frames;
+  RunEmitter emitter(result, options.sinks, ctx);
 
   std::optional<gov::EpochObservation> last;
   for (std::size_t i = 0; i < frames; ++i) {
@@ -62,12 +70,12 @@ RunResult run_simulation(hw::Platform& platform, const wl::Application& app,
       clairvoyant->preview_next_frame(preview);
     }
 
-    gov::DecisionContext ctx;
-    ctx.epoch = i;
-    ctx.period = period;
-    ctx.cores = cluster.core_count();
-    ctx.opps = &opps;
-    const std::size_t action = governor.decide(ctx, last);
+    gov::DecisionContext dctx;
+    dctx.epoch = i;
+    dctx.period = period;
+    dctx.cores = cluster.core_count();
+    dctx.opps = &opps;
+    const std::size_t action = governor.decide(dctx, last);
     cluster.set_opp(action);
 
     // The governor's processing overhead executes as cycles on core 0 at the
@@ -98,10 +106,6 @@ RunResult run_simulation(hw::Platform& platform, const wl::Application& app,
     rec.slack = period > 0.0 ? (period - epoch.frame_time) / period : 0.0;
     rec.deadline_met = epoch.deadline_met;
 
-    result.total_energy += epoch.energy;
-    result.total_time += epoch.window;
-    if (!epoch.deadline_met) ++result.deadline_misses;
-
     gov::EpochObservation obs;
     obs.epoch = i;
     obs.period = period;
@@ -115,10 +119,9 @@ RunResult run_simulation(hw::Platform& platform, const wl::Application& app,
     obs.deadline_met = epoch.deadline_met;
     last = std::move(obs);
 
-    result.epochs.push_back(rec);
-    if (options.on_epoch) options.on_epoch(result.epochs.back(), governor);
+    emitter.emit(rec, governor);
   }
-  result.measured_energy = platform.power_sensor().measured_energy();
+  emitter.finish(platform.power_sensor().measured_energy());
   return result;
 }
 

@@ -8,10 +8,17 @@
 /// the frame, and the observation is fed back to the governor at the next
 /// tick. The governor's own processing overhead executes as real cycles on
 /// core 0, so T_OVH consumes time and energy like it does on the board.
+///
+/// Observation is streaming: each executed epoch is emitted to the
+/// TelemetrySink observers attached through RunOptions::sinks (see
+/// sim/telemetry.hpp), and RunResult carries only O(1) incremental
+/// aggregates — run length is never capped by record memory. Attach a
+/// TraceSink when the full epoch vector is needed.
 #pragma once
 
 #include <functional>
 #include <optional>
+#include <string>
 #include <vector>
 
 #include "gov/governor.hpp"
@@ -19,6 +26,8 @@
 #include "wl/application.hpp"
 
 namespace prime::sim {
+
+class TelemetrySink;
 
 /// \brief Everything recorded about one executed epoch.
 struct EpochRecord {
@@ -37,33 +46,45 @@ struct EpochRecord {
   bool deadline_met = true;         ///< Whether the frame met its deadline.
 };
 
-/// \brief Aggregate outcome of a run.
+/// \brief Aggregate outcome of a run: O(1) incremental aggregates maintained
+///        by the shared emission path, independent of run length. Per-epoch
+///        records are not stored here — attach a TraceSink (or any other
+///        telemetry sink) for per-epoch visibility.
 struct RunResult {
   std::string governor;              ///< Governor name.
   std::string application;           ///< Application name.
-  std::vector<EpochRecord> epochs;   ///< Per-epoch records.
+  std::size_t epoch_count = 0;       ///< Epochs executed.
   common::Joule total_energy = 0.0;  ///< True model energy.
   common::Joule measured_energy = 0.0; ///< Sensor-integrated energy.
   common::Seconds total_time = 0.0;  ///< Total wall-clock time.
   std::size_t deadline_misses = 0;   ///< Frames missing their deadline.
+  double performance_sum = 0.0;      ///< Running sum of frame_time/period.
+  double power_sum = 0.0;            ///< Running sum of sensor power.
+
+  /// \brief Fold one executed epoch into the aggregates. The single
+  ///        accumulation path shared by the engines and AggregateSink, so
+  ///        derived metrics can never drift between them.
+  void accumulate(const EpochRecord& record);
 
   /// \brief Mean of frame_time/period — the paper's normalised performance
-  ///        (>1 under-performs the requirement, <1 over-performs).
+  ///        (>1 under-performs the requirement, <1 over-performs). O(1).
   [[nodiscard]] double mean_normalized_performance() const;
-  /// \brief Fraction of frames missing their deadline.
+  /// \brief Fraction of frames missing their deadline. O(1).
   [[nodiscard]] double miss_rate() const;
-  /// \brief Mean sensor power across epochs.
+  /// \brief Mean sensor power across epochs. O(1).
   [[nodiscard]] common::Watt mean_power() const;
 };
 
-/// \brief Per-epoch hook: invoked after each epoch with the fresh record and
-///        the governor (for introspection such as convergence tracking).
+/// \brief Per-epoch probe signature used by CallbackSink: the fresh record
+///        plus the governor (for introspection such as predictor state).
 using EpochCallback = std::function<void(const EpochRecord&, gov::Governor&)>;
 
 /// \brief Options controlling a simulation run.
 struct RunOptions {
   std::size_t max_frames = 0;   ///< 0 = run the whole trace.
-  EpochCallback on_epoch;       ///< Optional per-epoch observer.
+  /// Telemetry sinks (not owned; must outlive the run) receiving run-begin,
+  /// every epoch in order, and run-end. See sim/telemetry.hpp.
+  std::vector<TelemetrySink*> sinks;
   bool reset_platform = true;   ///< Reset hardware state before the run.
   bool reset_governor = true;   ///< Reset governor learning before the run.
 };

@@ -50,24 +50,4 @@ MispredictionSummary summarize_misprediction(const std::vector<double>& actual,
   return s;
 }
 
-RunSeries extract_series(const RunResult& run) {
-  RunSeries s;
-  const std::size_t n = run.epochs.size();
-  s.frame.reserve(n);
-  s.demand.reserve(n);
-  s.frequency_mhz.reserve(n);
-  s.slack.reserve(n);
-  s.power.reserve(n);
-  s.energy_mj.reserve(n);
-  for (const auto& e : run.epochs) {
-    s.frame.push_back(static_cast<double>(e.epoch));
-    s.demand.push_back(static_cast<double>(e.demand));
-    s.frequency_mhz.push_back(common::to_mhz(e.frequency));
-    s.slack.push_back(e.slack);
-    s.power.push_back(e.sensor_power);
-    s.energy_mj.push_back(common::to_mj(e.energy));
-  }
-  return s;
-}
-
 }  // namespace prime::sim

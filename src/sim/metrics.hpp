@@ -45,17 +45,4 @@ struct MispredictionSummary {
     const std::vector<double>& actual, const std::vector<double>& predicted,
     std::size_t split);
 
-/// \brief Per-frame series extracted from a run (bench CSV output).
-struct RunSeries {
-  std::vector<double> frame;        ///< Frame index.
-  std::vector<double> demand;       ///< Application demand (cycles).
-  std::vector<double> frequency_mhz;///< Chosen frequency.
-  std::vector<double> slack;        ///< Per-frame slack ratio.
-  std::vector<double> power;        ///< Sensor power (W).
-  std::vector<double> energy_mj;    ///< Per-frame energy (mJ).
-};
-
-/// \brief Extract plottable series from a run.
-[[nodiscard]] RunSeries extract_series(const RunResult& run);
-
 }  // namespace prime::sim

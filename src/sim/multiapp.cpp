@@ -5,6 +5,8 @@
 #include <set>
 #include <stdexcept>
 
+#include "sim/telemetry.hpp"
+
 namespace prime::sim {
 namespace {
 
@@ -47,6 +49,15 @@ MultiAppResult run_multi_simulation(
     hw::Platform& platform, const std::vector<AppPlacement>& placements,
     const std::vector<std::unique_ptr<gov::Governor>>& governors,
     std::size_t max_frames) {
+  MultiAppOptions options;
+  options.max_frames = max_frames;
+  return run_multi_simulation(platform, placements, governors, options);
+}
+
+MultiAppResult run_multi_simulation(
+    hw::Platform& platform, const std::vector<AppPlacement>& placements,
+    const std::vector<std::unique_ptr<gov::Governor>>& governors,
+    const MultiAppOptions& options) {
   validate(platform, placements, governors);
   platform.reset();
   for (const auto& g : governors) g->reset();
@@ -55,7 +66,7 @@ MultiAppResult run_multi_simulation(
   const hw::OppTable& opps = platform.opp_table();
   const std::size_t n_apps = placements.size();
 
-  std::size_t frames = max_frames;
+  std::size_t frames = options.max_frames;
   for (const auto& p : placements) {
     frames = frames == 0 ? p.app->frame_count()
                          : std::min(frames, p.app->frame_count());
@@ -64,10 +75,23 @@ MultiAppResult run_multi_simulation(
   MultiAppResult result;
   result.per_app.resize(n_apps);
   result.overridden_epochs.assign(n_apps, 0);
+
+  // One emitter per application stream: the identical emission path the
+  // single-app engine drives, so per-app aggregates and attached telemetry
+  // can never diverge from the engine's bookkeeping.
+  std::vector<RunEmitter> emitters;
+  emitters.reserve(n_apps);
   for (std::size_t a = 0; a < n_apps; ++a) {
-    result.per_app[a].governor = governors[a]->name();
-    result.per_app[a].application = placements[a].app->name();
-    result.per_app[a].epochs.reserve(frames);
+    RunContext ctx;
+    ctx.governor = governors[a]->name();
+    ctx.application = placements[a].app->name();
+    ctx.frames = frames;
+    ctx.app_index = a;
+    ctx.app_count = n_apps;
+    emitters.emplace_back(result.per_app[a],
+                          a < options.app_sinks.size() ? options.app_sinks[a]
+                                                       : std::vector<TelemetrySink*>{},
+                          ctx);
   }
 
   std::vector<std::optional<gov::EpochObservation>> last(n_apps);
@@ -163,10 +187,6 @@ MultiAppResult run_multi_simulation(
                       : 0.0;
       rec.deadline_met = met;
 
-      RunResult& rr = result.per_app[a];
-      rr.total_energy += rec.energy;
-      rr.total_time = result.total_time;
-      if (!met) ++rr.deadline_misses;
       if (requests[a] < applied) ++result.overridden_epochs[a];
 
       gov::EpochObservation obs;
@@ -182,11 +202,12 @@ MultiAppResult run_multi_simulation(
       obs.deadline_met = met;
       last[a] = std::move(obs);
 
-      rr.epochs.push_back(rec);
+      emitters[a].emit(rec, *governors[a]);
     }
   }
-  for (auto& rr : result.per_app) {
-    rr.measured_energy = rr.total_energy;  // per-app share of sensor energy
+  for (std::size_t a = 0; a < n_apps; ++a) {
+    // Per-app share of sensor energy.
+    emitters[a].finish(result.per_app[a].total_energy);
   }
   return result;
 }

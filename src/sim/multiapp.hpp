@@ -33,14 +33,26 @@ struct AppPlacement {
 
 /// \brief Outcome of a concurrent multi-application run.
 struct MultiAppResult {
-  /// Per-application run records (frame times measured on the app's own
-  /// cores; energy attributed by executed-cycle share).
+  /// Per-application aggregate results (frame times measured on the app's
+  /// own cores; energy attributed by executed-cycle share). Per-epoch
+  /// records flow through the per-app telemetry sinks instead.
   std::vector<RunResult> per_app;
   common::Joule total_energy = 0.0;  ///< Exact cluster energy.
   common::Seconds total_time = 0.0;  ///< Wall-clock simulated.
   /// Epochs in which the applied OPP exceeded an app's own request (it was
   /// dragged faster by a co-runner) — the sharing cost this mode quantifies.
   std::vector<std::size_t> overridden_epochs;
+};
+
+/// \brief Options controlling a concurrent multi-application run.
+struct MultiAppOptions {
+  std::size_t max_frames = 0;  ///< 0 = run the shortest trace to its end.
+  /// Telemetry sinks per application stream, indexed like the placements
+  /// (shorter vectors leave the remaining applications unobserved; sinks are
+  /// not owned and must outlive the run). Each application's epoch stream is
+  /// emitted through the same path the single-app engine uses, with
+  /// RunContext::app_index identifying the stream.
+  std::vector<std::vector<TelemetrySink*>> app_sinks;
 };
 
 /// \brief Run several applications concurrently, one governor per app.
@@ -51,6 +63,12 @@ struct MultiAppResult {
 [[nodiscard]] MultiAppResult run_multi_simulation(
     hw::Platform& platform, const std::vector<AppPlacement>& placements,
     const std::vector<std::unique_ptr<gov::Governor>>& governors,
-    std::size_t max_frames = 0);
+    const MultiAppOptions& options = {});
+
+/// \brief Convenience overload: frame cap only, no telemetry.
+[[nodiscard]] MultiAppResult run_multi_simulation(
+    hw::Platform& platform, const std::vector<AppPlacement>& placements,
+    const std::vector<std::unique_ptr<gov::Governor>>& governors,
+    std::size_t max_frames);
 
 }  // namespace prime::sim

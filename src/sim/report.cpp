@@ -2,7 +2,6 @@
 
 #include <algorithm>
 
-#include "common/csv.hpp"
 #include "common/strings.hpp"
 #include "sim/builder.hpp"
 
@@ -81,15 +80,6 @@ TextTable make_sweep_table(const std::string& title, const SweepResult& sweep) {
                       common::format_double(r.row.mean_power, 2)});
   }
   return t;
-}
-
-void write_series_csv(std::ostream& out, const RunSeries& series) {
-  common::CsvWriter writer(out);
-  writer.header({"frame", "demand", "freq_mhz", "slack", "power_w", "energy_mj"});
-  for (std::size_t i = 0; i < series.frame.size(); ++i) {
-    writer.row({series.frame[i], series.demand[i], series.frequency_mhz[i],
-                series.slack[i], series.power[i], series.energy_mj[i]});
-  }
 }
 
 }  // namespace prime::sim

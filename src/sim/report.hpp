@@ -34,8 +34,4 @@ struct SweepResult;
 [[nodiscard]] TextTable make_sweep_table(const std::string& title,
                                          const SweepResult& sweep);
 
-/// \brief Write per-frame series as CSV ("frame,demand,freq_mhz,slack,power_w,
-///        energy_mj") to \p out.
-void write_series_csv(std::ostream& out, const RunSeries& series);
-
 }  // namespace prime::sim

@@ -60,7 +60,7 @@ TEST(ExperimentBuilder, RunProducesOneResultPerScenario) {
   ASSERT_EQ(sweep.oracle_runs.size(), 2u);
   EXPECT_EQ(sweep.rows().size(), 4u);
   for (const auto& r : sweep.results) {
-    EXPECT_EQ(r.run.epochs.size(), 60u);
+    EXPECT_EQ(r.run.epoch_count, 60u);
     EXPECT_GT(r.run.total_energy, 0.0);
     EXPECT_GT(r.row.normalized_energy, 0.0);
     ASSERT_NE(r.governor, nullptr);  // post-run introspection handle
@@ -126,7 +126,7 @@ TEST(ExperimentBuilder, CoresControlsThePlatform) {
   const SweepResult sweep = b.run();
   ASSERT_EQ(sweep.results.size(), 1u);
   // 8 cores' worth of calibrated work executed without error.
-  EXPECT_EQ(sweep.results[0].run.epochs.size(), 40u);
+  EXPECT_EQ(sweep.results[0].run.epoch_count, 40u);
 }
 
 TEST(ExperimentBuilder, SweepTableHasOneRowPerScenario) {
@@ -143,10 +143,97 @@ TEST(ExperimentBuilder, OracleBaselineCanBeDisabled) {
   ASSERT_EQ(sweep.results.size(), 2u);
   EXPECT_TRUE(sweep.oracle_runs.empty());
   for (const auto& r : sweep.results) {
-    EXPECT_EQ(r.run.epochs.size(), 80u);
+    EXPECT_EQ(r.run.epoch_count, 80u);
     EXPECT_GT(r.run.total_energy, 0.0);       // absolute metrics intact
     EXPECT_EQ(r.row.normalized_energy, 0.0);  // no baseline to normalise by
   }
+}
+
+TEST(ExperimentBuilder, TelemetrySpecsAttachFreshSinksPerScenario) {
+  ExperimentBuilder b;
+  b.workload("fft").fps(25.0).frames(60).governors({"performance", "powersave"})
+      .telemetry({"trace", "tail(n=16)"});
+  const SweepResult sweep = b.run();
+  ASSERT_EQ(sweep.results.size(), 2u);
+  for (const auto& r : sweep.results) {
+    ASSERT_EQ(r.telemetry.size(), 2u);
+    const auto* records = r.trace();
+    ASSERT_NE(records, nullptr);
+    EXPECT_EQ(records->size(), 60u);
+    // The trace reproduces the run's aggregates exactly.
+    RunResult recomputed;
+    for (const auto& rec : *records) recomputed.accumulate(rec);
+    EXPECT_DOUBLE_EQ(recomputed.total_energy, r.run.total_energy);
+    // The tail window holds the last n=16 records.
+    auto* tail = r.sink<TailSink>();
+    ASSERT_NE(tail, nullptr);
+    ASSERT_EQ(tail->buffer().size(), 16u);
+    EXPECT_EQ(tail->records().back().epoch, 59u);
+    EXPECT_EQ(tail->records().front().epoch, 44u);
+  }
+  // The Oracle baseline runs carry the same telemetry set.
+  ASSERT_EQ(sweep.oracle_telemetry.size(), 1u);
+  const auto* oracle_trace = find_sink<TraceSink>(sweep.oracle_telemetry[0]);
+  ASSERT_NE(oracle_trace, nullptr);
+  EXPECT_EQ(oracle_trace->records().size(), 60u);
+}
+
+TEST(ExperimentBuilder, TelemetryTyposGetDidYouMeanErrors) {
+  ExperimentBuilder b;
+  b.workload("fft").frames(20).governor("performance");
+  // Unknown sink name.
+  EXPECT_THROW((void)b.telemetry("tracee").run(), common::UnknownNameError);
+  // Known sink, typo'd key.
+  ExperimentBuilder b2;
+  b2.workload("fft").frames(20).governor("performance");
+  try {
+    (void)b2.telemetry("csv(pth=/tmp/x.csv)").run();
+    FAIL() << "expected UnknownKeyError";
+  } catch (const common::UnknownKeyError& e) {
+    EXPECT_NE(std::string(e.what()).find("path"), std::string::npos);
+  }
+}
+
+TEST(ExperimentBuilder, CsvTargetsMustBeUniquePerConcurrentRun) {
+  // Two scenarios (plus the Oracle baseline) into one file — or stdout —
+  // would interleave; the builder rejects the sweep up front.
+  ExperimentBuilder shared_file;
+  shared_file.workload("fft").frames(20).governors(
+      {"performance", "powersave"});
+  EXPECT_THROW(
+      (void)shared_file.telemetry("csv(path=/tmp/one-file.csv)").run(),
+      std::invalid_argument);
+  ExperimentBuilder to_stdout;
+  to_stdout.workload("fft").frames(20).governors({"performance", "powersave"});
+  EXPECT_THROW((void)to_stdout.telemetry("csv").run(), std::invalid_argument);
+
+  // Even a single-run sweep rejects two specs opening the same target.
+  ExperimentBuilder twin_specs;
+  twin_specs.workload("fft").frames(20).governor("performance")
+      .oracle_baseline(false)
+      .telemetry({"csv(path=/tmp/twin.csv)", "csv(path=/tmp/twin.csv)"});
+  EXPECT_THROW((void)twin_specs.run(), std::invalid_argument);
+
+  // Placeholders that key every run uniquely are accepted.
+  ExperimentBuilder unique;
+  unique.workload("fft").frames(20).governors({"performance", "powersave"});
+  const SweepResult sweep =
+      unique
+          .telemetry(
+              "csv(path=" + testing::TempDir() + "sweep-{governor}.csv)")
+          .run();
+  ASSERT_EQ(sweep.results.size(), 2u);
+  for (const auto& r : sweep.results) {
+    auto* csv = r.sink<CsvSink>();
+    ASSERT_NE(csv, nullptr);
+    EXPECT_EQ(csv->rows_written(), 20u);
+  }
+}
+
+TEST(ExperimentBuilder, CompareRejectsTelemetry) {
+  ExperimentBuilder b = small_builder();
+  b.telemetry("trace");
+  EXPECT_THROW((void)b.compare(), std::invalid_argument);
 }
 
 TEST(ExperimentBuilder, ParameterisedGovernorSpecsRunInSweeps) {

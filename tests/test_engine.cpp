@@ -6,6 +6,7 @@
 #include "gov/simple.hpp"
 #include "hw/platform.hpp"
 #include "sim/engine.hpp"
+#include "sim/telemetry.hpp"
 #include "wl/fft.hpp"
 
 namespace prime::sim {
@@ -24,7 +25,7 @@ TEST(Engine, RunsWholeTraceByDefault) {
   const wl::Application app = make_app(50);
   gov::PerformanceGovernor g;
   const RunResult r = run_simulation(*platform, app, g);
-  EXPECT_EQ(r.epochs.size(), 50u);
+  EXPECT_EQ(r.epoch_count, 50u);
   EXPECT_EQ(r.governor, "performance");
   EXPECT_EQ(r.application, "fft");
 }
@@ -35,7 +36,7 @@ TEST(Engine, MaxFramesLimits) {
   gov::PerformanceGovernor g;
   RunOptions opt;
   opt.max_frames = 10;
-  EXPECT_EQ(run_simulation(*platform, app, g, opt).epochs.size(), 10u);
+  EXPECT_EQ(run_simulation(*platform, app, g, opt).epoch_count, 10u);
 }
 
 TEST(Engine, EnergyAndTimeAccumulate) {
@@ -82,16 +83,17 @@ TEST(Engine, OracleReceivesPreviews) {
   EXPECT_LT(r.total_energy, rp.total_energy);
 }
 
-TEST(Engine, CallbackSeesEveryEpoch) {
+TEST(Engine, CallbackSinkSeesEveryEpoch) {
   auto platform = hw::Platform::odroid_xu3_a15();
   const wl::Application app = make_app(25);
   gov::PerformanceGovernor g;
-  RunOptions opt;
   std::size_t calls = 0;
-  opt.on_epoch = [&calls](const EpochRecord& e, gov::Governor&) {
+  CallbackSink probe([&calls](const EpochRecord& e, gov::Governor&) {
     EXPECT_EQ(e.epoch, calls);
     ++calls;
-  };
+  });
+  RunOptions opt;
+  opt.sinks = {&probe};
   (void)run_simulation(*platform, app, g, opt);
   EXPECT_EQ(calls, 25u);
 }
@@ -102,14 +104,21 @@ TEST(Engine, DeterministicReplay) {
   auto p2 = hw::Platform::odroid_xu3_a15();
   gov::PerformanceGovernor g1;
   gov::PerformanceGovernor g2;
-  const RunResult a = run_simulation(*p1, app, g1);
-  const RunResult b = run_simulation(*p2, app, g2);
-  ASSERT_EQ(a.epochs.size(), b.epochs.size());
+  TraceSink t1;
+  TraceSink t2;
+  RunOptions o1;
+  o1.sinks = {&t1};
+  RunOptions o2;
+  o2.sinks = {&t2};
+  const RunResult a = run_simulation(*p1, app, g1, o1);
+  const RunResult b = run_simulation(*p2, app, g2, o2);
+  ASSERT_EQ(a.epoch_count, b.epoch_count);
   EXPECT_DOUBLE_EQ(a.total_energy, b.total_energy);
   EXPECT_DOUBLE_EQ(a.measured_energy, b.measured_energy);
-  for (std::size_t i = 0; i < a.epochs.size(); ++i) {
-    EXPECT_EQ(a.epochs[i].opp_index, b.epochs[i].opp_index);
-    EXPECT_DOUBLE_EQ(a.epochs[i].energy, b.epochs[i].energy);
+  ASSERT_EQ(t1.records().size(), t2.records().size());
+  for (std::size_t i = 0; i < t1.records().size(); ++i) {
+    EXPECT_EQ(t1.records()[i].opp_index, t2.records()[i].opp_index);
+    EXPECT_DOUBLE_EQ(t1.records()[i].energy, t2.records()[i].energy);
   }
 }
 
@@ -118,8 +127,12 @@ TEST(Engine, GovernorOverheadExecutesAsCycles) {
   auto platform = hw::Platform::odroid_xu3_a15();
   const wl::Application app = make_app(10);
   gov::PerformanceGovernor g;  // 2 us overhead
-  const RunResult r = run_simulation(*platform, app, g);
-  for (const auto& e : r.epochs) {
+  TraceSink trace;
+  RunOptions opt;
+  opt.sinks = {&trace};
+  (void)run_simulation(*platform, app, g, opt);
+  ASSERT_EQ(trace.records().size(), 10u);
+  for (const auto& e : trace.records()) {
     EXPECT_GT(e.executed, e.demand);
   }
 }
@@ -128,8 +141,12 @@ TEST(Engine, RecordsConsistentSlack) {
   auto platform = hw::Platform::odroid_xu3_a15();
   const wl::Application app = make_app(20);
   gov::PerformanceGovernor g;
-  const RunResult r = run_simulation(*platform, app, g);
-  for (const auto& e : r.epochs) {
+  TraceSink trace;
+  RunOptions opt;
+  opt.sinks = {&trace};
+  (void)run_simulation(*platform, app, g, opt);
+  ASSERT_EQ(trace.records().size(), 20u);
+  for (const auto& e : trace.records()) {
     EXPECT_NEAR(e.slack, (e.period - e.frame_time) / e.period, 1e-12);
     EXPECT_EQ(e.deadline_met, e.frame_time <= e.period);
   }
@@ -140,6 +157,31 @@ TEST(RunResult, EmptyAggregates) {
   EXPECT_DOUBLE_EQ(r.mean_normalized_performance(), 0.0);
   EXPECT_DOUBLE_EQ(r.miss_rate(), 0.0);
   EXPECT_DOUBLE_EQ(r.mean_power(), 0.0);
+}
+
+TEST(RunResult, AccumulateMaintainsAggregates) {
+  RunResult r;
+  EpochRecord hit;
+  hit.period = 0.040;
+  hit.frame_time = 0.030;
+  hit.window = 0.040;
+  hit.energy = 0.5;
+  hit.sensor_power = 2.0;
+  hit.deadline_met = true;
+  EpochRecord miss = hit;
+  miss.frame_time = 0.050;
+  miss.window = 0.050;
+  miss.sensor_power = 4.0;
+  miss.deadline_met = false;
+  r.accumulate(hit);
+  r.accumulate(miss);
+  EXPECT_EQ(r.epoch_count, 2u);
+  EXPECT_DOUBLE_EQ(r.total_energy, 1.0);
+  EXPECT_DOUBLE_EQ(r.total_time, 0.090);
+  EXPECT_EQ(r.deadline_misses, 1u);
+  EXPECT_DOUBLE_EQ(r.miss_rate(), 0.5);
+  EXPECT_DOUBLE_EQ(r.mean_power(), 3.0);
+  EXPECT_DOUBLE_EQ(r.mean_normalized_performance(), (0.75 + 1.25) / 2.0);
 }
 
 }  // namespace

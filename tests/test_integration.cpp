@@ -12,6 +12,7 @@
 #include "rtm/manycore.hpp"
 #include "sim/convergence.hpp"
 #include "sim/experiment.hpp"
+#include "sim/telemetry.hpp"
 
 namespace prime::sim {
 namespace {
@@ -115,12 +116,13 @@ TEST(Integration, Fig3Shape_MispredictionShrinksAfterLearning) {
   rtm::ManycoreRtmGovernor rtm;
   std::vector<double> actual;
   std::vector<double> predicted;
-  RunOptions opt;
-  opt.on_epoch = [&](const EpochRecord& e, gov::Governor& g) {
+  CallbackSink probe([&](const EpochRecord& e, gov::Governor& g) {
     auto& r = dynamic_cast<rtm::RtmGovernor&>(g);
     actual.push_back(static_cast<double>(e.executed));
     predicted.push_back(static_cast<double>(r.predictor().prediction()));
-  };
+  });
+  RunOptions opt;
+  opt.sinks = {&probe};
   (void)run_simulation(*platform, app, rtm, opt);
 
   // Align: prediction captured after epoch i is for epoch i+1.
@@ -143,13 +145,17 @@ TEST(Integration, RequirementChangeIsTracked) {
   app.add_requirement_change(300, 15.0);  // relax the deadline mid-run
 
   rtm::ManycoreRtmGovernor rtm;
-  const RunResult r = run_simulation(*platform, app, rtm);
+  TraceSink trace;
+  RunOptions opt;
+  opt.sinks = {&trace};
+  (void)run_simulation(*platform, app, rtm, opt);
   // After relaxing to 15 fps the governor should settle at lower frequency:
   // compare mean OPP around the change.
+  const std::vector<EpochRecord>& records = trace.records();
   double before = 0.0;
   double after = 0.0;
-  for (std::size_t i = 200; i < 300; ++i) before += static_cast<double>(r.epochs[i].opp_index);
-  for (std::size_t i = 500; i < 600; ++i) after += static_cast<double>(r.epochs[i].opp_index);
+  for (std::size_t i = 200; i < 300; ++i) before += static_cast<double>(records[i].opp_index);
+  for (std::size_t i = 500; i < 600; ++i) after += static_cast<double>(records[i].opp_index);
   EXPECT_LT(after, before);
 }
 

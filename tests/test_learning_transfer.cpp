@@ -13,6 +13,7 @@
 
 #include "rtm/manycore.hpp"
 #include "sim/experiment.hpp"
+#include "sim/telemetry.hpp"
 
 namespace prime::sim {
 namespace {
@@ -27,10 +28,11 @@ wl::Application make_app(const char* workload, std::uint64_t seed,
   return make_application(spec, platform);
 }
 
-std::size_t early_misses(const RunResult& run, std::size_t window = 150) {
+std::size_t early_misses(const std::vector<EpochRecord>& records,
+                         std::size_t window = 150) {
   std::size_t misses = 0;
-  for (std::size_t i = 0; i < run.epochs.size() && i < window; ++i) {
-    if (!run.epochs[i].deadline_met) ++misses;
+  for (std::size_t i = 0; i < records.size() && i < window; ++i) {
+    if (!records[i].deadline_met) ++misses;
   }
   return misses;
 }
@@ -59,16 +61,22 @@ TEST(LearningTransfer, WarmStartMissesFewerEarlyDeadlines) {
 
   // Cold: fresh governor directly on the second application.
   rtm::ManycoreRtmGovernor cold;
-  const RunResult cold_run = run_simulation(*platform, second, cold);
+  TraceSink cold_trace;
+  RunOptions cold_opt;
+  cold_opt.sinks = {&cold_trace};
+  (void)run_simulation(*platform, second, cold, cold_opt);
 
   // Warm: learn on the first application, then move to the second.
   rtm::ManycoreRtmGovernor warm;
   (void)run_simulation(*platform, first, warm);
+  TraceSink warm_trace;
   RunOptions keep;
   keep.reset_governor = false;
-  const RunResult warm_run = run_simulation(*platform, second, warm, keep);
+  keep.sinks = {&warm_trace};
+  (void)run_simulation(*platform, second, warm, keep);
 
-  EXPECT_LT(early_misses(warm_run), early_misses(cold_run));
+  EXPECT_LT(early_misses(warm_trace.records()),
+            early_misses(cold_trace.records()));
 }
 
 TEST(LearningTransfer, QTablePersistsAcrossProcessesViaCsv) {

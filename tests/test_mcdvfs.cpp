@@ -118,7 +118,7 @@ TEST(Mcdvfs, ResetRestoresExploration) {
   g.reset();
   EXPECT_DOUBLE_EQ(g.epsilon(), 1.0);
   EXPECT_EQ(g.learning_complete_epoch(), 0u);
-  EXPECT_EQ(g.exploration_epochs(), 0u);
+  EXPECT_EQ(g.exploration_count(), 0u);
 }
 
 }  // namespace

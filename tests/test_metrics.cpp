@@ -11,7 +11,6 @@ RunResult make_run(double energy, std::vector<double> frame_times,
                    double period = 0.040) {
   RunResult r;
   r.governor = "test";
-  r.total_energy = energy;
   for (std::size_t i = 0; i < frame_times.size(); ++i) {
     EpochRecord e;
     e.epoch = i;
@@ -21,9 +20,9 @@ RunResult make_run(double energy, std::vector<double> frame_times,
     e.sensor_power = 2.0;
     e.slack = (period - frame_times[i]) / period;
     e.deadline_met = frame_times[i] <= period;
-    if (!e.deadline_met) ++r.deadline_misses;
-    r.epochs.push_back(e);
+    r.accumulate(e);
   }
+  r.total_energy = energy;  // override the per-epoch sum for the ratio tests
   return r;
 }
 
@@ -71,20 +70,6 @@ TEST(SummarizeMisprediction, EmptyInputs) {
   const MispredictionSummary s = summarize_misprediction({}, {}, 10);
   EXPECT_DOUBLE_EQ(s.overall_avg, 0.0);
   EXPECT_DOUBLE_EQ(s.peak, 0.0);
-}
-
-TEST(ExtractSeries, AlignedColumns) {
-  RunResult r = make_run(10.0, {0.030, 0.020});
-  r.epochs[0].demand = 1000;
-  r.epochs[0].frequency = common::mhz(800.0);
-  r.epochs[0].energy = 0.5;
-  const RunSeries s = extract_series(r);
-  ASSERT_EQ(s.frame.size(), 2u);
-  EXPECT_DOUBLE_EQ(s.frame[0], 0.0);
-  EXPECT_DOUBLE_EQ(s.demand[0], 1000.0);
-  EXPECT_DOUBLE_EQ(s.frequency_mhz[0], 800.0);
-  EXPECT_DOUBLE_EQ(s.energy_mj[0], 500.0);
-  EXPECT_NEAR(s.slack[0], 0.25, 1e-12);
 }
 
 }  // namespace

@@ -4,6 +4,7 @@
 
 #include "sim/experiment.hpp"
 #include "sim/multiapp.hpp"
+#include "sim/telemetry.hpp"
 
 namespace prime::sim {
 namespace {
@@ -71,8 +72,8 @@ TEST(MultiApp, TwoAppsRunToCompletion) {
   const MultiAppResult r =
       run_multi_simulation(*platform, placements, governors);
   ASSERT_EQ(r.per_app.size(), 2u);
-  EXPECT_EQ(r.per_app[0].epochs.size(), 300u);
-  EXPECT_EQ(r.per_app[1].epochs.size(), 300u);
+  EXPECT_EQ(r.per_app[0].epoch_count, 300u);
+  EXPECT_EQ(r.per_app[1].epoch_count, 300u);
   EXPECT_GT(r.total_energy, 0.0);
   // Per-app energy attribution sums to the cluster total.
   EXPECT_NEAR(r.per_app[0].total_energy + r.per_app[1].total_energy,
@@ -143,7 +144,42 @@ TEST(MultiApp, MaxFramesHonoured) {
   std::vector<AppPlacement> placements = {{&a, {0, 1}}, {&b, {2, 3}}};
   const MultiAppResult r =
       run_multi_simulation(*platform, placements, governors, 50);
-  EXPECT_EQ(r.per_app[0].epochs.size(), 50u);
+  EXPECT_EQ(r.per_app[0].epoch_count, 50u);
+}
+
+TEST(MultiApp, PerAppTelemetryStreamsMatchAggregates) {
+  // Each application's epoch stream goes through the same emission path as
+  // the single-app engine: a TraceSink per app must reproduce exactly the
+  // aggregates the per-app RunResult reports.
+  auto platform = hw::Platform::odroid_xu3_a15();
+  const wl::Application a = make_app("mpeg4", 25.0, 120, 1, *platform);
+  const wl::Application b = make_app("fft", 25.0, 120, 2, *platform);
+  std::vector<std::unique_ptr<gov::Governor>> governors;
+  governors.push_back(make_governor("rtm", 11));
+  governors.push_back(make_governor("rtm", 22));
+  std::vector<AppPlacement> placements = {{&a, {0, 1}}, {&b, {2, 3}}};
+
+  TraceSink trace_a;
+  AggregateSink agg_b;
+  MultiAppOptions options;
+  options.app_sinks = {{&trace_a}, {&agg_b}};
+  const MultiAppResult r =
+      run_multi_simulation(*platform, placements, governors, options);
+
+  ASSERT_EQ(trace_a.records().size(), 120u);
+  RunResult recomputed;
+  for (const auto& rec : trace_a.records()) recomputed.accumulate(rec);
+  EXPECT_DOUBLE_EQ(recomputed.total_energy, r.per_app[0].total_energy);
+  EXPECT_EQ(recomputed.deadline_misses, r.per_app[0].deadline_misses);
+  EXPECT_DOUBLE_EQ(recomputed.mean_normalized_performance(),
+                   r.per_app[0].mean_normalized_performance());
+
+  // The standalone AggregateSink mirrors the engine's own bookkeeping.
+  EXPECT_EQ(agg_b.result().epoch_count, r.per_app[1].epoch_count);
+  EXPECT_DOUBLE_EQ(agg_b.result().total_energy, r.per_app[1].total_energy);
+  EXPECT_DOUBLE_EQ(agg_b.result().measured_energy,
+                   r.per_app[1].measured_energy);
+  EXPECT_EQ(agg_b.result().application, "fft");
 }
 
 }  // namespace

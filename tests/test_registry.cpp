@@ -16,6 +16,7 @@
 #include "rtm/rtm_governor.hpp"
 #include "sim/builder.hpp"
 #include "sim/experiment.hpp"
+#include "sim/telemetry.hpp"
 #include "wl/registry.hpp"
 #include "wl/suites.hpp"
 
@@ -199,11 +200,17 @@ TEST(GovernorRegistry, EveryGovernorIsDeterministicForAFixedSeed) {
   for (const auto& name : sim::governor_names()) {
     const auto a = sim::make_governor(name, 0xF00D);
     const auto b = sim::make_governor(name, 0xF00D);
-    const sim::RunResult ra = sim::run_simulation(*platform, app, *a);
-    const sim::RunResult rb = sim::run_simulation(*platform, app, *b);
-    ASSERT_EQ(ra.epochs.size(), rb.epochs.size()) << name;
-    for (std::size_t i = 0; i < ra.epochs.size(); ++i) {
-      ASSERT_EQ(ra.epochs[i].opp_index, rb.epochs[i].opp_index)
+    sim::TraceSink ta;
+    sim::TraceSink tb;
+    sim::RunOptions oa;
+    oa.sinks = {&ta};
+    sim::RunOptions ob;
+    ob.sinks = {&tb};
+    (void)sim::run_simulation(*platform, app, *a, oa);
+    (void)sim::run_simulation(*platform, app, *b, ob);
+    ASSERT_EQ(ta.records().size(), tb.records().size()) << name;
+    for (std::size_t i = 0; i < ta.records().size(); ++i) {
+      ASSERT_EQ(ta.records()[i].opp_index, tb.records()[i].opp_index)
           << name << " diverges at epoch " << i;
     }
   }

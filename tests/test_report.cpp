@@ -1,10 +1,10 @@
 /// \file test_report.cpp
-/// \brief Unit tests for table rendering and series CSV output.
+/// \brief Unit tests for table rendering. (Per-frame series CSV moved to the
+///        streaming CsvSink — see test_telemetry.cpp.)
 #include <gtest/gtest.h>
 
 #include <sstream>
 
-#include "common/csv.hpp"
 #include "sim/report.hpp"
 
 namespace prime::sim {
@@ -47,24 +47,6 @@ TEST(MakeComparisonTable, FormatsMetrics) {
   EXPECT_EQ(t.rows[0][2], "0.96");
   EXPECT_EQ(t.rows[0][3], "0.012");
   EXPECT_EQ(t.rows[0][4], "3.46");
-}
-
-TEST(WriteSeriesCsv, ParsesBack) {
-  RunSeries s;
-  s.frame = {0.0, 1.0};
-  s.demand = {1.0e8, 1.1e8};
-  s.frequency_mhz = {800.0, 900.0};
-  s.slack = {0.1, -0.05};
-  s.power = {2.5, 3.0};
-  s.energy_mj = {100.0, 120.0};
-  std::ostringstream out;
-  write_series_csv(out, s);
-  const common::CsvTable t = common::parse_csv(out.str());
-  ASSERT_EQ(t.rows.size(), 2u);
-  const auto freq = t.column_as_double("freq_mhz");
-  EXPECT_DOUBLE_EQ(freq[1], 900.0);
-  const auto slack = t.column_as_double("slack");
-  EXPECT_DOUBLE_EQ(slack[1], -0.05);
 }
 
 }  // namespace
