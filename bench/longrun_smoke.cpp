@@ -5,15 +5,19 @@
 /// Before the streaming telemetry API the engine materialised one EpochRecord
 /// (~120 B) per frame inside RunResult, so a million-frame run carried a
 /// >100 MB record vector. With aggregates-only observation the per-epoch
-/// footprint is zero; the remaining O(frames) allocation is the workload
-/// trace itself (16 B/frame). This tool runs a configurable number of frames
-/// with no per-epoch sink (plus an optional bounded tail window), prints the
-/// aggregates and the process peak RSS, and — when max-rss-mb is set —
-/// fails loudly if the bound is exceeded, which is how CI pins the
-/// no-O(frames)-telemetry property.
+/// footprint is zero; with stream=1 the workload trace itself (16 B/frame,
+/// the last O(frames) allocation) is replaced by a lazy wl::FrameSource, so
+/// the whole run is constant-memory at any frame count. This tool runs a
+/// configurable number of frames with no per-epoch sink (plus an optional
+/// bounded tail window and an optional decimated CSV via the sample sink),
+/// prints the aggregates and the process peak RSS, and — when max-rss-mb is
+/// set — fails loudly if the bound is exceeded, which is how CI pins the
+/// no-O(frames) property end to end.
 ///
 /// Usage: longrun_smoke [frames=200000] [fps=25] [workload=h264]
-///                      [governor=ondemand] [tail=0] [max-rss-mb=0]
+///                      [governor=ondemand] [stream=0] [tail=0]
+///                      [sample-every=0] [sample-path=longrun_sample.csv]
+///                      [max-rss-mb=0]
 #include <iostream>
 #include <string>
 
@@ -50,30 +54,47 @@ int main(int argc, char** argv) {
   const auto frames = static_cast<std::size_t>(cfg.get_int("frames", 200000));
   const double max_rss_mb = cfg.get_double("max-rss-mb", 0.0);
   const auto tail = static_cast<std::size_t>(cfg.get_int("tail", 0));
+  const bool stream = cfg.get_bool("stream", false);
+  const auto sample_every =
+      static_cast<std::size_t>(cfg.get_int("sample-every", 0));
 
   const auto platform = hw::Platform::odroid_xu3_a15();
   sim::ExperimentSpec spec;
   spec.workload = cfg.get_string("workload", "h264");
   spec.fps = cfg.get_double("fps", 25.0);
   spec.frames = frames;
+  spec.stream = stream;
   const wl::Application app = sim::make_application(spec, *platform);
   const auto governor =
       sim::make_governor(cfg.get_string("governor", "ondemand"));
 
   // Aggregate-only observation: RunResult's O(1) aggregates, optionally plus
-  // a fixed-capacity tail window. No O(frames) telemetry anywhere.
+  // a fixed-capacity tail window and a decimated (bounded-row) CSV series.
+  // No O(frames) state anywhere; with stream=1 not even the trace exists.
   sim::RunOptions options;
+  if (stream) options.max_frames = frames;  // sole length authority
   std::unique_ptr<sim::TelemetrySink> tail_sink;
   if (tail > 0) {
     tail_sink = sim::make_sink("tail(n=" + std::to_string(tail) + ")");
     options.sinks.push_back(tail_sink.get());
+  }
+  std::unique_ptr<sim::TelemetrySink> sample_sink;
+  if (sample_every > 0) {
+    const std::string path =
+        cfg.get_string("sample-path", "longrun_sample.csv");
+    sample_sink = sim::make_sink("sample(every=" +
+                                 std::to_string(sample_every) +
+                                 ",inner=csv(path=" + path + "))");
+    options.sinks.push_back(sample_sink.get());
   }
   const sim::RunResult run =
       sim::run_simulation(*platform, app, *governor, options);
 
   const double rss = peak_rss_mb();
   std::cout << "Long-run smoke: " << run.application << " @ " << spec.fps
-            << " fps under " << run.governor << "\n"
+            << " fps under " << run.governor
+            << (stream ? " (streaming frames)" : " (materialised trace)")
+            << "\n"
             << "  frames:        " << run.epoch_count << "\n"
             << "  energy:        " << common::format_double(run.total_energy, 1)
             << " J\n"
@@ -94,7 +115,8 @@ int main(int argc, char** argv) {
   if (max_rss_mb > 0.0 && rss > max_rss_mb) {
     std::cerr << "FAIL: peak RSS " << common::format_double(rss, 1)
               << " MB exceeds the " << common::format_double(max_rss_mb, 1)
-              << " MB bound — per-epoch state is leaking into the run path\n";
+              << " MB bound — per-epoch or per-frame state is leaking into "
+                 "the run path\n";
     return 1;
   }
   return 0;

@@ -10,7 +10,9 @@
 /// footprint (the Q-table stays |S| x |A| regardless of core count — the
 /// paper's scalability argument against per-core-combinatorial tables).
 ///
-/// Usage: manycore_sweep [frames=1500] [seed=42]
+/// Usage: manycore_sweep [frames=1500] [seed=42] [stream=0]
+///   stream=1 pulls frames lazily from the generator (wl::FrameSource)
+///   instead of materialising a trace — same numbers, constant memory.
 #include <iostream>
 
 #include "common/config.hpp"
@@ -46,17 +48,23 @@ int main(int argc, char** argv) {
     spec.frames = frames;
     spec.seed = seed;
     spec.threads = cores;  // the decoder spawns one worker per core
+    spec.stream = cfg.get_bool("stream", false);
     const wl::Application app = sim::make_application(spec, *platform);
+
+    // A streaming application is unbounded: max_frames is the run length.
+    sim::RunOptions opt;
+    if (app.streaming()) opt.max_frames = frames;
 
     const sim::RunResult oracle = [&] {
       const auto g = sim::make_governor("oracle");
-      return sim::run_simulation(*platform, app, *g);
+      return sim::run_simulation(*platform, app, *g, opt);
     }();
 
     // Registry-constructed RTM; the concrete type is recovered only for the
     // Q-table introspection columns.
     const auto governor = sim::make_governor("rtm-manycore");
-    const sim::RunResult run = sim::run_simulation(*platform, app, *governor);
+    const sim::RunResult run =
+        sim::run_simulation(*platform, app, *governor, opt);
     const sim::NormalizedMetrics m = sim::normalize_against(run, oracle);
     const auto& g = dynamic_cast<const rtm::ManycoreRtmGovernor&>(*governor);
 

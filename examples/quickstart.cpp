@@ -9,6 +9,8 @@
 /// Usage: quickstart [key=value ...]
 ///   e.g. quickstart app.fps=30 app.frames=1200 app.workload=mpeg4
 ///        quickstart gov.list=ondemand,rtm(policy=upd),rtm-manycore
+///        quickstart app.stream=1 app.frames=100000   (lazy frame source:
+///          constant memory at any length — see wl/frame_source.hpp)
 #include <iostream>
 
 #include "common/config.hpp"
@@ -45,6 +47,7 @@ int main(int argc, char** argv) {
           .fps(cfg.get_double("app.fps", 25.0))
           .frames(static_cast<std::size_t>(cfg.get_int("app.frames", 600)))
           .trace_seed(static_cast<std::uint64_t>(cfg.get_int("app.seed", 42)))
+          .stream(cfg.get_bool("app.stream", false))
           .governors(governors)
           .compare();
 

@@ -221,6 +221,11 @@ ExperimentBuilder& ExperimentBuilder::frames(std::size_t n) {
   return *this;
 }
 
+ExperimentBuilder& ExperimentBuilder::stream(bool enabled) {
+  base_.stream = enabled;
+  return *this;
+}
+
 ExperimentBuilder& ExperimentBuilder::trace_seed(std::uint64_t seed) {
   base_.seed = seed;
   return *this;
@@ -349,6 +354,10 @@ SweepResult ExperimentBuilder::run() const {
       coords.governor = "oracle";
       cells[i].oracle_telemetry = make_sinks(coords);
       RunOptions opt;
+      // Streaming applications are unbounded: the configured trace length is
+      // the run length (a no-op for materialised apps, whose trace is exactly
+      // that long already).
+      if (cells[i].app->streaming()) opt.max_frames = first.app.frames;
       for (const auto& sink : cells[i].oracle_telemetry) {
         opt.sinks.push_back(sink.get());
       }
@@ -369,7 +378,18 @@ SweepResult ExperimentBuilder::run() const {
     result.telemetry = make_sinks(scenario);
     RunOptions opt;
     for (const auto& sink : result.telemetry) opt.sinks.push_back(sink.get());
-    RunResult run = run_simulation(*platform, *cell.app, *governor, opt);
+    // A streaming application's replay cursor is mutable state, so the cell's
+    // shared instance cannot serve concurrent scenario runs — copy it
+    // instead: the copy shares the already-computed calibration and source
+    // factory but streams through a private cursor (no re-probing, and
+    // determinism comes from the seed, so the streams are identical).
+    std::optional<wl::Application> private_app;
+    if (cell.app->streaming()) {
+      private_app.emplace(*cell.app);
+      opt.max_frames = scenario.app.frames;
+    }
+    const wl::Application& app = private_app ? *private_app : *cell.app;
+    RunResult run = run_simulation(*platform, app, *governor, opt);
     result.scenario = scenario;
     result.row = normalize_against(run, cell.oracle);
     result.run = std::move(run);
@@ -406,7 +426,8 @@ Comparison ExperimentBuilder::compare() const {
   spec.fps = fps_list().front();
   const auto platform = make_platform();
   const wl::Application app = make_application(spec, *platform);
-  return compare_governors(*platform, app, governors_, governor_seed_);
+  return compare_governors(*platform, app, governors_, governor_seed_,
+                           app.streaming() ? spec.frames : 0);
 }
 
 }  // namespace prime::sim

@@ -133,8 +133,15 @@ class ExperimentBuilder {
   ///        constructor) and the vector one.
   ExperimentBuilder& telemetry(std::initializer_list<std::string> specs);
 
-  /// \brief Trace length in frames (default 3000).
+  /// \brief Trace length in frames (default 3000). For streaming scenarios
+  ///        this is the run length (passed to RunOptions::max_frames) and the
+  ///        calibration window.
   ExperimentBuilder& frames(std::size_t n);
+  /// \brief Stream every workload lazily instead of materialising traces
+  ///        (constant memory at any frame count). Individual workload specs
+  ///        can override with their own stream= flag — "video(stream=true)"
+  ///        opts one workload in, "h264(stream=false)" opts one out.
+  ExperimentBuilder& stream(bool enabled = true);
   /// \brief Trace generation seed.
   ExperimentBuilder& trace_seed(std::uint64_t seed);
   /// \brief Seed handed to every governor factory (spec seed= overrides).

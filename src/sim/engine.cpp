@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <numeric>
+#include <stdexcept>
 
 #include "sim/telemetry.hpp"
 
@@ -42,10 +43,22 @@ RunResult run_simulation(hw::Platform& platform, const wl::Application& app,
   const hw::OppTable& opps = platform.opp_table();
   auto* clairvoyant = dynamic_cast<gov::Clairvoyant*>(&governor);
 
-  const std::size_t frames =
-      options.max_frames == 0
-          ? app.frame_count()
-          : std::min(options.max_frames, app.frame_count());
+  std::size_t frames;
+  if (app.streaming()) {
+    // An unbounded source has no trace length to fall back on: max_frames is
+    // the sole run-length authority, and 0 would mean "run forever".
+    if (options.max_frames == 0) {
+      throw std::invalid_argument(
+          "run_simulation: application '" + app.name() +
+          "' streams an unbounded frame source; set RunOptions::max_frames "
+          "to the intended run length");
+    }
+    frames = options.max_frames;
+  } else {
+    frames = options.max_frames == 0
+                 ? app.frame_count()
+                 : std::min(options.max_frames, app.frame_count());
+  }
 
   RunResult result;
   RunContext ctx;

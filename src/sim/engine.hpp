@@ -81,7 +81,12 @@ using EpochCallback = std::function<void(const EpochRecord&, gov::Governor&)>;
 
 /// \brief Options controlling a simulation run.
 struct RunOptions {
-  std::size_t max_frames = 0;   ///< 0 = run the whole trace.
+  /// Run length cap. For trace-backed applications 0 means "the whole trace"
+  /// and larger values clamp to the trace length. For streaming applications
+  /// (wl::Application::streaming()) the source is unbounded, so max_frames is
+  /// the sole run-length authority and must be > 0 — run_simulation throws
+  /// std::invalid_argument on 0.
+  std::size_t max_frames = 0;
   /// Telemetry sinks (not owned; must outlive the run) receiving run-begin,
   /// every epoch in order, and run-end. See sim/telemetry.hpp.
   std::vector<TelemetrySink*> sinks;

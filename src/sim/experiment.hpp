@@ -25,8 +25,20 @@ struct ExperimentSpec {
   /// optionally parameterised — "h264", "flat(mean=2e8,cv=0.1)", ...
   std::string workload = "h264";
   double fps = 25.0;              ///< Performance requirement.
-  std::size_t frames = 3000;      ///< Trace length.
+  /// Trace length (materialised mode), or the calibration window length
+  /// (streaming mode — also the run length the builder passes to
+  /// RunOptions::max_frames for streaming scenarios).
+  std::size_t frames = 3000;
   std::uint64_t seed = 42;        ///< Trace generation seed.
+  /// Stream frames lazily from the generator instead of materialising a
+  /// trace: the application becomes unbounded (constant memory at any run
+  /// length) and the engine's max_frames is the run-length authority. The
+  /// workload spec flag `stream=true` — e.g. "video(stream=true)",
+  /// "h264(stream)" — sets this too, and wins over this field when present.
+  /// Streamed demands are frame-for-frame identical to the materialised
+  /// trace's for the first `frames` frames (calibration computes the same
+  /// scale over the same window, with the same rounding).
+  bool stream = false;
   std::size_t threads = 4;        ///< Worker threads per frame.
   double thread_imbalance = 0.05; ///< Per-frame thread imbalance.
   /// Target mean platform utilisation at the fastest OPP (0 disables
@@ -65,9 +77,12 @@ struct Comparison {
 
 /// \brief Run each named governor on \p app (fresh platform state each time),
 ///        plus the Oracle, and normalise. The platform is reset between runs.
+///        \p max_frames caps every run (0 = whole trace); required > 0 when
+///        \p app is streaming (unbounded).
 [[nodiscard]] Comparison compare_governors(hw::Platform& platform,
                                            const wl::Application& app,
                                            const std::vector<std::string>& names,
-                                           std::uint64_t governor_seed = 0x271828);
+                                           std::uint64_t governor_seed = 0x271828,
+                                           std::size_t max_frames = 0);
 
 }  // namespace prime::sim

@@ -66,10 +66,21 @@ MultiAppResult run_multi_simulation(
   const hw::OppTable& opps = platform.opp_table();
   const std::size_t n_apps = placements.size();
 
+  // Run to the shortest bounded trace (or max_frames if tighter). Streaming
+  // applications are unbounded and impose no length of their own; when every
+  // application streams, max_frames is the sole run-length authority.
   std::size_t frames = options.max_frames;
+  bool any_bounded = false;
   for (const auto& p : placements) {
+    if (p.app->streaming()) continue;
+    any_bounded = true;
     frames = frames == 0 ? p.app->frame_count()
                          : std::min(frames, p.app->frame_count());
+  }
+  if (!any_bounded && options.max_frames == 0) {
+    throw std::invalid_argument(
+        "run_multi_simulation: every application streams an unbounded frame "
+        "source; set MultiAppOptions::max_frames to the intended run length");
   }
 
   MultiAppResult result;

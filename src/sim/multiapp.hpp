@@ -46,7 +46,10 @@ struct MultiAppResult {
 
 /// \brief Options controlling a concurrent multi-application run.
 struct MultiAppOptions {
-  std::size_t max_frames = 0;  ///< 0 = run the shortest trace to its end.
+  /// 0 = run the shortest bounded trace to its end. Streaming applications
+  /// impose no length; when every placement streams, max_frames must be > 0
+  /// (std::invalid_argument otherwise) — it is the sole run-length authority.
+  std::size_t max_frames = 0;
   /// Telemetry sinks per application stream, indexed like the placements
   /// (shorter vectors leave the remaining applications unobserved; sinks are
   /// not owned and must outlive the run). Each application's epoch stream is

@@ -130,6 +130,35 @@ void ConvergenceSink::on_epoch(const EpochRecord& record,
   }
 }
 
+// --- SampleSink --------------------------------------------------------------
+
+SampleSink::SampleSink(std::size_t every, std::unique_ptr<TelemetrySink> inner)
+    : every_(every), inner_(std::move(inner)) {
+  if (every_ == 0) {
+    throw std::invalid_argument("SampleSink: every must be >= 1");
+  }
+  if (inner_ == nullptr) {
+    throw std::invalid_argument("SampleSink: inner sink required");
+  }
+}
+
+void SampleSink::on_run_begin(const RunContext& ctx) {
+  seen_ = 0;
+  forwarded_ = 0;
+  inner_->on_run_begin(ctx);
+}
+
+void SampleSink::on_epoch(const EpochRecord& record, gov::Governor& governor) {
+  if (seen_++ % every_ == 0) {
+    inner_->on_epoch(record, governor);
+    ++forwarded_;
+  }
+}
+
+void SampleSink::on_run_end(const RunResult& result) {
+  inner_->on_run_end(result);
+}
+
 // --- CallbackSink ------------------------------------------------------------
 
 CallbackSink::CallbackSink(EpochCallback callback)
@@ -198,6 +227,27 @@ const TelemetrySinkRegistrar reg_csv{
       const std::string path = spec.get_string("path", "");
       if (path.empty()) return std::make_unique<CsvSink>(std::cout);
       return std::make_unique<CsvSink>(path);
+    }};
+
+const TelemetrySinkRegistrar reg_sample{
+    telemetry_registry(), "sample",
+    "decimating pass-through to an inner sink: "
+    "sample(every=1000,inner=csv(path=out/run.csv))",
+    [](const common::Spec& spec) {
+      const long long every = spec.get_int("every", 0);
+      const std::string inner = spec.get_string("inner", "");
+      if (every <= 0) {
+        throw std::invalid_argument(
+            "telemetry sink 'sample': every must be >= 1 (got " +
+            std::to_string(every) + ")");
+      }
+      if (inner.empty()) {
+        throw std::invalid_argument(
+            "telemetry sink 'sample': an inner sink spec is required, e.g. "
+            "sample(every=1000,inner=csv(path=out/run.csv))");
+      }
+      return std::make_unique<SampleSink>(static_cast<std::size_t>(every),
+                                          make_sink(inner));
     }};
 
 const TelemetrySinkRegistrar reg_convergence{

@@ -204,6 +204,38 @@ class ConvergenceSink : public TelemetrySink {
   bool resolved_ = false;
 };
 
+/// \brief Decimating pass-through: forwards the first epoch and every n-th
+///        epoch after it to an inner sink, so unbounded streaming runs
+///        produce bounded per-epoch output (a 1M-frame run with
+///        `sample(every=1000,inner=csv(path=run.csv))` writes 1000 rows).
+///        Run-begin and run-end pass through unchanged; the forwarded-epoch
+///        counter restarts at each run begin. The inner sink is owned and
+///        built from a nested spec: `sample(every=1000,inner=csv(path=...))`.
+class SampleSink : public TelemetrySink {
+ public:
+  /// \brief Forward every \p every-th epoch (>= 1) to \p inner.
+  SampleSink(std::size_t every, std::unique_ptr<TelemetrySink> inner);
+
+  void on_run_begin(const RunContext& ctx) override;
+  void on_epoch(const EpochRecord& record, gov::Governor& governor) override;
+  void on_run_end(const RunResult& result) override;
+
+  /// \brief Decimation period.
+  [[nodiscard]] std::size_t every() const noexcept { return every_; }
+  /// \brief The wrapped sink, for post-run introspection.
+  [[nodiscard]] TelemetrySink& inner() const noexcept { return *inner_; }
+  /// \brief Epochs observed in the current (or last finished) run.
+  [[nodiscard]] std::size_t seen() const noexcept { return seen_; }
+  /// \brief Epochs forwarded to the inner sink in that run.
+  [[nodiscard]] std::size_t forwarded() const noexcept { return forwarded_; }
+
+ private:
+  std::size_t every_;
+  std::unique_ptr<TelemetrySink> inner_;
+  std::size_t seen_ = 0;
+  std::size_t forwarded_ = 0;
+};
+
 /// \brief Adapter running an arbitrary callback per epoch — the migration
 ///        path for ad-hoc probes that used RunOptions::on_epoch.
 class CallbackSink : public TelemetrySink {

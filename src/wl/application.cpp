@@ -16,11 +16,77 @@ Application::Application(std::string name, WorkloadTrace trace, double fps,
   schedule_.emplace_back(0, fps);
 }
 
+Application::Application(std::string name, FrameSourceFactory source,
+                         double fps, std::size_t threads, double imbalance)
+    : name_(std::move(name)), threads_(threads == 0 ? 1 : threads),
+      imbalance_(std::clamp(imbalance, 0.0, 0.9)),
+      source_factory_(std::move(source)) {
+  if (fps <= 0.0) throw std::invalid_argument("Application: fps must be > 0");
+  if (!source_factory_) {
+    throw std::invalid_argument("Application: frame source factory required");
+  }
+  schedule_.emplace_back(0, fps);
+}
+
+Application::Application(const Application& other)
+    : name_(other.name_), trace_(other.trace_), threads_(other.threads_),
+      imbalance_(other.imbalance_), mem_fraction_(other.mem_fraction_),
+      schedule_(other.schedule_), source_factory_(other.source_factory_) {
+  // source_/next_index_/current_ stay at their defaults: the copy's replay
+  // cursor is fresh, independent of how far the original has streamed.
+}
+
+Application& Application::operator=(const Application& other) {
+  if (this != &other) {
+    name_ = other.name_;
+    trace_ = other.trace_;
+    threads_ = other.threads_;
+    imbalance_ = other.imbalance_;
+    mem_fraction_ = other.mem_fraction_;
+    schedule_ = other.schedule_;
+    source_factory_ = other.source_factory_;
+    source_.reset();
+    next_index_ = 0;
+    current_ = FrameDemand{};
+  }
+  return *this;
+}
+
 void Application::add_requirement_change(std::size_t frame, double fps) {
   if (fps <= 0.0) throw std::invalid_argument("Application: fps must be > 0");
-  schedule_.emplace_back(frame, fps);
-  std::sort(schedule_.begin(), schedule_.end(),
-            [](const auto& a, const auto& b) { return a.first < b.first; });
+  // Keep the schedule sorted with at most one entry per frame. An unstable
+  // sort over duplicate frames would resolve ties arbitrarily; replacing on
+  // equal frame makes the last-added change win, deterministically.
+  const auto it = std::lower_bound(
+      schedule_.begin(), schedule_.end(), frame,
+      [](const auto& entry, std::size_t f) { return entry.first < f; });
+  if (it != schedule_.end() && it->first == frame) {
+    it->second = fps;
+  } else {
+    schedule_.insert(it, {frame, fps});
+  }
+}
+
+const FrameDemand& Application::demand_at(std::size_t frame) const {
+  if (!streaming()) return trace_.at(frame);
+  if (next_index_ > 0 && frame == next_index_ - 1) return current_;
+  if (frame < next_index_ || source_ == nullptr) {
+    // Rewind: deterministic sources restart from their seed, so re-creating
+    // the stream replays the identical sequence (repeat runs start here).
+    source_ = source_factory_();
+    next_index_ = 0;
+  }
+  while (next_index_ <= frame) {
+    std::optional<FrameDemand> next = source_->next();
+    if (!next) {
+      throw std::out_of_range("Application '" + name_ +
+                              "': frame source exhausted at frame " +
+                              std::to_string(next_index_));
+    }
+    current_ = *next;
+    ++next_index_;
+  }
+  return current_;
 }
 
 void Application::set_mem_fraction(double m) noexcept {
@@ -40,9 +106,9 @@ std::vector<common::Cycles> Application::core_work(std::size_t frame,
                                                    std::size_t cores) const {
   const std::size_t workers = std::min(threads_, std::max<std::size_t>(1, cores));
   std::vector<common::Cycles> work(cores, 0);
-  if (cores == 0 || trace_.empty()) return work;
+  if (cores == 0 || (!streaming() && trace_.empty())) return work;
 
-  const auto total = static_cast<double>(trace_.at(frame).cycles);
+  const auto total = static_cast<double>(demand_at(frame).cycles);
 
   // Deterministic per-(frame, worker) imbalance: hash through SplitMix64 so
   // replays are independent of call order.

@@ -3,10 +3,13 @@
 ///
 /// Per the paper, every application is "transformed to a periodic structure"
 /// of frames, each with a deadline (the performance requirement announced
-/// through an API). `Application` replays a `WorkloadTrace`, splits each
-/// frame's cycles across worker threads (with realistic imbalance), and
-/// exposes a requirement schedule so experiments can change fps mid-run —
-/// the dynamic performance variation the paper says defeats offline methods.
+/// through an API). `Application` replays either a materialised
+/// `WorkloadTrace` (random access, archival/CSV round-trip) or a streaming
+/// `FrameSource` (lazy, constant memory, unbounded — run length comes from
+/// sim::RunOptions::max_frames), splits each frame's cycles across worker
+/// threads (with realistic imbalance), and exposes a requirement schedule so
+/// experiments can change fps mid-run — the dynamic performance variation the
+/// paper says defeats offline methods.
 #pragma once
 
 #include <cstdint>
@@ -14,6 +17,7 @@
 #include <vector>
 
 #include "common/units.hpp"
+#include "wl/frame_source.hpp"
 #include "wl/trace.hpp"
 
 namespace prime::wl {
@@ -39,8 +43,29 @@ class Application {
   Application(std::string name, WorkloadTrace trace, double fps,
               std::size_t threads = 4, double imbalance = 0.05);
 
+  /// \brief Construct a *streaming* application: frames are pulled lazily
+  ///        from a FrameSource instead of a materialised trace, so memory
+  ///        stays constant at any run length. \p source is invoked to (re)
+  ///        start the stream — each call must restart from the same seed, so
+  ///        replays (and repeated runs on the same Application) see the exact
+  ///        same frame sequence. Frame access must be (weakly) monotone; a
+  ///        lower index than the last one rewinds by re-creating the source.
+  Application(std::string name, FrameSourceFactory source, double fps,
+              std::size_t threads = 4, double imbalance = 0.05);
+
+  /// \brief Copies share the trace / source factory / calibration / schedule
+  ///        but get their own fresh replay cursor — how each concurrent run
+  ///        of one streaming workload gets a private stream.
+  Application(const Application& other);
+  Application& operator=(const Application& other);
+  Application(Application&&) noexcept = default;
+  Application& operator=(Application&&) noexcept = default;
+  ~Application() = default;
+
   /// \brief Schedule a requirement change: from frame \p frame onward the
-  ///        application demands \p fps. Changes may be added in any order.
+  ///        application demands \p fps. Changes may be added in any order;
+  ///        scheduling two changes at the same frame keeps the last-added one
+  ///        (deterministic replace-on-equal).
   void add_requirement_change(std::size_t frame, double fps);
 
   /// \brief The requirement in force at \p frame.
@@ -64,13 +89,22 @@ class Application {
   /// \brief Set the memory-boundedness fraction (clamped to [0, 0.9]).
   void set_mem_fraction(double m) noexcept;
 
-  /// \brief Total frames in the trace.
-  [[nodiscard]] std::size_t frame_count() const noexcept { return trace_.size(); }
-  /// \brief Demand of frame \p frame (total cycles across threads).
-  [[nodiscard]] common::Cycles frame_cycles(std::size_t frame) const {
-    return trace_.at(frame).cycles;
+  /// \brief True when frames stream from a FrameSource: the run length is
+  ///        unbounded and the engine requires an explicit max_frames.
+  [[nodiscard]] bool streaming() const noexcept {
+    return static_cast<bool>(source_factory_);
   }
-  /// \brief The underlying trace.
+  /// \brief Total frames in the trace (0 for streaming applications, whose
+  ///        length is unbounded — check streaming() first).
+  [[nodiscard]] std::size_t frame_count() const noexcept { return trace_.size(); }
+  /// \brief Demand of frame \p frame (total cycles across threads). Streaming
+  ///        applications serve sequential access in O(1) and rewinds by
+  ///        restarting the source; throws std::out_of_range past the end of a
+  ///        bounded source or trace.
+  [[nodiscard]] common::Cycles frame_cycles(std::size_t frame) const {
+    return demand_at(frame).cycles;
+  }
+  /// \brief The underlying trace (empty for streaming applications).
   [[nodiscard]] const WorkloadTrace& trace() const noexcept { return trace_; }
   /// \brief Display name.
   [[nodiscard]] const std::string& name() const noexcept { return name_; }
@@ -78,6 +112,14 @@ class Application {
   [[nodiscard]] std::size_t threads() const noexcept { return threads_; }
 
  private:
+  /// \brief Demand of \p frame from whichever backend is active. Streaming
+  ///        mode keeps a one-frame cursor cache (mutable: replay state, not
+  ///        logical state), so the engine's repeated same-index accesses and
+  ///        sequential walk are O(1); accessing a lower index re-creates the
+  ///        source and fast-forwards. NOT thread-safe in streaming mode —
+  ///        give each concurrent run its own Application.
+  [[nodiscard]] const FrameDemand& demand_at(std::size_t frame) const;
+
   std::string name_;
   WorkloadTrace trace_;
   std::size_t threads_;
@@ -85,6 +127,12 @@ class Application {
   double mem_fraction_ = 0.20;
   /// (start-frame, fps) breakpoints, kept sorted by frame.
   std::vector<std::pair<std::size_t, double>> schedule_;
+  /// Streaming mode: the source factory plus the replay cursor. next_index_
+  /// counts frames already pulled; current_ caches frame next_index_ - 1.
+  FrameSourceFactory source_factory_;
+  mutable std::unique_ptr<FrameSource> source_;
+  mutable std::size_t next_index_ = 0;
+  mutable FrameDemand current_{};
 };
 
 }  // namespace prime::wl

@@ -4,9 +4,35 @@
 #include <memory>
 
 #include "common/rng.hpp"
+#include "wl/frame_source.hpp"
 #include "wl/registry.hpp"
 
 namespace prime::wl {
+namespace {
+
+/// Unbounded near-constant FFT batch stream (jitter draw, then the outlier
+/// bernoulli — the same per-frame order the eager loop used).
+class FftFrameStream final : public FrameSource {
+ public:
+  FftFrameStream(const FftParams& params, std::uint64_t seed)
+      : params_(params), rng_(seed) {}
+
+  std::optional<FrameDemand> next() override {
+    double cycles = params_.mean_cycles *
+                    std::max(0.5, 1.0 + rng_.normal(0.0, params_.jitter_cv));
+    if (rng_.bernoulli(params_.outlier_prob)) cycles *= params_.outlier_scale;
+    return FrameDemand{static_cast<common::Cycles>(cycles),
+                       FrameKind::kGeneric};
+  }
+
+  [[nodiscard]] std::string name() const override { return params_.label; }
+
+ private:
+  FftParams params_;
+  common::Rng rng_;
+};
+
+}  // namespace
 
 FftTraceGenerator FftTraceGenerator::paper_fft() {
   FftParams p;
@@ -16,19 +42,9 @@ FftTraceGenerator FftTraceGenerator::paper_fft() {
   return FftTraceGenerator(p);
 }
 
-WorkloadTrace FftTraceGenerator::generate(std::size_t n,
-                                          std::uint64_t seed) const {
-  common::Rng rng(seed);
-  std::vector<FrameDemand> frames;
-  frames.reserve(n);
-  for (std::size_t i = 0; i < n; ++i) {
-    double cycles =
-        params_.mean_cycles * std::max(0.5, 1.0 + rng.normal(0.0, params_.jitter_cv));
-    if (rng.bernoulli(params_.outlier_prob)) cycles *= params_.outlier_scale;
-    frames.push_back(
-        FrameDemand{static_cast<common::Cycles>(cycles), FrameKind::kGeneric});
-  }
-  return WorkloadTrace(params_.label, std::move(frames));
+std::unique_ptr<FrameSource> FftTraceGenerator::stream(
+    std::uint64_t seed) const {
+  return std::make_unique<FftFrameStream>(params_, seed);
 }
 
 namespace {

@@ -31,8 +31,8 @@ class FftTraceGenerator final : public TraceGenerator {
   /// \brief The paper's FFT workload (32 fps class).
   [[nodiscard]] static FftTraceGenerator paper_fft();
 
-  [[nodiscard]] WorkloadTrace generate(std::size_t n,
-                                       std::uint64_t seed) const override;
+  [[nodiscard]] std::unique_ptr<FrameSource> stream(
+      std::uint64_t seed) const override;
   [[nodiscard]] std::string name() const override { return params_.label; }
   /// \brief Access parameters.
   [[nodiscard]] const FftParams& params() const noexcept { return params_; }

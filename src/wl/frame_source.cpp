@@ -1,0 +1,33 @@
+#include "wl/frame_source.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace prime::wl {
+
+std::optional<FrameDemand> TraceFrameSource::next() {
+  if (pos_ >= trace_.size()) return std::nullopt;
+  return trace_.at(pos_++);
+}
+
+ScaledFrameSource::ScaledFrameSource(std::unique_ptr<FrameSource> inner,
+                                     double scale)
+    : inner_(std::move(inner)), scale_(scale) {
+  if (inner_ == nullptr) {
+    throw std::invalid_argument("ScaledFrameSource: inner source required");
+  }
+  if (!(scale_ > 0.0)) {
+    throw std::invalid_argument("ScaledFrameSource: scale must be > 0");
+  }
+}
+
+std::optional<FrameDemand> ScaledFrameSource::next() {
+  std::optional<FrameDemand> frame = inner_->next();
+  if (frame) {
+    frame->cycles = static_cast<common::Cycles>(
+        std::llround(static_cast<double>(frame->cycles) * scale_));
+  }
+  return frame;
+}
+
+}  // namespace prime::wl

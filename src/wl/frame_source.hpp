@@ -1,0 +1,81 @@
+/// \file frame_source.hpp
+/// \brief Lazy, pull-based frame demand sources.
+///
+/// A `FrameSource` yields one `FrameDemand` per `next()` call, deterministic
+/// in the seed it was constructed from, without ever materialising a frame
+/// vector — the engine's native input for unbounded runs, where the trace
+/// vector would otherwise be the last O(frames) allocation (ROADMAP:
+/// "Streaming workload generation"). Generator-backed sources never exhaust;
+/// `TraceFrameSource` replays a materialised trace and exhausts at its end.
+/// The equivalence contract: for any `TraceGenerator` g,
+/// `g.stream(seed)` yields exactly the frame sequence `g.generate(n, seed)`
+/// materialises, for every n — `generate()` is implemented by pulling from
+/// `stream()`, and tests/test_frame_source.cpp pins the guarantee per
+/// registered generator.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "wl/trace.hpp"
+
+namespace prime::wl {
+
+/// \brief A pull-based stream of frame demands.
+///
+/// Stateful and single-pass: each `next()` advances the stream. Re-create the
+/// source (same seed) to replay from the beginning. Not thread-safe; give
+/// each concurrent run its own instance.
+class FrameSource {
+ public:
+  virtual ~FrameSource() = default;
+  /// \brief The next frame, or nullopt when the source is exhausted.
+  ///        Generator-backed sources are unbounded and never return nullopt.
+  [[nodiscard]] virtual std::optional<FrameDemand> next() = 0;
+  /// \brief Display name (matches the trace name the source would produce).
+  [[nodiscard]] virtual std::string name() const = 0;
+};
+
+/// \brief Factory re-creating a source from scratch — how replay-from-frame-0
+///        is expressed for deterministic streams (each call restarts the
+///        underlying RNG from its seed).
+using FrameSourceFactory = std::function<std::unique_ptr<FrameSource>()>;
+
+/// \brief Bounded source replaying a materialised trace front to back.
+class TraceFrameSource final : public FrameSource {
+ public:
+  explicit TraceFrameSource(WorkloadTrace trace) : trace_(std::move(trace)) {}
+
+  [[nodiscard]] std::optional<FrameDemand> next() override;
+  [[nodiscard]] std::string name() const override { return trace_.name(); }
+  /// \brief Frames not yet yielded.
+  [[nodiscard]] std::size_t remaining() const noexcept {
+    return trace_.size() - pos_;
+  }
+
+ private:
+  WorkloadTrace trace_;
+  std::size_t pos_ = 0;
+};
+
+/// \brief Decorator scaling every frame's demand by a constant factor,
+///        rounding to nearest — the same rounding WorkloadTrace::scaled_to_mean
+///        applies, so a scaled stream and a scaled trace built from the same
+///        frames stay frame-for-frame identical (the calibration path in
+///        sim::make_application relies on this).
+class ScaledFrameSource final : public FrameSource {
+ public:
+  ScaledFrameSource(std::unique_ptr<FrameSource> inner, double scale);
+
+  [[nodiscard]] std::optional<FrameDemand> next() override;
+  [[nodiscard]] std::string name() const override { return inner_->name(); }
+  [[nodiscard]] double scale() const noexcept { return scale_; }
+
+ private:
+  std::unique_ptr<FrameSource> inner_;
+  double scale_;
+};
+
+}  // namespace prime::wl

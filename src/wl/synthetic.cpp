@@ -5,9 +5,79 @@
 #include <stdexcept>
 
 #include "common/rng.hpp"
+#include "wl/frame_source.hpp"
 #include "wl/registry.hpp"
 
 namespace prime::wl {
+namespace {
+
+/// Unbounded stream of the phase program: the loop-carried state of the old
+/// materialising loop (rng, phase index, position in phase) held across
+/// next() calls, one frame per call, identical RNG call order.
+class PhaseFrameStream final : public FrameSource {
+ public:
+  PhaseFrameStream(std::string label, std::vector<Phase> phases,
+                   std::uint64_t seed)
+      : label_(std::move(label)), phases_(std::move(phases)), rng_(seed) {}
+
+  std::optional<FrameDemand> next() override {
+    const Phase& ph = phases_[phase_idx_];
+    const double progress =
+        ph.frames <= 1 ? 0.0
+                       : static_cast<double>(in_phase_) /
+                             static_cast<double>(ph.frames - 1);
+    const double drift = 1.0 + ph.ramp * (progress - 0.5);
+    const double jitter = std::max(0.2, 1.0 + rng_.normal(0.0, ph.jitter_cv));
+    const double cycles = ph.mean_cycles * drift * jitter;
+    if (++in_phase_ >= ph.frames) {
+      in_phase_ = 0;
+      phase_idx_ = (phase_idx_ + 1) % phases_.size();
+    }
+    return FrameDemand{static_cast<common::Cycles>(cycles),
+                       FrameKind::kGeneric};
+  }
+
+  [[nodiscard]] std::string name() const override { return label_; }
+
+ private:
+  std::string label_;
+  std::vector<Phase> phases_;
+  common::Rng rng_;
+  std::size_t phase_idx_ = 0;
+  std::size_t in_phase_ = 0;
+};
+
+/// Unbounded Markov-modulated stream: per frame, jitter around the current
+/// state mean, then transition (same draw order as the retired eager loop).
+class MarkovFrameStream final : public FrameSource {
+ public:
+  MarkovFrameStream(MarkovParams params, std::uint64_t seed)
+      : params_(std::move(params)), rng_(seed), state_(params_.initial_state),
+        row_(params_.state_means.size()) {}
+
+  std::optional<FrameDemand> next() override {
+    const std::size_t s = params_.state_means.size();
+    const double jitter =
+        std::max(0.2, 1.0 + rng_.normal(0.0, params_.jitter_cv));
+    const double cycles = params_.state_means[state_] * jitter;
+    for (std::size_t j = 0; j < s; ++j) {
+      row_[j] = params_.transition[state_ * s + j];
+    }
+    state_ = rng_.discrete(row_);
+    return FrameDemand{static_cast<common::Cycles>(cycles),
+                       FrameKind::kGeneric};
+  }
+
+  [[nodiscard]] std::string name() const override { return params_.label; }
+
+ private:
+  MarkovParams params_;
+  common::Rng rng_;
+  std::size_t state_;
+  std::vector<double> row_;
+};
+
+}  // namespace
 
 PhaseTraceGenerator::PhaseTraceGenerator(std::string label,
                                          std::vector<Phase> phases)
@@ -22,30 +92,9 @@ PhaseTraceGenerator::PhaseTraceGenerator(std::string label,
   }
 }
 
-WorkloadTrace PhaseTraceGenerator::generate(std::size_t n,
-                                            std::uint64_t seed) const {
-  common::Rng rng(seed);
-  std::vector<FrameDemand> frames;
-  frames.reserve(n);
-  std::size_t phase_idx = 0;
-  std::size_t in_phase = 0;
-  while (frames.size() < n) {
-    const Phase& ph = phases_[phase_idx];
-    const double progress =
-        ph.frames <= 1 ? 0.0
-                       : static_cast<double>(in_phase) /
-                             static_cast<double>(ph.frames - 1);
-    const double drift = 1.0 + ph.ramp * (progress - 0.5);
-    const double jitter = std::max(0.2, 1.0 + rng.normal(0.0, ph.jitter_cv));
-    const double cycles = ph.mean_cycles * drift * jitter;
-    frames.push_back(
-        FrameDemand{static_cast<common::Cycles>(cycles), FrameKind::kGeneric});
-    if (++in_phase >= ph.frames) {
-      in_phase = 0;
-      phase_idx = (phase_idx + 1) % phases_.size();
-    }
-  }
-  return WorkloadTrace(label_, std::move(frames));
+std::unique_ptr<FrameSource> PhaseTraceGenerator::stream(
+    std::uint64_t seed) const {
+  return std::make_unique<PhaseFrameStream>(label_, phases_, seed);
 }
 
 MarkovTraceGenerator::MarkovTraceGenerator(const MarkovParams& params)
@@ -63,24 +112,9 @@ MarkovTraceGenerator::MarkovTraceGenerator(const MarkovParams& params)
   }
 }
 
-WorkloadTrace MarkovTraceGenerator::generate(std::size_t n,
-                                             std::uint64_t seed) const {
-  common::Rng rng(seed);
-  const std::size_t s = params_.state_means.size();
-  std::vector<FrameDemand> frames;
-  frames.reserve(n);
-  std::size_t state = params_.initial_state;
-  std::vector<double> row(s);
-  for (std::size_t i = 0; i < n; ++i) {
-    const double jitter =
-        std::max(0.2, 1.0 + rng.normal(0.0, params_.jitter_cv));
-    const double cycles = params_.state_means[state] * jitter;
-    frames.push_back(
-        FrameDemand{static_cast<common::Cycles>(cycles), FrameKind::kGeneric});
-    for (std::size_t j = 0; j < s; ++j) row[j] = params_.transition[state * s + j];
-    state = rng.discrete(row);
-  }
-  return WorkloadTrace(params_.label, std::move(frames));
+std::unique_ptr<FrameSource> MarkovTraceGenerator::stream(
+    std::uint64_t seed) const {
+  return std::make_unique<MarkovFrameStream>(params_, seed);
 }
 
 namespace {

@@ -32,8 +32,8 @@ class PhaseTraceGenerator final : public TraceGenerator {
   /// \brief Construct from a non-empty phase list.
   PhaseTraceGenerator(std::string label, std::vector<Phase> phases);
 
-  [[nodiscard]] WorkloadTrace generate(std::size_t n,
-                                       std::uint64_t seed) const override;
+  [[nodiscard]] std::unique_ptr<FrameSource> stream(
+      std::uint64_t seed) const override;
   [[nodiscard]] std::string name() const override { return label_; }
   /// \brief The phase program.
   [[nodiscard]] const std::vector<Phase>& phases() const noexcept { return phases_; }
@@ -64,8 +64,8 @@ class MarkovTraceGenerator final : public TraceGenerator {
   ///        on inconsistent matrix dimensions.
   explicit MarkovTraceGenerator(const MarkovParams& params);
 
-  [[nodiscard]] WorkloadTrace generate(std::size_t n,
-                                       std::uint64_t seed) const override;
+  [[nodiscard]] std::unique_ptr<FrameSource> stream(
+      std::uint64_t seed) const override;
   [[nodiscard]] std::string name() const override { return params_.label; }
   /// \brief Access parameters.
   [[nodiscard]] const MarkovParams& params() const noexcept { return params_; }

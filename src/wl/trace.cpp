@@ -1,9 +1,14 @@
 #include "wl/trace.hpp"
 
+#include <cerrno>
+#include <cmath>
+#include <cstdlib>
 #include <sstream>
 #include <stdexcept>
 
 #include "common/csv.hpp"
+#include "common/strings.hpp"
+#include "wl/frame_source.hpp"
 
 namespace prime::wl {
 
@@ -30,7 +35,10 @@ WorkloadTrace WorkloadTrace::scaled_to_mean(double target_mean) const {
   const double scale = target_mean / stats_.mean();
   std::vector<FrameDemand> scaled = frames_;
   for (auto& f : scaled) {
-    f.cycles = static_cast<common::Cycles>(static_cast<double>(f.cycles) * scale);
+    // Round to nearest: truncation would make the achieved mean undershoot
+    // target_mean by ~0.5 cycles/frame systematically.
+    f.cycles = static_cast<common::Cycles>(
+        std::llround(static_cast<double>(f.cycles) * scale));
   }
   return WorkloadTrace(name_, std::move(scaled));
 }
@@ -53,6 +61,32 @@ std::string WorkloadTrace::to_csv() const {
   return out.str();
 }
 
+namespace {
+
+/// Parse one cycles cell strictly: unsigned decimal (surrounding whitespace
+/// tolerated, as strtoull always accepted), whole cell, in range. strtoull
+/// with a null endptr would silently turn "abc" into 0 — a corrupt archive
+/// must throw, as from_csv documents.
+common::Cycles parse_cycles_cell(const std::string& raw, std::size_t row) {
+  const std::string cell = common::trim(raw);
+  if (cell.empty() ||
+      cell.find_first_not_of("0123456789") != std::string::npos) {
+    throw std::runtime_error("WorkloadTrace::from_csv: malformed cycles value '" +
+                             cell + "' in data row " + std::to_string(row));
+  }
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long long value = std::strtoull(cell.c_str(), &end, 10);
+  if (end != cell.c_str() + cell.size() || errno == ERANGE) {
+    throw std::runtime_error("WorkloadTrace::from_csv: cycles value '" + cell +
+                             "' in data row " + std::to_string(row) +
+                             " is out of range");
+  }
+  return static_cast<common::Cycles>(value);
+}
+
+}  // namespace
+
 WorkloadTrace WorkloadTrace::from_csv(const std::string& name,
                                       const std::string& csv_text) {
   const common::CsvTable table = common::parse_csv(csv_text);
@@ -65,9 +99,8 @@ WorkloadTrace WorkloadTrace::from_csv(const std::string& name,
   frames.reserve(table.rows.size());
   for (const auto& row : table.rows) {
     FrameDemand d;
-    d.cycles = static_cast<common::Cycles>(
-        std::strtoull(row.at(static_cast<std::size_t>(cycles_col)).c_str(),
-                      nullptr, 10));
+    d.cycles = parse_cycles_cell(row.at(static_cast<std::size_t>(cycles_col)),
+                                 frames.size());
     if (kind_col >= 0 &&
         static_cast<std::size_t>(kind_col) < row.size()) {
       const std::string& tag = row[static_cast<std::size_t>(kind_col)];
@@ -78,6 +111,18 @@ WorkloadTrace WorkloadTrace::from_csv(const std::string& name,
     frames.push_back(d);
   }
   return WorkloadTrace(name, std::move(frames));
+}
+
+WorkloadTrace TraceGenerator::generate(std::size_t n, std::uint64_t seed) const {
+  const std::unique_ptr<FrameSource> source = stream(seed);
+  std::vector<FrameDemand> frames;
+  frames.reserve(n);
+  while (frames.size() < n) {
+    std::optional<FrameDemand> frame = source->next();
+    if (!frame) break;  // defensive: generator streams are unbounded
+    frames.push_back(*frame);
+  }
+  return WorkloadTrace(name(), std::move(frames));
 }
 
 }  // namespace prime::wl

@@ -7,6 +7,8 @@
 /// experiment inputs can be archived exactly like the paper's dataset DOI.
 #pragma once
 
+#include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -14,6 +16,8 @@
 #include "wl/frame.hpp"
 
 namespace prime::wl {
+
+class FrameSource;
 
 /// \brief An immutable-after-build sequence of frame demands.
 class WorkloadTrace {
@@ -46,7 +50,9 @@ class WorkloadTrace {
   [[nodiscard]] const common::RunningStats& stats() const noexcept { return stats_; }
 
   /// \brief Return a copy scaled so the mean demand equals \p target_mean
-  ///        (used to calibrate traces against platform capacity).
+  ///        (used to calibrate traces against platform capacity). Per-frame
+  ///        demands are rounded to nearest, so the achieved mean tracks the
+  ///        target instead of drifting low under truncation.
   [[nodiscard]] WorkloadTrace scaled_to_mean(double target_mean) const;
 
   /// \brief Return the first \p n frames (or the whole trace if shorter).
@@ -66,12 +72,23 @@ class WorkloadTrace {
 };
 
 /// \brief Interface implemented by all workload generators.
+///
+/// The streaming path is primary: `stream(seed)` returns an unbounded lazy
+/// FrameSource, and `generate(n, seed)` materialises its first n frames —
+/// the two are frame-for-frame identical by construction, so a streamed run
+/// and a trace-replay run of the same (generator, seed) execute the exact
+/// same demand sequence.
 class TraceGenerator {
  public:
   virtual ~TraceGenerator() = default;
-  /// \brief Generate \p n frames deterministically from \p seed.
-  [[nodiscard]] virtual WorkloadTrace generate(std::size_t n,
-                                               std::uint64_t seed) const = 0;
+  /// \brief Stream frames lazily and deterministically from \p seed.
+  ///        The returned source is unbounded (never exhausts) and owns a
+  ///        copy of the generator's parameters, so it may outlive *this.
+  [[nodiscard]] virtual std::unique_ptr<FrameSource> stream(
+      std::uint64_t seed) const = 0;
+  /// \brief Materialise the first \p n frames of stream(\p seed) as a trace
+  ///        (for archival, CSV round-trip, and random-access replay).
+  [[nodiscard]] WorkloadTrace generate(std::size_t n, std::uint64_t seed) const;
   /// \brief Generator name, used as the trace name.
   [[nodiscard]] virtual std::string name() const = 0;
 };

@@ -3,11 +3,64 @@
 #include <algorithm>
 #include <cmath>
 #include <memory>
+#include <utility>
 
 #include "common/rng.hpp"
+#include "wl/frame_source.hpp"
 #include "wl/registry.hpp"
 
 namespace prime::wl {
+namespace {
+
+/// Unbounded GOP-structured stream. Carries the old eager loop's state
+/// (rng, scene scale, frame index) across next() calls with the identical
+/// per-frame RNG draw order: scene-change bernoulli, optional rescale
+/// uniform, then jitter normal.
+class VideoFrameStream final : public FrameSource {
+ public:
+  VideoFrameStream(const VideoParams& params, std::uint64_t seed)
+      : params_(params), rng_(seed),
+        gop_(std::max<std::size_t>(1, params_.gop_length)) {
+    // Normalise kind weights so the configured mean is the stream mean.
+    double weight_sum = 0.0;
+    for (std::size_t i = 0; i < gop_; ++i) weight_sum += weight_at(i).second;
+    base_ = params_.mean_cycles * static_cast<double>(gop_) / weight_sum;
+  }
+
+  std::optional<FrameDemand> next() override {
+    const auto [kind, weight] = weight_at(i_++ % gop_);
+    if (rng_.bernoulli(params_.scene_change_prob)) {
+      scene_scale_ =
+          rng_.uniform(params_.scene_scale_lo, params_.scene_scale_hi);
+    }
+    // Multiplicative lognormal-style jitter, clamped to keep demands positive.
+    const double jitter =
+        std::max(0.2, 1.0 + rng_.normal(0.0, params_.jitter_cv));
+    const double cycles = base_ * weight * scene_scale_ * jitter;
+    return FrameDemand{static_cast<common::Cycles>(cycles), kind};
+  }
+
+  [[nodiscard]] std::string name() const override { return params_.label; }
+
+ private:
+  /// Kind and relative cost of GOP position \p pos.
+  [[nodiscard]] std::pair<FrameKind, double> weight_at(std::size_t pos) const {
+    if (pos == 0) return {FrameKind::kIntra, params_.i_weight};
+    if ((pos - 1) % (params_.b_per_p + 1) == 0) {
+      return {FrameKind::kPredicted, params_.p_weight};
+    }
+    return {FrameKind::kBidirectional, params_.b_weight};
+  }
+
+  VideoParams params_;
+  common::Rng rng_;
+  std::size_t gop_;
+  double base_ = 0.0;
+  double scene_scale_ = 1.0;
+  std::size_t i_ = 0;
+};
+
+}  // namespace
 
 VideoTraceGenerator VideoTraceGenerator::mpeg4_svga() {
   // Decode cost at a fixed resolution is dominated by per-pixel work, so the
@@ -48,53 +101,9 @@ VideoTraceGenerator VideoTraceGenerator::h264_football() {
   return VideoTraceGenerator(p);
 }
 
-WorkloadTrace VideoTraceGenerator::generate(std::size_t n,
-                                            std::uint64_t seed) const {
-  common::Rng rng(seed);
-  std::vector<FrameDemand> frames;
-  frames.reserve(n);
-
-  // Normalise kind weights so the configured mean is the trace mean.
-  const std::size_t gop = std::max<std::size_t>(1, params_.gop_length);
-  double weight_sum = 0.0;
-  for (std::size_t i = 0; i < gop; ++i) {
-    if (i == 0) {
-      weight_sum += params_.i_weight;
-    } else if ((i - 1) % (params_.b_per_p + 1) == 0) {
-      weight_sum += params_.p_weight;
-    } else {
-      weight_sum += params_.b_weight;
-    }
-  }
-  const double base = params_.mean_cycles * static_cast<double>(gop) / weight_sum;
-
-  double scene_scale = 1.0;
-  for (std::size_t i = 0; i < n; ++i) {
-    const std::size_t pos = i % gop;
-    FrameKind kind;
-    double weight;
-    if (pos == 0) {
-      kind = FrameKind::kIntra;
-      weight = params_.i_weight;
-    } else if ((pos - 1) % (params_.b_per_p + 1) == 0) {
-      kind = FrameKind::kPredicted;
-      weight = params_.p_weight;
-    } else {
-      kind = FrameKind::kBidirectional;
-      weight = params_.b_weight;
-    }
-
-    if (rng.bernoulli(params_.scene_change_prob)) {
-      scene_scale = rng.uniform(params_.scene_scale_lo, params_.scene_scale_hi);
-    }
-
-    // Multiplicative lognormal-style jitter, clamped to keep demands positive.
-    const double jitter =
-        std::max(0.2, 1.0 + rng.normal(0.0, params_.jitter_cv));
-    const double cycles = base * weight * scene_scale * jitter;
-    frames.push_back(FrameDemand{static_cast<common::Cycles>(cycles), kind});
-  }
-  return WorkloadTrace(params_.label, std::move(frames));
+std::unique_ptr<FrameSource> VideoTraceGenerator::stream(
+    std::uint64_t seed) const {
+  return std::make_unique<VideoFrameStream>(params_, seed);
 }
 
 namespace {

@@ -42,8 +42,8 @@ class VideoTraceGenerator final : public TraceGenerator {
   ///        demand, frequent scene changes, high variability.
   [[nodiscard]] static VideoTraceGenerator h264_football();
 
-  [[nodiscard]] WorkloadTrace generate(std::size_t n,
-                                       std::uint64_t seed) const override;
+  [[nodiscard]] std::unique_ptr<FrameSource> stream(
+      std::uint64_t seed) const override;
   [[nodiscard]] std::string name() const override { return params_.label; }
   /// \brief Access parameters (for calibration in benches).
   [[nodiscard]] const VideoParams& params() const noexcept { return params_; }

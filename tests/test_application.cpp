@@ -2,10 +2,13 @@
 /// \brief Unit tests for the periodic application model.
 #include <gtest/gtest.h>
 
+#include <memory>
 #include <numeric>
+#include <vector>
 
 #include "wl/application.hpp"
 #include "wl/fft.hpp"
+#include "wl/frame_source.hpp"
 
 namespace prime::wl {
 namespace {
@@ -46,6 +49,29 @@ TEST(Application, RequirementChangesSortRegardlessOfInsertOrder) {
 TEST(Application, RequirementChangeRejectsBadFps) {
   Application app = make_app();
   EXPECT_THROW(app.add_requirement_change(10, -1.0), std::invalid_argument);
+}
+
+TEST(Application, RequirementSameFrameLastAddedWins) {
+  // Regression: two changes at the same frame used to resolve arbitrarily
+  // (unstable sort over equal keys); the last one added must win.
+  Application app = make_app(30.0);
+  app.add_requirement_change(50, 15.0);
+  app.add_requirement_change(50, 60.0);
+  EXPECT_NEAR(app.requirement_at(50).fps, 60.0, 1e-12);
+  // Replacement works regardless of other breakpoints around it.
+  app.add_requirement_change(20, 10.0);
+  app.add_requirement_change(80, 40.0);
+  app.add_requirement_change(50, 24.0);
+  EXPECT_NEAR(app.requirement_at(30).fps, 10.0, 1e-12);
+  EXPECT_NEAR(app.requirement_at(50).fps, 24.0, 1e-12);
+  EXPECT_NEAR(app.requirement_at(79).fps, 24.0, 1e-12);
+  EXPECT_NEAR(app.requirement_at(80).fps, 40.0, 1e-12);
+}
+
+TEST(Application, ReplacingFrameZeroOverridesInitialFps) {
+  Application app = make_app(30.0);
+  app.add_requirement_change(0, 45.0);
+  EXPECT_NEAR(app.requirement_at(0).fps, 45.0, 1e-12);
 }
 
 TEST(Application, CoreWorkConservesDemand) {
@@ -112,6 +138,89 @@ TEST(Application, CoreWorkDeterministicAndOrderIndependent) {
 TEST(Application, ZeroCoresYieldsEmpty) {
   const Application app = make_app();
   EXPECT_TRUE(app.core_work(0, 0).empty());
+}
+
+// --- Streaming mode ----------------------------------------------------------
+
+Application make_streaming_app(std::uint64_t seed = 1, double fps = 30.0,
+                               std::size_t threads = 4,
+                               double imbalance = 0.1) {
+  auto generator =
+      std::make_shared<FftTraceGenerator>(FftTraceGenerator::paper_fft());
+  return Application(
+      "app", [generator, seed] { return generator->stream(seed); }, fps,
+      threads, imbalance);
+}
+
+TEST(StreamingApplication, FlagsAndEmptyTrace) {
+  const Application app = make_streaming_app();
+  EXPECT_TRUE(app.streaming());
+  EXPECT_EQ(app.frame_count(), 0u);  // unbounded: no trace length
+  EXPECT_TRUE(app.trace().empty());
+  EXPECT_FALSE(make_app().streaming());
+}
+
+TEST(StreamingApplication, RejectsEmptyFactory) {
+  EXPECT_THROW(Application("x", FrameSourceFactory{}, 30.0),
+               std::invalid_argument);
+}
+
+TEST(StreamingApplication, MatchesTraceReplayFrameForFrame) {
+  // The equivalence guarantee at the application layer: a streaming app and
+  // a trace app built from the same (generator, seed) split identical work.
+  const Application streamed = make_streaming_app(1, 30.0, 4, 0.1);
+  const Application replayed = make_app(30.0, 4, 0.1);  // generate(100, 1)
+  for (std::size_t frame = 0; frame < 100; ++frame) {
+    EXPECT_EQ(streamed.frame_cycles(frame), replayed.frame_cycles(frame));
+    EXPECT_EQ(streamed.core_work(frame, 4), replayed.core_work(frame, 4));
+  }
+}
+
+TEST(StreamingApplication, RepeatedAndSkippingAccess) {
+  const Application app = make_streaming_app();
+  const common::Cycles c3 = app.frame_cycles(3);
+  EXPECT_EQ(app.frame_cycles(3), c3);  // repeated access hits the cache
+  const common::Cycles c10 = app.frame_cycles(10);  // skip forward
+  EXPECT_GT(c10, 0u);
+  EXPECT_EQ(app.frame_cycles(10), c10);
+}
+
+TEST(StreamingApplication, RewindReplaysIdentically) {
+  const Application app = make_streaming_app();
+  std::vector<common::Cycles> first;
+  for (std::size_t i = 0; i < 20; ++i) first.push_back(app.frame_cycles(i));
+  // Accessing a lower index re-creates the deterministic source.
+  for (std::size_t i = 0; i < 20; ++i) {
+    EXPECT_EQ(app.frame_cycles(i), first[i]) << "frame " << i;
+  }
+}
+
+TEST(StreamingApplication, CopyGetsIndependentFreshCursor) {
+  const Application app = make_streaming_app();
+  std::vector<common::Cycles> expected;
+  for (std::size_t i = 0; i < 10; ++i) expected.push_back(app.frame_cycles(i));
+  // Copy taken mid-stream: same calibration/factory, fresh cursor.
+  const Application copy = app;
+  EXPECT_TRUE(copy.streaming());
+  for (std::size_t i = 0; i < 10; ++i) {
+    EXPECT_EQ(copy.frame_cycles(i), expected[i]) << "frame " << i;
+  }
+  // The original's cursor is unaffected by the copy's streaming.
+  EXPECT_EQ(app.frame_cycles(10), copy.frame_cycles(10));
+  // Copy assignment resets the target's cursor too.
+  Application assigned = make_streaming_app(99);
+  (void)assigned.frame_cycles(7);
+  assigned = app;
+  EXPECT_EQ(assigned.frame_cycles(0), expected[0]);
+}
+
+TEST(StreamingApplication, BoundedSourceExhaustionThrows) {
+  const WorkloadTrace trace = FftTraceGenerator::paper_fft().generate(5, 1);
+  const Application app(
+      "bounded", [trace] { return std::make_unique<TraceFrameSource>(trace); },
+      30.0);
+  EXPECT_GT(app.frame_cycles(4), 0u);
+  EXPECT_THROW((void)app.frame_cycles(5), std::out_of_range);
 }
 
 }  // namespace

@@ -247,5 +247,47 @@ TEST(ExperimentBuilder, ParameterisedGovernorSpecsRunInSweeps) {
             sweep.results[1].run.total_energy);
 }
 
+TEST(ExperimentBuilder, StreamingSweepMatchesMaterialisedSweep) {
+  // The stream= spec flag swaps the trace vector for a lazy FrameSource;
+  // the sweep's numbers must not move at all (frame-for-frame equivalence,
+  // engine run length from the builder's frames()).
+  ExperimentBuilder materialised;
+  materialised.workloads({"fft", "h264"})
+      .fps(25.0)
+      .frames(120)
+      .governors({"performance", "ondemand"});
+  ExperimentBuilder streaming;
+  streaming.workloads({"fft(stream=true)", "h264(stream=true)"})
+      .fps(25.0)
+      .frames(120)
+      .governors({"performance", "ondemand"});
+  const SweepResult a = materialised.run();
+  const SweepResult b = streaming.run();
+  ASSERT_EQ(a.results.size(), b.results.size());
+  for (std::size_t i = 0; i < a.results.size(); ++i) {
+    EXPECT_EQ(a.results[i].run.epoch_count, b.results[i].run.epoch_count);
+    EXPECT_DOUBLE_EQ(a.results[i].run.total_energy,
+                     b.results[i].run.total_energy);
+    EXPECT_DOUBLE_EQ(a.results[i].row.normalized_energy,
+                     b.results[i].row.normalized_energy);
+  }
+  ASSERT_EQ(a.oracle_runs.size(), b.oracle_runs.size());
+  for (std::size_t c = 0; c < a.oracle_runs.size(); ++c) {
+    EXPECT_DOUBLE_EQ(a.oracle_runs[c].total_energy,
+                     b.oracle_runs[c].total_energy);
+  }
+}
+
+TEST(ExperimentBuilder, StreamSetterAppliesToEveryWorkload) {
+  ExperimentBuilder b;
+  b.workload("fft").frames(50).governor("performance").stream(true);
+  const SweepResult sweep = b.run();
+  ASSERT_EQ(sweep.results.size(), 1u);
+  EXPECT_EQ(sweep.results[0].run.epoch_count, 50u);
+  // compare() takes the same path.
+  const Comparison cmp = b.compare();
+  EXPECT_EQ(cmp.runs[0].epoch_count, 50u);
+}
+
 }  // namespace
 }  // namespace prime::sim

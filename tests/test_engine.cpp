@@ -2,12 +2,15 @@
 /// \brief Unit tests for the simulation engine.
 #include <gtest/gtest.h>
 
+#include <memory>
+
 #include "gov/oracle.hpp"
 #include "gov/simple.hpp"
 #include "hw/platform.hpp"
 #include "sim/engine.hpp"
 #include "sim/telemetry.hpp"
 #include "wl/fft.hpp"
+#include "wl/frame_source.hpp"
 
 namespace prime::sim {
 namespace {
@@ -37,6 +40,87 @@ TEST(Engine, MaxFramesLimits) {
   RunOptions opt;
   opt.max_frames = 10;
   EXPECT_EQ(run_simulation(*platform, app, g, opt).epoch_count, 10u);
+}
+
+TEST(Engine, MaxFramesBeyondTraceClampsToTrace) {
+  auto platform = hw::Platform::odroid_xu3_a15();
+  const wl::Application app = make_app(50);
+  gov::PerformanceGovernor g;
+  RunOptions opt;
+  opt.max_frames = 5000;
+  EXPECT_EQ(run_simulation(*platform, app, g, opt).epoch_count, 50u);
+}
+
+TEST(Engine, EmptyTraceRunsZeroEpochs) {
+  auto platform = hw::Platform::odroid_xu3_a15();
+  const wl::Application app("empty", wl::WorkloadTrace{}, 30.0);
+  gov::PerformanceGovernor g;
+  TraceSink trace;
+  RunOptions opt;
+  opt.sinks = {&trace};
+  const RunResult r = run_simulation(*platform, app, g, opt);
+  EXPECT_EQ(r.epoch_count, 0u);
+  EXPECT_DOUBLE_EQ(r.total_energy, 0.0);
+  EXPECT_DOUBLE_EQ(r.miss_rate(), 0.0);
+  EXPECT_TRUE(trace.records().empty());  // run-begin/run-end still delivered
+}
+
+TEST(Engine, StreamingApplicationRequiresMaxFrames) {
+  auto platform = hw::Platform::odroid_xu3_a15();
+  const auto generator =
+      std::make_shared<wl::FftTraceGenerator>(wl::FftTraceGenerator::paper_fft());
+  const wl::Application app(
+      "fft", [generator] { return generator->stream(1); }, 30.0);
+  gov::PerformanceGovernor g;
+  // max_frames == 0 would mean "run forever" on an unbounded source.
+  EXPECT_THROW((void)run_simulation(*platform, app, g), std::invalid_argument);
+  RunOptions opt;
+  opt.max_frames = 40;
+  EXPECT_EQ(run_simulation(*platform, app, g, opt).epoch_count, 40u);
+}
+
+TEST(Engine, StreamingRunMatchesTraceReplayExactly) {
+  // End-to-end equivalence: a streamed run and a trace-replay run of the
+  // same (generator, seed) execute the identical demand sequence, so every
+  // aggregate is bit-identical.
+  const std::size_t frames = 60;
+  const auto generator =
+      std::make_shared<wl::FftTraceGenerator>(wl::FftTraceGenerator::paper_fft());
+  const wl::Application replayed("fft", generator->generate(frames, 9), 30.0);
+  const wl::Application streamed(
+      "fft", [generator] { return generator->stream(9); }, 30.0);
+
+  auto p1 = hw::Platform::odroid_xu3_a15();
+  auto p2 = hw::Platform::odroid_xu3_a15();
+  gov::PerformanceGovernor g1;
+  gov::PerformanceGovernor g2;
+  RunOptions stream_opt;
+  stream_opt.max_frames = frames;
+  const RunResult a = run_simulation(*p1, replayed, g1);
+  const RunResult b = run_simulation(*p2, streamed, g2, stream_opt);
+  EXPECT_EQ(a.epoch_count, b.epoch_count);
+  EXPECT_DOUBLE_EQ(a.total_energy, b.total_energy);
+  EXPECT_DOUBLE_EQ(a.measured_energy, b.measured_energy);
+  EXPECT_DOUBLE_EQ(a.total_time, b.total_time);
+  EXPECT_EQ(a.deadline_misses, b.deadline_misses);
+}
+
+TEST(Engine, StreamingRunsRepeatDeterministically) {
+  // Two consecutive runs on the same streaming Application rewind the
+  // source and replay the identical sequence.
+  const auto generator =
+      std::make_shared<wl::FftTraceGenerator>(wl::FftTraceGenerator::paper_fft());
+  const wl::Application app(
+      "fft", [generator] { return generator->stream(5); }, 30.0);
+  RunOptions opt;
+  opt.max_frames = 30;
+  auto p1 = hw::Platform::odroid_xu3_a15();
+  auto p2 = hw::Platform::odroid_xu3_a15();
+  gov::PerformanceGovernor g1;
+  gov::PerformanceGovernor g2;
+  const RunResult a = run_simulation(*p1, app, g1, opt);
+  const RunResult b = run_simulation(*p2, app, g2, opt);
+  EXPECT_DOUBLE_EQ(a.total_energy, b.total_energy);
 }
 
 TEST(Engine, EnergyAndTimeAccumulate) {

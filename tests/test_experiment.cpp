@@ -42,6 +42,72 @@ TEST(MakeApplication, DeterministicForSeed) {
   }
 }
 
+TEST(MakeApplication, StreamFlagBuildsStreamingApplication) {
+  const auto platform = hw::Platform::odroid_xu3_a15();
+  ExperimentSpec spec;
+  spec.workload = "h264";
+  spec.frames = 200;
+  spec.stream = true;
+  const wl::Application app = make_application(spec, *platform);
+  EXPECT_TRUE(app.streaming());
+  EXPECT_GT(app.frame_cycles(0), 0u);
+}
+
+TEST(MakeApplication, StreamSpecKeyOverridesField) {
+  const auto platform = hw::Platform::odroid_xu3_a15();
+  ExperimentSpec spec;
+  spec.frames = 100;
+  // The workload factory never sees the stream= key (it would reject it as
+  // a typo); the experiment layer consumes it.
+  spec.workload = "h264(stream=true)";
+  EXPECT_TRUE(make_application(spec, *platform).streaming());
+  spec.workload = "h264(stream=false)";
+  spec.stream = true;  // per-workload key wins over the builder-level field
+  EXPECT_FALSE(make_application(spec, *platform).streaming());
+  // Bare boolean-flag form and parameterised specs work too.
+  spec.stream = false;
+  spec.workload = "flat(mean=2e8,cv=0.1,stream)";
+  EXPECT_TRUE(make_application(spec, *platform).streaming());
+}
+
+TEST(MakeApplication, StreamedDemandsMatchMaterialisedCalibration) {
+  // The calibrated streaming application must reproduce the materialised
+  // trace frame for frame: same calibration window, same scale, same
+  // round-to-nearest.
+  const auto platform = hw::Platform::odroid_xu3_a15();
+  ExperimentSpec spec;
+  spec.workload = "h264";
+  spec.fps = 25.0;
+  spec.frames = 400;
+  spec.seed = 13;
+  spec.target_utilisation = 0.45;
+  const wl::Application materialised = make_application(spec, *platform);
+  spec.stream = true;
+  const wl::Application streamed = make_application(spec, *platform);
+  ASSERT_TRUE(streamed.streaming());
+  for (std::size_t i = 0; i < spec.frames; ++i) {
+    EXPECT_EQ(streamed.frame_cycles(i), materialised.frame_cycles(i))
+        << "frame " << i;
+  }
+  EXPECT_EQ(streamed.mem_fraction(), materialised.mem_fraction());
+}
+
+TEST(CompareGovernors, StreamingAppWithMaxFramesMatchesMaterialised) {
+  auto platform = hw::Platform::odroid_xu3_a15();
+  ExperimentSpec spec;
+  spec.workload = "fft";
+  spec.frames = 120;
+  const wl::Application materialised = make_application(spec, *platform);
+  spec.stream = true;
+  const wl::Application streamed = make_application(spec, *platform);
+  const Comparison a =
+      compare_governors(*platform, materialised, {"performance"});
+  const Comparison b = compare_governors(*platform, streamed, {"performance"},
+                                         0x271828, spec.frames);
+  EXPECT_DOUBLE_EQ(a.runs[0].total_energy, b.runs[0].total_energy);
+  EXPECT_DOUBLE_EQ(a.oracle_run.total_energy, b.oracle_run.total_energy);
+}
+
 TEST(MakeGovernor, AllNamesConstruct) {
   for (const auto& name : governor_names()) {
     const auto g = make_governor(name);

@@ -182,5 +182,53 @@ TEST(MultiApp, PerAppTelemetryStreamsMatchAggregates) {
   EXPECT_EQ(agg_b.result().application, "fft");
 }
 
+TEST(MultiApp, StreamingAppsNeedMaxFramesAndMatchTraceReplay) {
+  auto platform = hw::Platform::odroid_xu3_a15();
+  const wl::Application a = make_app("mpeg4", 25.0, 50, 1, *platform);
+  const wl::Application b = make_app("fft", 25.0, 50, 2, *platform);
+
+  auto streaming_spec = [](const char* workload, std::uint64_t seed) {
+    ExperimentSpec spec;
+    spec.workload = workload;
+    spec.fps = 25.0;
+    spec.frames = 50;
+    spec.seed = seed;
+    spec.threads = 2;
+    spec.target_utilisation = 0.20;
+    spec.stream = true;
+    return spec;
+  };
+  const wl::Application sa =
+      make_application(streaming_spec("mpeg4", 1), *platform);
+  const wl::Application sb =
+      make_application(streaming_spec("fft", 2), *platform);
+  ASSERT_TRUE(sa.streaming());
+
+  std::vector<std::unique_ptr<gov::Governor>> governors;
+  governors.push_back(make_governor("ondemand"));
+  governors.push_back(make_governor("ondemand"));
+  std::vector<AppPlacement> streamed = {{&sa, {0, 1}}, {&sb, {2, 3}}};
+
+  // All placements unbounded: max_frames is mandatory.
+  EXPECT_THROW(run_multi_simulation(*platform, streamed, governors),
+               std::invalid_argument);
+
+  // With max_frames set, the streamed run reproduces the trace-replay run.
+  const MultiAppResult streamed_run =
+      run_multi_simulation(*platform, streamed, governors, 50);
+  std::vector<AppPlacement> replayed = {{&a, {0, 1}}, {&b, {2, 3}}};
+  const MultiAppResult replayed_run =
+      run_multi_simulation(*platform, replayed, governors, 50);
+  ASSERT_EQ(streamed_run.per_app.size(), 2u);
+  EXPECT_EQ(streamed_run.per_app[0].epoch_count, 50u);
+  EXPECT_DOUBLE_EQ(streamed_run.total_energy, replayed_run.total_energy);
+
+  // A bounded co-runner supplies the run length: no max_frames needed.
+  std::vector<AppPlacement> mixed = {{&a, {0, 1}}, {&sb, {2, 3}}};
+  const MultiAppResult mixed_run =
+      run_multi_simulation(*platform, mixed, governors);
+  EXPECT_EQ(mixed_run.per_app[0].epoch_count, 50u);
+}
+
 }  // namespace
 }  // namespace prime::sim

@@ -312,6 +312,76 @@ TEST(Telemetry, RejectedCsvSpecNeverTouchesTheTargetFile) {
   EXPECT_EQ(line, "do-not-truncate");
 }
 
+TEST(Telemetry, SampleSinkForwardsFirstAndEveryNthEpoch) {
+  auto platform = hw::Platform::odroid_xu3_a15();
+  const wl::Application app = make_app(25);
+  gov::PerformanceGovernor g;
+  auto sink = make_sink("sample(every=10,inner=trace)");
+  auto* sample = dynamic_cast<SampleSink*>(sink.get());
+  ASSERT_NE(sample, nullptr);
+  RunOptions opt;
+  opt.sinks = {sink.get()};
+  (void)run_simulation(*platform, app, g, opt);
+  EXPECT_EQ(sample->seen(), 25u);
+  EXPECT_EQ(sample->forwarded(), 3u);
+  auto& inner = dynamic_cast<TraceSink&>(sample->inner());
+  ASSERT_EQ(inner.records().size(), 3u);
+  EXPECT_EQ(inner.records()[0].epoch, 0u);
+  EXPECT_EQ(inner.records()[1].epoch, 10u);
+  EXPECT_EQ(inner.records()[2].epoch, 20u);
+}
+
+TEST(Telemetry, SampleSinkRestartsAcrossRuns) {
+  auto platform = hw::Platform::odroid_xu3_a15();
+  const wl::Application app = make_app(12);
+  gov::PerformanceGovernor g;
+  SampleSink sample(5, make_sink("trace"));
+  RunOptions opt;
+  opt.sinks = {&sample};
+  (void)run_simulation(*platform, app, g, opt);
+  (void)run_simulation(*platform, app, g, opt);
+  // Decimation restarts at epoch 0 of the second run: 0, 5, 10 again.
+  EXPECT_EQ(sample.seen(), 12u);
+  EXPECT_EQ(sample.forwarded(), 3u);
+  const auto& inner = dynamic_cast<TraceSink&>(sample.inner());
+  ASSERT_EQ(inner.records().size(), 3u);  // TraceSink cleared at run begin
+  EXPECT_EQ(inner.records()[1].epoch, 5u);
+}
+
+TEST(Telemetry, SampleSinkBoundsCsvRowsOnLongRuns) {
+  // The ROADMAP use case: an unbounded-length run with a decimated CSV
+  // writes one row per `every` epochs instead of one per epoch.
+  auto platform = hw::Platform::odroid_xu3_a15();
+  const wl::Application app = make_app(2000);
+  gov::PerformanceGovernor g;
+  const std::string path = testing::TempDir() + "sampled.csv";
+  auto sink = make_sink("sample(every=100,inner=csv(path=" + path + "))");
+  RunOptions opt;
+  opt.sinks = {sink.get()};
+  (void)run_simulation(*platform, app, g, opt);
+  sink.reset();  // flush
+  std::ifstream in(path);
+  std::string line;
+  std::size_t lines = 0;
+  while (std::getline(in, line)) ++lines;
+  EXPECT_EQ(lines, 21u);  // header + 2000/100 rows
+}
+
+TEST(Telemetry, SampleSinkSpecValidation) {
+  EXPECT_NE(dynamic_cast<SampleSink*>(
+                make_sink("sample(every=3,inner=tail(n=4))").get()),
+            nullptr);
+  EXPECT_THROW((void)make_sink("sample(every=0,inner=trace)"),
+               std::invalid_argument);
+  EXPECT_THROW((void)make_sink("sample(every=-2,inner=trace)"),
+               std::invalid_argument);
+  EXPECT_THROW((void)make_sink("sample(inner=trace)"), std::invalid_argument);
+  EXPECT_THROW((void)make_sink("sample(every=10)"), std::invalid_argument);
+  // A typo'd *inner* spec surfaces the registry's did-you-mean diagnostics.
+  EXPECT_THROW((void)make_sink("sample(every=10,inner=tracee)"),
+               common::UnknownNameError);
+}
+
 TEST(Telemetry, AggregateOnlyRunHasNoPerEpochState) {
   // The headline property: run length shows up nowhere in the result's
   // footprint — RunResult is the same fixed-size aggregate struct whether

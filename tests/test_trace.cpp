@@ -40,6 +40,10 @@ TEST(WorkloadTrace, ScaledToMean) {
   const WorkloadTrace t = make_simple();
   const WorkloadTrace s = t.scaled_to_mean(1000.0);
   EXPECT_NEAR(s.mean_cycles(), 1000.0, 1.0);
+  // Round-to-nearest: no systematic downward drift, so the achieved mean
+  // stays within half a cycle of the target (truncation would sit ~0.5 low).
+  const WorkloadTrace fine = t.scaled_to_mean(1234.567);
+  EXPECT_NEAR(fine.mean_cycles(), 1234.567, 0.5);
   // Relative shape preserved.
   EXPECT_NEAR(static_cast<double>(s.at(2).cycles) /
                   static_cast<double>(s.at(0).cycles),
@@ -74,6 +78,32 @@ TEST(WorkloadTrace, CsvRoundTrip) {
 
 TEST(WorkloadTrace, FromCsvRejectsMissingColumn) {
   EXPECT_THROW(WorkloadTrace::from_csv("x", "a,b\n1,2\n"), std::runtime_error);
+}
+
+TEST(WorkloadTrace, FromCsvToleratesWhitespacePadding) {
+  // strtoull always skipped leading whitespace, so padded-but-valid archives
+  // (hand-edited, external exports) must keep loading under strict parsing.
+  const WorkloadTrace t =
+      WorkloadTrace::from_csv("x", "frame,cycles,kind\n0, 1234 ,I\n");
+  ASSERT_EQ(t.size(), 1u);
+  EXPECT_EQ(t.at(0).cycles, 1234u);
+}
+
+TEST(WorkloadTrace, FromCsvRejectsMalformedCyclesCell) {
+  // A non-numeric cycles cell must throw (as documented), not silently
+  // parse to 0 the way unchecked strtoull would.
+  EXPECT_THROW(WorkloadTrace::from_csv("x", "frame,cycles,kind\n0,abc,-\n"),
+               std::runtime_error);
+  EXPECT_THROW(WorkloadTrace::from_csv("x", "frame,cycles,kind\n0,12x,-\n"),
+               std::runtime_error);
+  EXPECT_THROW(WorkloadTrace::from_csv("x", "frame,cycles,kind\n0,,-\n"),
+               std::runtime_error);
+  EXPECT_THROW(WorkloadTrace::from_csv("x", "frame,cycles,kind\n0,-5,-\n"),
+               std::runtime_error);
+  EXPECT_THROW(
+      WorkloadTrace::from_csv(
+          "x", "frame,cycles,kind\n0,99999999999999999999999999,-\n"),
+      std::runtime_error);
 }
 
 TEST(FrameKindTag, AllTags) {
