@@ -14,11 +14,18 @@
 /// set — fails loudly if the bound is exceeded, which is how CI pins the
 /// no-O(frames) property end to end.
 ///
+/// With bintrace=<path> the run additionally streams every epoch into a
+/// compact `.bt` binary trace (constant memory: records go straight to the
+/// file), then round-trips it through BinTraceReader — the record count and
+/// bit-identical aggregate sums must match the live run — and reports the
+/// on-disk bytes/epoch next to what the equivalent CSV text would cost.
+///
 /// Usage: longrun_smoke [frames=200000] [fps=25] [workload=h264]
 ///                      [governor=ondemand] [stream=0] [tail=0]
 ///                      [sample-every=0] [sample-path=longrun_sample.csv]
-///                      [max-rss-mb=0]
+///                      [bintrace=] [max-rss-mb=0]
 #include <iostream>
+#include <streambuf>
 #include <string>
 
 #include <sys/resource.h>
@@ -26,6 +33,7 @@
 #include "common/config.hpp"
 #include "common/strings.hpp"
 #include "hw/platform.hpp"
+#include "sim/bintrace.hpp"
 #include "sim/experiment.hpp"
 #include "sim/telemetry.hpp"
 
@@ -43,6 +51,26 @@ double peak_rss_mb() {
   return static_cast<double>(usage.ru_maxrss) / 1024.0;
 #endif
 }
+
+/// Discards everything written to it, keeping only the byte count — sizes
+/// the CSV text a trace would cost without materialising any of it.
+class CountingStreamBuf final : public std::streambuf {
+ public:
+  [[nodiscard]] std::size_t bytes() const noexcept { return bytes_; }
+
+ protected:
+  int overflow(int ch) override {
+    if (ch != traits_type::eof()) ++bytes_;
+    return ch;
+  }
+  std::streamsize xsputn(const char*, std::streamsize n) override {
+    bytes_ += static_cast<std::size_t>(n);
+    return n;
+  }
+
+ private:
+  std::size_t bytes_ = 0;
+};
 
 }  // namespace
 
@@ -78,6 +106,12 @@ int main(int argc, char** argv) {
     tail_sink = sim::make_sink("tail(n=" + std::to_string(tail) + ")");
     options.sinks.push_back(tail_sink.get());
   }
+  const std::string bintrace_path = cfg.get_string("bintrace", "");
+  std::unique_ptr<sim::TelemetrySink> bintrace_sink;
+  if (!bintrace_path.empty()) {
+    bintrace_sink = sim::make_sink("bintrace(path=" + bintrace_path + ")");
+    options.sinks.push_back(bintrace_sink.get());
+  }
   std::unique_ptr<sim::TelemetrySink> sample_sink;
   if (sample_every > 0) {
     const std::string path =
@@ -105,6 +139,42 @@ int main(int argc, char** argv) {
             << "  mean power:    " << common::format_double(run.mean_power(), 2)
             << " W\n"
             << "  peak RSS:      " << common::format_double(rss, 1) << " MB\n";
+
+  if (!bintrace_path.empty()) {
+    // Round-trip the on-disk trace: the reader must see exactly the epochs
+    // the live run executed, and re-accumulating the stored records (same
+    // values, same order, same fold) must reproduce the run's aggregate sums
+    // bit for bit — any drift means the format lost information.
+    sim::BinTraceReader reader(bintrace_path);
+    sim::RunResult replayed;
+    while (const auto record = reader.next()) replayed.accumulate(*record);
+    if (reader.record_count() != run.epoch_count ||
+        replayed.total_energy != run.total_energy ||
+        replayed.performance_sum != run.performance_sum ||
+        replayed.power_sum != run.power_sum ||
+        replayed.deadline_misses != run.deadline_misses) {
+      std::cerr << "FAIL: bintrace round-trip mismatch — "
+                << reader.record_count() << " records vs "
+                << run.epoch_count << " epochs, replayed energy "
+                << replayed.total_energy << " J vs " << run.total_energy
+                << " J\n";
+      return 1;
+    }
+    // Size the equivalent CSV text without writing it: the exact rows the
+    // csv(path=) sink would emit, streamed into a counting buffer.
+    CountingStreamBuf counter;
+    std::ostream counting(&counter);
+    reader.to_csv(counting);
+    const auto epochs = static_cast<double>(run.epoch_count);
+    std::cout << "  bintrace:      " << bintrace_path << " ("
+              << reader.file_size() << " B, "
+              << common::format_double(
+                     static_cast<double>(reader.file_size()) / epochs, 1)
+              << " B/epoch all 13 fields exact, vs "
+              << common::format_double(
+                     static_cast<double>(counter.bytes()) / epochs, 1)
+              << " B/epoch as 6-column CSV text) — round-trip OK\n";
+  }
 
   if (max_rss_mb > 0.0 && rss <= 0.0) {
     std::cerr << "FAIL: peak RSS could not be measured, so the "

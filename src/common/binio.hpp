@@ -1,0 +1,56 @@
+/// \file binio.hpp
+/// \brief Little-endian binary encode/decode helpers for on-disk formats.
+///
+/// On-disk formats (the `.bt` binary epoch trace, sim/bintrace.hpp) store
+/// fixed-width little-endian fields regardless of host endianness. These
+/// helpers serialise through byte shifts and std::bit_cast — no type punning
+/// through unions or reinterpret_cast, no unaligned loads — so they are
+/// UB-free under the ASan/UBSan CI gate and portable to big-endian hosts.
+/// Doubles travel as their IEEE-754 bit pattern, so every value (including
+/// -0.0, denormals and NaN payloads) round-trips bit-exact.
+#pragma once
+
+#include <bit>
+#include <cstdint>
+
+namespace prime::common {
+
+/// \brief Store \p v little-endian into p[0..3].
+inline void store_u32(unsigned char* p, std::uint32_t v) noexcept {
+  p[0] = static_cast<unsigned char>(v);
+  p[1] = static_cast<unsigned char>(v >> 8);
+  p[2] = static_cast<unsigned char>(v >> 16);
+  p[3] = static_cast<unsigned char>(v >> 24);
+}
+
+/// \brief Load a little-endian u32 from p[0..3].
+[[nodiscard]] inline std::uint32_t load_u32(const unsigned char* p) noexcept {
+  return static_cast<std::uint32_t>(p[0]) |
+         (static_cast<std::uint32_t>(p[1]) << 8) |
+         (static_cast<std::uint32_t>(p[2]) << 16) |
+         (static_cast<std::uint32_t>(p[3]) << 24);
+}
+
+/// \brief Store \p v little-endian into p[0..7].
+inline void store_u64(unsigned char* p, std::uint64_t v) noexcept {
+  store_u32(p, static_cast<std::uint32_t>(v));
+  store_u32(p + 4, static_cast<std::uint32_t>(v >> 32));
+}
+
+/// \brief Load a little-endian u64 from p[0..7].
+[[nodiscard]] inline std::uint64_t load_u64(const unsigned char* p) noexcept {
+  return static_cast<std::uint64_t>(load_u32(p)) |
+         (static_cast<std::uint64_t>(load_u32(p + 4)) << 32);
+}
+
+/// \brief Store \p v as its IEEE-754 bit pattern, little-endian, into p[0..7].
+inline void store_f64(unsigned char* p, double v) noexcept {
+  store_u64(p, std::bit_cast<std::uint64_t>(v));
+}
+
+/// \brief Load a little-endian IEEE-754 double from p[0..7].
+[[nodiscard]] inline double load_f64(const unsigned char* p) noexcept {
+  return std::bit_cast<double>(load_u64(p));
+}
+
+}  // namespace prime::common

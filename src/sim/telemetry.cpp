@@ -60,6 +60,20 @@ void TailSink::on_epoch(const EpochRecord& record, gov::Governor&) {
   buffer_.push(record);
 }
 
+// --- The shared series-CSV row encoding --------------------------------------
+
+void write_series_header(common::CsvWriter& writer) {
+  writer.header({"frame", "demand", "freq_mhz", "slack", "power_w",
+                 "energy_mj"});
+}
+
+void write_series_row(common::CsvWriter& writer, const EpochRecord& record) {
+  writer.row({static_cast<double>(record.epoch),
+              static_cast<double>(record.demand),
+              common::to_mhz(record.frequency), record.slack,
+              record.sensor_power, common::to_mj(record.energy)});
+}
+
 // --- CsvSink -----------------------------------------------------------------
 
 CsvSink::CsvSink(std::ostream& out)
@@ -81,16 +95,12 @@ void CsvSink::on_run_begin(const RunContext&) {
     owned_ = std::move(file);
   }
   if (header_written_) return;
-  writer_->header({"frame", "demand", "freq_mhz", "slack", "power_w",
-                   "energy_mj"});
+  write_series_header(*writer_);
   header_written_ = true;
 }
 
 void CsvSink::on_epoch(const EpochRecord& record, gov::Governor&) {
-  writer_->row({static_cast<double>(record.epoch),
-                static_cast<double>(record.demand),
-                common::to_mhz(record.frequency), record.slack,
-                record.sensor_power, common::to_mj(record.energy)});
+  write_series_row(*writer_, record);
 }
 
 std::size_t CsvSink::rows_written() const noexcept {

@@ -176,6 +176,16 @@ class CsvSink : public TelemetrySink {
   bool header_written_ = false;
 };
 
+/// \brief Write the per-frame series CSV header ("frame,demand,freq_mhz,
+///        slack,power_w,energy_mj") — the one header CsvSink emits.
+void write_series_header(common::CsvWriter& writer);
+
+/// \brief Write one EpochRecord as a per-frame series CSV row. The single
+///        row encoder shared by CsvSink and the binary-trace CSV converter
+///        (sim/bintrace.hpp), so a converted `.bt` is byte-identical to the
+///        csv(path=) sink's output by construction.
+void write_series_row(common::CsvWriter& writer, const EpochRecord& record);
+
 /// \brief Learning-convergence tracking (Tables II/III): feeds the greedy
 ///        policy and exploration count of any gov::Learner governor to a
 ///        PolicyConvergence detector each epoch. Epochs under non-learning

@@ -1,0 +1,507 @@
+/// \file test_bintrace.cpp
+/// \brief Tests for the `.bt` binary epoch-trace format: binio round-trips,
+///        writer/reader round-trips, the CSV differential oracle, corrupt
+///        and truncated input rejection, determinism, and the sample-sink
+///        composition.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <bit>
+#include <cstdint>
+#include <fstream>
+#include <limits>
+#include <sstream>
+#include <string>
+#include <utility>
+
+#include "common/binio.hpp"
+#include "common/csv.hpp"
+#include "gov/simple.hpp"
+#include "hw/platform.hpp"
+#include "sim/bintrace.hpp"
+#include "sim/experiment.hpp"
+#include "sim/telemetry.hpp"
+#include "wl/fft.hpp"
+
+namespace prime::sim {
+namespace {
+
+wl::Application make_app(std::size_t frames, double fps = 30.0) {
+  wl::WorkloadTrace trace =
+      wl::FftTraceGenerator::paper_fft().generate(frames, 1);
+  trace = trace.scaled_to_mean(0.45 * 4.0 * 2.0e9 / fps);
+  return wl::Application("fft", std::move(trace), fps);
+}
+
+std::string temp_path(const std::string& name) {
+  return testing::TempDir() + name;
+}
+
+std::string read_bytes(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << path;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+void write_bytes(const std::string& path, const std::string& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+}
+
+/// Run `frames` epochs with the given sinks attached.
+RunResult run_with_sinks(std::size_t frames,
+                         std::vector<TelemetrySink*> sinks) {
+  auto platform = hw::Platform::odroid_xu3_a15();
+  const wl::Application app = make_app(frames);
+  gov::PerformanceGovernor g;
+  RunOptions opt;
+  opt.sinks = std::move(sinks);
+  return run_simulation(*platform, app, g, opt);
+}
+
+/// Write a small synthetic sealed trace directly through the writer.
+void write_synthetic(const std::string& path, std::size_t records,
+                     bool sealed = true) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  BinTraceWriter writer(out);
+  writer.begin("test-governor", "test-app");
+  for (std::size_t i = 0; i < records; ++i) {
+    EpochRecord r;
+    r.epoch = i;
+    r.period = 0.04;
+    r.energy = 0.001 * static_cast<double>(i);
+    writer.append(r);
+  }
+  if (sealed) writer.seal();
+}
+
+void expect_all_fields_equal(const EpochRecord& a, const EpochRecord& b) {
+  EXPECT_EQ(a.epoch, b.epoch);
+  EXPECT_EQ(a.opp_index, b.opp_index);
+  EXPECT_EQ(a.demand, b.demand);
+  EXPECT_EQ(a.executed, b.executed);
+  EXPECT_EQ(a.deadline_met, b.deadline_met);
+  // Bit-exact, not approximately-equal: the format stores IEEE-754 patterns.
+  EXPECT_EQ(std::bit_cast<std::uint64_t>(a.period),
+            std::bit_cast<std::uint64_t>(b.period));
+  EXPECT_EQ(std::bit_cast<std::uint64_t>(a.frequency),
+            std::bit_cast<std::uint64_t>(b.frequency));
+  EXPECT_EQ(std::bit_cast<std::uint64_t>(a.frame_time),
+            std::bit_cast<std::uint64_t>(b.frame_time));
+  EXPECT_EQ(std::bit_cast<std::uint64_t>(a.window),
+            std::bit_cast<std::uint64_t>(b.window));
+  EXPECT_EQ(std::bit_cast<std::uint64_t>(a.energy),
+            std::bit_cast<std::uint64_t>(b.energy));
+  EXPECT_EQ(std::bit_cast<std::uint64_t>(a.sensor_power),
+            std::bit_cast<std::uint64_t>(b.sensor_power));
+  EXPECT_EQ(std::bit_cast<std::uint64_t>(a.temperature),
+            std::bit_cast<std::uint64_t>(b.temperature));
+  EXPECT_EQ(std::bit_cast<std::uint64_t>(a.slack),
+            std::bit_cast<std::uint64_t>(b.slack));
+}
+
+// --- binio helpers -----------------------------------------------------------
+
+TEST(BinIo, IntegersRoundTripLittleEndian) {
+  unsigned char buf[8] = {};
+  common::store_u32(buf, 0x01020304u);
+  // Little-endian on disk regardless of host order.
+  EXPECT_EQ(buf[0], 0x04);
+  EXPECT_EQ(buf[3], 0x01);
+  EXPECT_EQ(common::load_u32(buf), 0x01020304u);
+
+  for (const std::uint64_t v :
+       {std::uint64_t{0}, std::uint64_t{1}, std::uint64_t{0xDEADBEEFCAFEF00D},
+        std::numeric_limits<std::uint64_t>::max()}) {
+    common::store_u64(buf, v);
+    EXPECT_EQ(common::load_u64(buf), v);
+  }
+}
+
+TEST(BinIo, DoublesRoundTripBitExact) {
+  unsigned char buf[8] = {};
+  for (const double v :
+       {0.0, -0.0, 1.0, -1.7e308, 5e-324 /* denormal */,
+        std::numeric_limits<double>::infinity(),
+        std::numeric_limits<double>::quiet_NaN()}) {
+    common::store_f64(buf, v);
+    const double back = common::load_f64(buf);
+    EXPECT_EQ(std::bit_cast<std::uint64_t>(back),
+              std::bit_cast<std::uint64_t>(v));
+  }
+}
+
+TEST(BinIo, RecordEncodeDecodeRoundTripsEveryField) {
+  EpochRecord r;
+  r.epoch = 123456789;
+  r.period = 1.0 / 30.0;
+  r.opp_index = 17;
+  r.frequency = 1.4e9;
+  r.demand = 0x1234567890ABCDEFull;
+  r.executed = 0xFEDCBA0987654321ull;
+  r.frame_time = 0.0312345678901234;
+  r.window = 1.0 / 30.0;
+  r.energy = 0.123456789;
+  r.sensor_power = 3.14159265358979;
+  r.temperature = 61.25;
+  r.slack = -0.0625;
+  r.deadline_met = false;
+
+  unsigned char buf[kBinTraceRecordSize] = {};
+  encode_record(r, buf);
+  expect_all_fields_equal(decode_record(buf), r);
+}
+
+// --- Round-trip through a real run -------------------------------------------
+
+TEST(BinTrace, RoundTripsARunFieldForField) {
+  const std::string path = temp_path("roundtrip.bt");
+  TraceSink trace;
+  BinTraceSink bt(path);
+  const RunResult run = run_with_sinks(300, {&trace, &bt});
+
+  BinTraceReader reader(path);
+  EXPECT_EQ(reader.version(), kBinTraceVersion);
+  EXPECT_EQ(reader.governor(), run.governor);
+  EXPECT_EQ(reader.application(), run.application);
+  ASSERT_EQ(reader.record_count(), 300u);
+  EXPECT_EQ(reader.file_size(),
+            kBinTraceHeaderSize + 300 * kBinTraceRecordSize);
+
+  // Streaming iteration delivers every record, in order, bit-exact.
+  std::size_t i = 0;
+  while (const auto record = reader.next()) {
+    ASSERT_LT(i, trace.records().size());
+    expect_all_fields_equal(*record, trace.records()[i]);
+    ++i;
+  }
+  EXPECT_EQ(i, 300u);
+  EXPECT_FALSE(reader.next().has_value());  // stays at end
+
+  // O(1) random access agrees with the stream, in any order.
+  reader.rewind();
+  for (const std::size_t idx : {299u, 0u, 150u, 7u}) {
+    expect_all_fields_equal(reader.at(idx), trace.records()[idx]);
+  }
+  EXPECT_THROW((void)reader.at(300), std::out_of_range);
+
+  // Random access does not disturb the streaming cursor.
+  const auto first = reader.next();
+  ASSERT_TRUE(first.has_value());
+  EXPECT_EQ(first->epoch, 0u);
+}
+
+TEST(BinTrace, ReplayedAggregatesMatchTheRunBitForBit) {
+  // Accumulating the stored records in order is the same fold over the same
+  // doubles the engine performed — any difference means lost information.
+  const std::string path = temp_path("aggregates.bt");
+  BinTraceSink bt(path);
+  const RunResult run = run_with_sinks(500, {&bt});
+
+  BinTraceReader reader(path);
+  RunResult replayed;
+  while (const auto record = reader.next()) replayed.accumulate(*record);
+  EXPECT_EQ(replayed.epoch_count, run.epoch_count);
+  EXPECT_EQ(replayed.deadline_misses, run.deadline_misses);
+  EXPECT_DOUBLE_EQ(replayed.total_energy, run.total_energy);
+  EXPECT_DOUBLE_EQ(replayed.total_time, run.total_time);
+  EXPECT_DOUBLE_EQ(replayed.performance_sum, run.performance_sum);
+  EXPECT_DOUBLE_EQ(replayed.power_sum, run.power_sum);
+}
+
+// --- The differential oracle: .bt -> CSV == csv(path=) -----------------------
+
+TEST(BinTrace, ConvertedCsvIsByteIdenticalToTheCsvSink) {
+  // The format's correctness oracle: the same run observed by both sinks,
+  // with the binary trace converted to CSV afterwards, must produce the
+  // exact bytes the csv(path=) sink streamed live.
+  const std::string bt_path = temp_path("differential.bt");
+  const std::string csv_path = temp_path("differential.csv");
+  {
+    auto csv = make_sink("csv(path=" + csv_path + ")");
+    auto bt = make_sink("bintrace(path=" + bt_path + ")");
+    (void)run_with_sinks(400, {csv.get(), bt.get()});
+  }  // sinks destroyed: CSV flushed
+
+  BinTraceReader reader(bt_path);
+  std::ostringstream converted;
+  reader.to_csv(converted);
+  EXPECT_EQ(converted.str(), read_bytes(csv_path));
+
+  // And the conversion still parses as the documented six-column table.
+  const common::CsvTable table = common::parse_csv(converted.str());
+  EXPECT_EQ(table.header,
+            (std::vector<std::string>{"frame", "demand", "freq_mhz", "slack",
+                                      "power_w", "energy_mj"}));
+  ASSERT_EQ(table.rows.size(), 400u);
+  EXPECT_DOUBLE_EQ(table.column_as_double("frame")[399], 399.0);
+}
+
+// --- Determinism -------------------------------------------------------------
+
+TEST(BinTrace, IdenticalSeededRunsProduceBitIdenticalFiles) {
+  const std::string a = temp_path("det_a.bt");
+  const std::string b = temp_path("det_b.bt");
+  for (const std::string& path : {a, b}) {
+    auto platform = hw::Platform::odroid_xu3_a15();
+    ExperimentSpec spec;
+    spec.workload = "mpeg4";
+    spec.fps = 30.0;
+    spec.frames = 400;
+    spec.seed = 7;
+    const wl::Application app = make_application(spec, *platform);
+    const auto governor = make_governor("rtm-manycore", 0x5EED);
+    BinTraceSink bt(path);
+    RunOptions opt;
+    opt.sinks = {&bt};
+    (void)run_simulation(*platform, app, *governor, opt);
+  }
+  const std::string bytes_a = read_bytes(a);
+  EXPECT_EQ(bytes_a.size(), kBinTraceHeaderSize + 400 * kBinTraceRecordSize);
+  EXPECT_EQ(bytes_a, read_bytes(b));
+}
+
+// --- Composition with the sample sink ----------------------------------------
+
+TEST(BinTrace, SampleCompositionWritesCeilFramesOverEvery) {
+  // sample(every=n) forwards epoch 0 and every n-th after it, so a run of f
+  // frames writes ceil(f/n) records.
+  constexpr std::pair<std::size_t, std::size_t> kCases[] = {
+      {25, 10}, {30, 10}, {31, 10}};
+  for (const auto& [frames, every] : kCases) {
+    const std::string path = temp_path("sampled.bt");
+    auto sink = make_sink("sample(every=" + std::to_string(every) +
+                          ",inner=bintrace(path=" + path + "))");
+    (void)run_with_sinks(frames, {sink.get()});
+
+    BinTraceReader reader(path);
+    const std::size_t expected = (frames + every - 1) / every;
+    ASSERT_EQ(reader.record_count(), expected)
+        << frames << " frames, every=" << every;
+    for (std::size_t i = 0; i < expected; ++i) {
+      EXPECT_EQ(reader.at(i).epoch, i * every);
+    }
+  }
+}
+
+// --- Sink behaviour ----------------------------------------------------------
+
+TEST(BinTrace, SinkRewritesPerRunKeepingOnlyTheLatest) {
+  // Unlike the appending CSV sink, a .bt holds one homogeneous record block:
+  // a second run on the same sink truncates and rewrites.
+  const std::string path = temp_path("rewrite.bt");
+  BinTraceSink bt(path);
+  (void)run_with_sinks(40, {&bt});
+  (void)run_with_sinks(25, {&bt});
+  BinTraceReader reader(path);
+  EXPECT_EQ(reader.record_count(), 25u);
+  EXPECT_EQ(reader.file_size(), kBinTraceHeaderSize + 25 * kBinTraceRecordSize);
+}
+
+TEST(BinTrace, ConstructedButNeverRunSinkTouchesNothing) {
+  // Same lazy-open contract as CsvSink: spec validation or trial
+  // construction must not clobber existing data.
+  const std::string path = temp_path("precious.bt");
+  write_bytes(path, "do-not-truncate");
+  (void)make_sink("bintrace(path=" + path + ")");  // constructed, never run
+  BinTraceSink direct(path);                       // ditto for the ctor
+  EXPECT_EQ(direct.records_written(), 0u);
+  EXPECT_EQ(read_bytes(path), "do-not-truncate");
+}
+
+TEST(BinTrace, RegistrySpecDiagnostics) {
+  const auto names = sink_names();
+  EXPECT_NE(std::find(names.begin(), names.end(), "bintrace"), names.end());
+  EXPECT_NE(dynamic_cast<BinTraceSink*>(
+                make_sink("bintrace(path=/tmp/x.bt)").get()),
+            nullptr);
+  // A path is mandatory — binary records on stdout help nobody.
+  EXPECT_THROW((void)make_sink("bintrace"), std::invalid_argument);
+  // Typo'd keys get the registry's did-you-mean diagnostics.
+  EXPECT_THROW((void)make_sink("bintrace(pth=/tmp/x.bt)"),
+               common::UnknownKeyError);
+}
+
+// --- Writer misuse -----------------------------------------------------------
+
+TEST(BinTraceWriter, RejectsOutOfOrderCalls) {
+  std::ostringstream out;
+  BinTraceWriter writer(out);
+  EpochRecord r;
+  EXPECT_THROW(writer.append(r), std::logic_error);  // before begin
+  EXPECT_THROW(writer.seal(), std::logic_error);     // before begin
+  writer.begin("g", "a");
+  EXPECT_THROW(writer.begin("g", "a"), std::logic_error);  // twice
+  writer.append(r);
+  writer.seal();
+  EXPECT_THROW(writer.append(r), std::logic_error);  // after seal
+  EXPECT_THROW(writer.seal(), std::logic_error);     // twice
+  EXPECT_TRUE(writer.sealed());
+  EXPECT_EQ(writer.records_written(), 1u);
+}
+
+TEST(BinTraceWriter, SealThrowsWhenAWriteFailed) {
+  // badbit is sticky: a disk-full failure anywhere in the run must surface
+  // at seal(), never let the producer report success over a broken trace.
+  std::ostringstream out;
+  BinTraceWriter writer(out);
+  writer.begin("g", "a");
+  out.setstate(std::ios::badbit);  // simulate the disk filling mid-run
+  writer.append(EpochRecord{});    // silently no-ops on the bad stream
+  EXPECT_THROW(writer.seal(), std::runtime_error);
+  EXPECT_FALSE(writer.sealed());
+}
+
+TEST(BinTraceWriter, TruncatesOverlongNamesAtTheFieldWidth) {
+  std::stringstream out(std::ios::in | std::ios::out | std::ios::binary);
+  BinTraceWriter writer(out);
+  const std::string long_name(kBinTraceNameSize + 30, 'g');
+  writer.begin(long_name, "app");
+  writer.seal();
+
+  const std::string path = temp_path("longname.bt");
+  write_bytes(path, out.str());
+  BinTraceReader reader(path);
+  EXPECT_EQ(reader.governor(), std::string(kBinTraceNameSize, 'g'));
+  EXPECT_EQ(reader.application(), "app");
+}
+
+// --- Corrupt-input hardening -------------------------------------------------
+//
+// Every malformed file must fail with a clear, specific error — never
+// silently yield garbage records (the binary mirror of the from_csv
+// malformed-cell hardening).
+
+class BinTraceCorruptionTest : public testing::Test {
+ protected:
+  void SetUp() override {
+    path_ = temp_path("corrupt.bt");
+    write_synthetic(path_, 5);
+    bytes_ = read_bytes(path_);
+    ASSERT_EQ(bytes_.size(), kBinTraceHeaderSize + 5 * kBinTraceRecordSize);
+  }
+
+  /// Re-write the file with \p bytes and return the reader's error message.
+  std::string open_error(const std::string& bytes) {
+    write_bytes(path_, bytes);
+    try {
+      BinTraceReader reader(path_);
+    } catch (const BinTraceError& e) {
+      return e.what();
+    }
+    ADD_FAILURE() << "expected BinTraceError";
+    return {};
+  }
+
+  std::string path_;
+  std::string bytes_;
+};
+
+TEST_F(BinTraceCorruptionTest, ValidFileReadsBack) {
+  BinTraceReader reader(path_);
+  EXPECT_EQ(reader.record_count(), 5u);
+  EXPECT_EQ(reader.governor(), "test-governor");
+  EXPECT_EQ(reader.application(), "test-app");
+  EXPECT_DOUBLE_EQ(reader.at(3).energy, 0.003);
+}
+
+TEST_F(BinTraceCorruptionTest, BadMagicRejected) {
+  std::string bad = bytes_;
+  bad[0] = 'X';
+  EXPECT_NE(open_error(bad).find("bad magic"), std::string::npos);
+}
+
+TEST_F(BinTraceCorruptionTest, UnsupportedVersionRejected) {
+  std::string bad = bytes_;
+  bad[8] = 99;  // version u32 at offset 8, little-endian low byte
+  const std::string what = open_error(bad);
+  EXPECT_NE(what.find("unsupported version 99"), std::string::npos) << what;
+}
+
+TEST_F(BinTraceCorruptionTest, RecordSizeMismatchRejected) {
+  std::string bad = bytes_;
+  bad[16] = 80;  // record size u32 at offset 16
+  const std::string what = open_error(bad);
+  EXPECT_NE(what.find("record size mismatch"), std::string::npos) << what;
+  EXPECT_NE(what.find("80"), std::string::npos) << what;
+}
+
+TEST_F(BinTraceCorruptionTest, HeaderSizeMismatchRejected) {
+  std::string bad = bytes_;
+  bad[12] = 64;  // header size u32 at offset 12
+  EXPECT_NE(open_error(bad).find("header size mismatch"), std::string::npos);
+}
+
+TEST_F(BinTraceCorruptionTest, OverflowingRecordCountRejected) {
+  // 96 * 2^59 ≡ 0 (mod 2^64), so a corrupt count of 5 + 2^59 makes
+  // header + count*record wrap back onto the real 5-record file size; the
+  // validation must bound the count before multiplying, not after.
+  std::string bad = bytes_;
+  const std::uint64_t wrapping = 5 + (std::uint64_t{1} << 59);
+  unsigned char field[8];
+  common::store_u64(field, wrapping);
+  for (std::size_t i = 0; i < 8; ++i) {
+    bad[24 + i] = static_cast<char>(field[i]);
+  }
+  const std::string what = open_error(bad);
+  EXPECT_NE(what.find("truncated"), std::string::npos) << what;
+}
+
+TEST_F(BinTraceCorruptionTest, TruncatedFinalRecordRejected) {
+  // Chop half of the last record: the reader must refuse up front, not
+  // return four good records and one of garbage.
+  const std::string truncated =
+      bytes_.substr(0, bytes_.size() - kBinTraceRecordSize / 2);
+  const std::string what = open_error(truncated);
+  EXPECT_NE(what.find("truncated"), std::string::npos) << what;
+  EXPECT_NE(what.find("5 records"), std::string::npos) << what;
+}
+
+TEST_F(BinTraceCorruptionTest, TruncatedHeaderRejected) {
+  EXPECT_NE(open_error(bytes_.substr(0, 20)).find("truncated header"),
+            std::string::npos);
+}
+
+TEST_F(BinTraceCorruptionTest, TrailingBytesRejected) {
+  EXPECT_NE(open_error(bytes_ + "xyz").find("trailing bytes"),
+            std::string::npos);
+}
+
+TEST_F(BinTraceCorruptionTest, UnsealedFileRejected) {
+  // A producer that died mid-run leaves the count sentinel in place; the
+  // reader names the condition instead of guessing a count from the size.
+  write_synthetic(path_, 5, /*sealed=*/false);
+  try {
+    BinTraceReader reader(path_);
+    FAIL() << "expected BinTraceError";
+  } catch (const BinTraceError& e) {
+    EXPECT_NE(std::string(e.what()).find("unsealed"), std::string::npos);
+  }
+}
+
+TEST_F(BinTraceCorruptionTest, SealedEmptyRunIsValid) {
+  // Zero records with a sealed count is a legitimate file — distinct from
+  // the unsealed sentinel.
+  write_synthetic(path_, 0, /*sealed=*/true);
+  BinTraceReader reader(path_);
+  EXPECT_EQ(reader.record_count(), 0u);
+  EXPECT_FALSE(reader.next().has_value());
+  EXPECT_THROW((void)reader.at(0), std::out_of_range);
+  std::ostringstream csv;
+  reader.to_csv(csv);
+  EXPECT_EQ(csv.str(), "frame,demand,freq_mhz,slack,power_w,energy_mj\n");
+}
+
+TEST_F(BinTraceCorruptionTest, MissingFileRejected) {
+  try {
+    BinTraceReader reader(temp_path("does-not-exist.bt"));
+    FAIL() << "expected BinTraceError";
+  } catch (const BinTraceError& e) {
+    EXPECT_NE(std::string(e.what()).find("cannot open"), std::string::npos);
+  }
+}
+
+}  // namespace
+}  // namespace prime::sim

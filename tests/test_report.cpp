@@ -5,6 +5,8 @@
 
 #include <sstream>
 
+#include "sim/builder.hpp"
+#include "sim/metrics.hpp"
 #include "sim/report.hpp"
 
 namespace prime::sim {
@@ -47,6 +49,86 @@ TEST(MakeComparisonTable, FormatsMetrics) {
   EXPECT_EQ(t.rows[0][2], "0.96");
   EXPECT_EQ(t.rows[0][3], "0.012");
   EXPECT_EQ(t.rows[0][4], "3.46");
+}
+
+TEST(PrintTable, EmptyTableRendersWithoutCrashing) {
+  TextTable t;  // no title, no headers, no rows
+  std::ostringstream out;
+  print_table(out, t);
+  EXPECT_FALSE(out.str().empty());  // the border rules still print
+  EXPECT_EQ(out.str().find("\n\n"), std::string::npos);  // no stray blank line
+}
+
+TEST(PrintTable, TitleOnlyWhenNonEmpty) {
+  TextTable t;
+  t.headers = {"a"};
+  std::ostringstream untitled;
+  print_table(untitled, t);
+  EXPECT_EQ(untitled.str().front(), '+');  // straight to the rule, no title
+
+  t.title = "T";
+  std::ostringstream titled;
+  print_table(titled, t);
+  EXPECT_EQ(titled.str().rfind("T\n+", 0), 0u);
+}
+
+TEST(PrintTable, RowsWiderThanHeadersDoNotOverflow) {
+  // Extra cells beyond the header count are dropped, not printed ragged.
+  TextTable t;
+  t.headers = {"a", "b"};
+  t.rows = {{"1", "2", "SURPLUS"}};
+  std::ostringstream out;
+  print_table(out, t);
+  EXPECT_EQ(out.str().find("SURPLUS"), std::string::npos);
+}
+
+TEST(MakeComparisonTable, EmptyRowListRendersHeaderOnly) {
+  const TextTable t = make_comparison_table("Empty", {});
+  EXPECT_TRUE(t.rows.empty());
+  ASSERT_EQ(t.headers.size(), 5u);
+  std::ostringstream out;
+  print_table(out, t);  // must not throw on a header-only table
+  EXPECT_NE(out.str().find("Methodology"), std::string::npos);
+}
+
+TEST(MakeComparisonTable, ZeroEpochResultsFormatAsFiniteZeros) {
+  // A zero-epoch run's aggregates are all guarded to 0 — the table must
+  // render "0.00"-style cells, never "nan"/"inf" from a 0/0.
+  const RunResult empty_run;
+  const NormalizedMetrics m = normalize_against(empty_run, empty_run);
+  const TextTable t = make_comparison_table("Z", {m});
+  ASSERT_EQ(t.rows.size(), 1u);
+  for (std::size_t c = 1; c < t.rows[0].size(); ++c) {
+    EXPECT_EQ(t.rows[0][c].find("nan"), std::string::npos) << t.rows[0][c];
+    EXPECT_EQ(t.rows[0][c].find("inf"), std::string::npos) << t.rows[0][c];
+  }
+}
+
+TEST(MakeSweepTable, EmptySweepRendersHeaderOnly) {
+  const SweepResult sweep;
+  const TextTable t = make_sweep_table("Empty sweep", sweep);
+  EXPECT_TRUE(t.rows.empty());
+  std::ostringstream out;
+  print_table(out, t);
+  EXPECT_NE(out.str().find("Governor"), std::string::npos);
+}
+
+TEST(MakeSweepTable, FpsCellsTrimTrailingZeros) {
+  // 23.98 keeps its fraction; 30.00 prints bare ("30"), so film and integer
+  // rates stay distinguishable without noisy padding.
+  SweepResult sweep;
+  sweep.results.emplace_back();
+  sweep.results.back().scenario.governor = "g";
+  sweep.results.back().scenario.workload = "w";
+  sweep.results.back().scenario.fps = 23.98;
+  sweep.results.emplace_back();
+  sweep.results.back().scenario.governor = "g";
+  sweep.results.back().scenario.workload = "w";
+  sweep.results.back().scenario.fps = 30.0;
+  const TextTable t = make_sweep_table("fps", sweep);
+  ASSERT_EQ(t.rows.size(), 2u);
+  EXPECT_EQ(t.rows[0][2], "23.98");
+  EXPECT_EQ(t.rows[1][2], "30");
 }
 
 }  // namespace

@@ -2,6 +2,9 @@
 /// \brief Unit tests for PARSEC/SPLASH-2 workload presets.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <set>
+
 #include "wl/suites.hpp"
 
 namespace prime::wl {
@@ -78,6 +81,55 @@ TEST(Suites, DeterministicAcrossCalls) {
   const auto b = make_parsec("ferret")->generate(100, 77);
   for (std::size_t i = 0; i < a.size(); ++i) {
     EXPECT_EQ(a.at(i).cycles, b.at(i).cycles);
+  }
+}
+
+TEST(Suites, ListingsAreStableAcrossCalls) {
+  // Sweep and bench output ordering leans on these listings being a fixed
+  // point: two calls must return the identical sequence, not merely the same
+  // set (a registry rebuilt per call could legally reorder).
+  EXPECT_EQ(parsec_names(), parsec_names());
+  EXPECT_EQ(splash2_names(), splash2_names());
+  EXPECT_EQ(all_workload_names(), all_workload_names());
+}
+
+TEST(Suites, ListingsAreDuplicateFree) {
+  for (const auto& names :
+       {parsec_names(), splash2_names(), all_workload_names()}) {
+    const std::set<std::string> unique(names.begin(), names.end());
+    EXPECT_EQ(unique.size(), names.size());
+  }
+}
+
+TEST(Suites, AllWorkloadNamesIsSortedAndCoversTheSuites) {
+  // all_workload_names() comes from the registry, which reports sorted — the
+  // stable order user-facing listings and did-you-mean errors print.
+  const auto names = all_workload_names();
+  EXPECT_TRUE(std::is_sorted(names.begin(), names.end()));
+  const std::set<std::string> all(names.begin(), names.end());
+  for (const auto& name : parsec_names()) {
+    EXPECT_TRUE(all.count(name)) << name;
+  }
+  for (const auto& name : splash2_names()) {
+    EXPECT_TRUE(all.count(name)) << name;
+  }
+}
+
+TEST(Suites, PresetLabelsAreNamespacedAndDistinct) {
+  // Generator display labels carry their suite prefix and never collide, so
+  // mixed-suite sweeps render unambiguous rows.
+  std::set<std::string> labels;
+  for (const auto& name : parsec_names()) {
+    const auto label = make_parsec(name)->name();
+    EXPECT_EQ(label.rfind("parsec-", 0), 0u) << label;
+    EXPECT_TRUE(labels.insert(label).second) << label;
+  }
+  for (const auto& name : splash2_names()) {
+    const auto label = make_splash2(name)->name();
+    if (name != "splash-fft") {  // splash-fft reuses the paper FFT generator
+      EXPECT_EQ(label.rfind("splash2-", 0), 0u) << label;
+    }
+    EXPECT_TRUE(labels.insert(label).second) << label;
   }
 }
 
