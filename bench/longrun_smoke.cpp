@@ -20,10 +20,27 @@
 /// bit-identical aggregate sums must match the live run — and reports the
 /// on-disk bytes/epoch next to what the equivalent CSV text would cost.
 ///
+/// Checkpoint/resume: checkpoint=<path> writes a resumable `.ckpt`
+/// (checkpoint-every=n for a mid-run cadence; 0 = at run end only), and
+/// resume=<path> continues a stopped run from its checkpoint. A resumed run
+/// writes only its tail into the bintrace; verify-tail=<ref.bt> then proves
+/// the resume was bit-identical by comparing every tail record byte-for-byte
+/// against the uninterrupted reference trace — how CI pins the
+/// kill-at-500k/resume-to-1M property end to end, still under the RSS bound.
+///
+/// The workload calibration window is the run length by default; a run that
+/// will be resumed *beyond* its own length must calibrate over the eventual
+/// full length (calib-frames=) so the stopped and uninterrupted runs stream
+/// the identical demand sequence — the application, like the governor, must
+/// be reconstructed identically for a resume to be bit-identical.
+///
 /// Usage: longrun_smoke [frames=200000] [fps=25] [workload=h264]
 ///                      [governor=ondemand] [stream=0] [tail=0]
 ///                      [sample-every=0] [sample-path=longrun_sample.csv]
 ///                      [bintrace=] [max-rss-mb=0]
+///                      [checkpoint=] [checkpoint-every=0]
+///                      [resume=] [verify-tail=] [calib-frames=0]
+#include <cstring>
 #include <iostream>
 #include <streambuf>
 #include <string>
@@ -90,7 +107,11 @@ int main(int argc, char** argv) {
   sim::ExperimentSpec spec;
   spec.workload = cfg.get_string("workload", "h264");
   spec.fps = cfg.get_double("fps", 25.0);
-  spec.frames = frames;
+  // Calibration window (see the header comment): defaults to the run length,
+  // overridden when this run is the stopped half of a longer resumable run.
+  const auto calib =
+      static_cast<std::size_t>(cfg.get_int("calib-frames", 0));
+  spec.frames = calib > 0 ? calib : frames;
   spec.stream = stream;
   const wl::Application app = sim::make_application(spec, *platform);
   const auto governor =
@@ -100,7 +121,13 @@ int main(int argc, char** argv) {
   // a fixed-capacity tail window and a decimated (bounded-row) CSV series.
   // No O(frames) state anywhere; with stream=1 not even the trace exists.
   sim::RunOptions options;
-  if (stream) options.max_frames = frames;  // sole length authority
+  // Sole length authority for streaming runs; clamps the (possibly longer,
+  // calib-frames-sized) materialised trace otherwise.
+  options.max_frames = frames;
+  options.checkpoint_path = cfg.get_string("checkpoint", "");
+  options.checkpoint_every =
+      static_cast<std::size_t>(cfg.get_int("checkpoint-every", 0));
+  options.resume_from = cfg.get_string("resume", "");
   std::unique_ptr<sim::TelemetrySink> tail_sink;
   if (tail > 0) {
     tail_sink = sim::make_sink("tail(n=" + std::to_string(tail) + ")");
@@ -142,20 +169,34 @@ int main(int argc, char** argv) {
 
   if (!bintrace_path.empty()) {
     // Round-trip the on-disk trace: the reader must see exactly the epochs
-    // the live run executed, and re-accumulating the stored records (same
-    // values, same order, same fold) must reproduce the run's aggregate sums
-    // bit for bit — any drift means the format lost information.
+    // *this session* executed (the tail, for resumed runs), and — for fresh
+    // runs, whose trace covers the whole history — re-accumulating the
+    // stored records (same values, same order, same fold) must reproduce the
+    // run's aggregate sums bit for bit; any drift means the format lost
+    // information.
     sim::BinTraceReader reader(bintrace_path);
     sim::RunResult replayed;
     while (const auto record = reader.next()) replayed.accumulate(*record);
-    if (reader.record_count() != run.epoch_count ||
-        replayed.total_energy != run.total_energy ||
-        replayed.performance_sum != run.performance_sum ||
-        replayed.power_sum != run.power_sum ||
-        replayed.deadline_misses != run.deadline_misses) {
+    // Records carry absolute epoch indices, so a resumed session's start
+    // offset is simply its first record's epoch — no second checkpoint
+    // parse. An empty trace from a resumed run means the checkpoint already
+    // sat at the run length (a zero-epoch extension): nothing to verify.
+    std::size_t resume_start = 0;
+    if (reader.record_count() > 0) {
+      resume_start = static_cast<std::size_t>(reader.at(0).epoch);
+    } else if (!options.resume_from.empty()) {
+      resume_start = run.epoch_count;
+    }
+    const std::size_t session_epochs = run.epoch_count - resume_start;
+    if (reader.record_count() != session_epochs ||
+        (resume_start == 0 &&
+         (replayed.total_energy != run.total_energy ||
+          replayed.performance_sum != run.performance_sum ||
+          replayed.power_sum != run.power_sum ||
+          replayed.deadline_misses != run.deadline_misses))) {
       std::cerr << "FAIL: bintrace round-trip mismatch — "
                 << reader.record_count() << " records vs "
-                << run.epoch_count << " epochs, replayed energy "
+                << session_epochs << " session epochs, replayed energy "
                 << replayed.total_energy << " J vs " << run.total_energy
                 << " J\n";
       return 1;
@@ -165,7 +206,7 @@ int main(int argc, char** argv) {
     CountingStreamBuf counter;
     std::ostream counting(&counter);
     reader.to_csv(counting);
-    const auto epochs = static_cast<double>(run.epoch_count);
+    const auto epochs = static_cast<double>(session_epochs);
     std::cout << "  bintrace:      " << bintrace_path << " ("
               << reader.file_size() << " B, "
               << common::format_double(
@@ -174,6 +215,36 @@ int main(int argc, char** argv) {
               << common::format_double(
                      static_cast<double>(counter.bytes()) / epochs, 1)
               << " B/epoch as 6-column CSV text) — round-trip OK\n";
+
+    // verify-tail: prove the resumed session is bit-identical to the same
+    // span of an uninterrupted reference run by comparing every record's
+    // on-disk encoding byte for byte.
+    const std::string ref_path = cfg.get_string("verify-tail", "");
+    if (!ref_path.empty()) {
+      sim::BinTraceReader ref(ref_path);
+      if (ref.record_count() < resume_start + reader.record_count()) {
+        std::cerr << "FAIL: reference trace " << ref_path << " holds "
+                  << ref.record_count() << " records, fewer than resume "
+                  << "offset " << resume_start << " + tail "
+                  << reader.record_count() << "\n";
+        return 1;
+      }
+      for (std::size_t i = 0; i < reader.record_count(); ++i) {
+        unsigned char ours[sim::kBinTraceRecordSize];
+        unsigned char theirs[sim::kBinTraceRecordSize];
+        sim::encode_record(reader.at(i), ours);
+        sim::encode_record(ref.at(resume_start + i), theirs);
+        if (std::memcmp(ours, theirs, sizeof(ours)) != 0) {
+          std::cerr << "FAIL: resumed tail diverges from the uninterrupted "
+                    << "reference at epoch " << (resume_start + i)
+                    << " — resume is not bit-identical\n";
+          return 1;
+        }
+      }
+      std::cout << "  verify-tail:   " << reader.record_count()
+                << " records bit-identical to " << ref_path << " at offset "
+                << resume_start << "\n";
+    }
   }
 
   if (max_rss_mb > 0.0 && rss <= 0.0) {

@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "common/serial.hpp"
+
 namespace prime::common {
 namespace {
 
@@ -101,6 +103,18 @@ std::size_t Rng::discrete(const std::vector<double>& weights) noexcept {
 
 Rng Rng::fork() noexcept {
   return Rng{next_u64() ^ 0xA3EC647659359ACDULL};
+}
+
+void Rng::save_state(StateWriter& out) const {
+  for (const std::uint64_t word : state_) out.u64(word);
+  out.f64(cached_normal_);
+  out.boolean(has_cached_normal_);
+}
+
+void Rng::load_state(StateReader& in) {
+  for (std::uint64_t& word : state_) word = in.u64();
+  cached_normal_ = in.f64();
+  has_cached_normal_ = in.boolean();
 }
 
 }  // namespace prime::common

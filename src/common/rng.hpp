@@ -15,6 +15,9 @@
 
 namespace prime::common {
 
+class StateWriter;
+class StateReader;
+
 /// \brief SplitMix64 stepping function; used to expand a 64-bit seed into the
 ///        256-bit xoshiro state. Also usable as a cheap standalone generator.
 /// \param state In/out 64-bit state, advanced by one step.
@@ -65,6 +68,13 @@ class Rng {
 
   /// \brief Derive a decorrelated child generator (splits the stream).
   [[nodiscard]] Rng fork() noexcept;
+
+  /// \brief Serialise the full generator state (xoshiro words plus the
+  ///        Box–Muller cache), so a restored generator continues the exact
+  ///        output sequence — required for bit-identical checkpoint resume.
+  void save_state(StateWriter& out) const;
+  /// \brief Restore state written by save_state().
+  void load_state(StateReader& in);
 
  private:
   std::array<std::uint64_t, 4> state_{};

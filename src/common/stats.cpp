@@ -5,6 +5,8 @@
 #include <limits>
 #include <stdexcept>
 
+#include "common/serial.hpp"
+
 namespace prime::common {
 
 void RunningStats::add(double x) noexcept {
@@ -39,6 +41,22 @@ void RunningStats::merge(const RunningStats& other) noexcept {
 }
 
 void RunningStats::reset() noexcept { *this = RunningStats{}; }
+
+void RunningStats::save_state(StateWriter& out) const {
+  out.size(n_);
+  out.f64(mean_);
+  out.f64(m2_);
+  out.f64(min_);
+  out.f64(max_);
+}
+
+void RunningStats::load_state(StateReader& in) {
+  n_ = in.size();
+  mean_ = in.f64();
+  m2_ = in.f64();
+  min_ = in.f64();
+  max_ = in.f64();
+}
 
 double RunningStats::variance() const noexcept {
   if (n_ < 2) return 0.0;

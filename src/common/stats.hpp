@@ -11,6 +11,9 @@
 
 namespace prime::common {
 
+class StateWriter;
+class StateReader;
+
 /// \brief Online mean/variance/min/max accumulator (Welford).
 class RunningStats {
  public:
@@ -37,6 +40,11 @@ class RunningStats {
   [[nodiscard]] double sum() const noexcept { return mean_ * static_cast<double>(n_); }
   /// \brief Coefficient of variation (stddev/mean; 0 when mean is 0).
   [[nodiscard]] double cv() const noexcept;
+
+  /// \brief Serialise the accumulator (checkpoint/resume).
+  void save_state(StateWriter& out) const;
+  /// \brief Restore state written by save_state().
+  void load_state(StateReader& in);
 
  private:
   std::size_t n_ = 0;

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <memory>
 
+#include "common/serial.hpp"
 #include "gov/registry.hpp"
 
 namespace prime::gov {
@@ -31,6 +32,16 @@ std::size_t ConservativeGovernor::decide(
 }
 
 void ConservativeGovernor::reset() { index_ = -1; }
+
+void ConservativeGovernor::save_state(std::ostream& out) const {
+  common::StateWriter w(out);
+  w.i64(index_);
+}
+
+void ConservativeGovernor::load_state(std::istream& in) {
+  common::StateReader r(in);
+  index_ = r.i64();
+}
 
 namespace {
 

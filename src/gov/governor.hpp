@@ -11,6 +11,7 @@
 #pragma once
 
 #include <cstddef>
+#include <iosfwd>
 #include <optional>
 #include <string>
 #include <vector>
@@ -72,6 +73,21 @@ class Governor {
 
   /// \brief Restore the governor to its initial (untrained) state.
   virtual void reset() = 0;
+
+  /// \brief Serialise every piece of mutable decision state (learning tables,
+  ///        accumulators, exploration RNG, ...) so that a governor restored
+  ///        by load_state() makes bit-identical decisions to one that kept
+  ///        running — the contract checkpoint/resume (sim/checkpoint.hpp)
+  ///        builds on, pinned per registered governor in
+  ///        tests/test_checkpoint.cpp. Configuration (constructor parameters)
+  ///        is NOT serialised: a payload is only valid for a governor built
+  ///        from the same spec. Stateless governors inherit this empty
+  ///        default.
+  virtual void save_state(std::ostream& out) const { (void)out; }
+  /// \brief Restore state written by save_state() on an identically
+  ///        constructed governor. Throws common::SerialError on truncated or
+  ///        corrupt payloads.
+  virtual void load_state(std::istream& in) { (void)in; }
 
   /// \brief The wrapped governor of a decorator (thermal-cap, ...), nullptr
   ///        for leaf governors. Lets observers (telemetry probes) unwrap

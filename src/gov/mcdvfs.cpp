@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <memory>
 
+#include "common/serial.hpp"
 #include "gov/registry.hpp"
 
 namespace prime::gov {
@@ -135,6 +136,54 @@ void MulticoreDvfsGovernor::reset() {
   convergence_epoch_ = 0;
   exploration_epochs_ = 0;
   rng_ = common::Rng(params_.seed);
+}
+
+void MulticoreDvfsGovernor::save_state(std::ostream& out) const {
+  common::StateWriter w(out);
+  rng_.save_state(w);
+  w.size(actions_);
+  w.size(agents_.size());
+  for (const CoreAgent& agent : agents_) {
+    w.vec_f64(agent.q);
+    w.size(agent.last_state);
+    w.size(agent.last_action);
+    w.boolean(agent.has_last);
+  }
+  w.f64(epsilon_);
+  w.size(epoch_);
+  w.size(convergence_epoch_);
+  w.size(exploration_epochs_);
+}
+
+void MulticoreDvfsGovernor::load_state(std::istream& in) {
+  common::StateReader r(in);
+  rng_.load_state(r);
+  actions_ = r.size();
+  const std::size_t agent_count = r.size();
+  // Bound before the eager allocation: a corrupt count must fail closed like
+  // every other field, not die in a multi-GB assign.
+  if (agent_count > 4096) {
+    throw common::SerialError("mcdvfs state: implausible agent count " +
+                              std::to_string(agent_count));
+  }
+  agents_.assign(agent_count, CoreAgent{});
+  for (CoreAgent& agent : agents_) {
+    agent.q = r.vec_f64();
+    if (agent.q.size() != params_.util_levels * actions_) {
+      throw common::SerialError(
+          "mcdvfs state: per-core Q-table size " +
+          std::to_string(agent.q.size()) + " does not match dimensions " +
+          std::to_string(params_.util_levels) + "x" +
+          std::to_string(actions_));
+    }
+    agent.last_state = r.size();
+    agent.last_action = r.size();
+    agent.has_last = r.boolean();
+  }
+  epsilon_ = r.f64();
+  epoch_ = r.size();
+  convergence_epoch_ = r.size();
+  exploration_epochs_ = r.size();
 }
 
 std::vector<std::size_t> MulticoreDvfsGovernor::greedy_policy() const {

@@ -56,6 +56,8 @@ class MulticoreDvfsGovernor final : public Governor, public Learner {
   ///        shared-table RTM (one update). Feeds the Table III comparison.
   [[nodiscard]] common::Seconds epoch_overhead() const override;
   void reset() override;
+  void save_state(std::ostream& out) const override;
+  void load_state(std::istream& in) override;
 
   /// \brief Learner interface: number of epochs in which at least one core
   ///        explored.

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <memory>
 
+#include "common/serial.hpp"
 #include "gov/registry.hpp"
 
 namespace prime::gov {
@@ -53,6 +54,20 @@ void OndemandGovernor::reset() {
   last_index_ = 0;
   epochs_since_sample_ = 0;
   initialised_ = false;
+}
+
+void OndemandGovernor::save_state(std::ostream& out) const {
+  common::StateWriter w(out);
+  w.size(last_index_);
+  w.size(epochs_since_sample_);
+  w.boolean(initialised_);
+}
+
+void OndemandGovernor::load_state(std::istream& in) {
+  common::StateReader r(in);
+  last_index_ = r.size();
+  epochs_since_sample_ = r.size();
+  initialised_ = r.boolean();
 }
 
 namespace {

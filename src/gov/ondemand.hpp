@@ -33,6 +33,8 @@ class OndemandGovernor final : public Governor {
       const DecisionContext& ctx,
       const std::optional<EpochObservation>& last) override;
   void reset() override;
+  void save_state(std::ostream& out) const override;
+  void load_state(std::istream& in) override;
   /// \brief Access tunables.
   [[nodiscard]] const OndemandParams& params() const noexcept { return params_; }
 

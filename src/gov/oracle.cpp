@@ -2,6 +2,7 @@
 
 #include <memory>
 
+#include "common/serial.hpp"
 #include "gov/registry.hpp"
 
 namespace prime::gov {
@@ -33,6 +34,24 @@ std::size_t OracleGovernor::decide(const DecisionContext& ctx,
 void OracleGovernor::reset() {
   preview_ = FramePreview{};
   has_preview_ = false;
+}
+
+void OracleGovernor::save_state(std::ostream& out) const {
+  common::StateWriter w(out);
+  w.u64(preview_.max_core_cycles);
+  w.u64(preview_.total_cycles);
+  w.f64(preview_.mem_fraction);
+  w.f64(preview_.ref_frequency);
+  w.boolean(has_preview_);
+}
+
+void OracleGovernor::load_state(std::istream& in) {
+  common::StateReader r(in);
+  preview_.max_core_cycles = r.u64();
+  preview_.total_cycles = r.u64();
+  preview_.mem_fraction = r.f64();
+  preview_.ref_frequency = r.f64();
+  has_preview_ = r.boolean();
 }
 
 namespace {

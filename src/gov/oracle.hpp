@@ -36,6 +36,11 @@ class OracleGovernor final : public Governor, public Clairvoyant {
   /// \brief The oracle performs no run-time learning.
   [[nodiscard]] common::Seconds epoch_overhead() const override { return 0.0; }
   void reset() override;
+  // The pending preview is delivered fresh each frame by the engine, but it
+  // is mutable decision state all the same — serialised so a mid-epoch
+  // snapshot round-trips exactly.
+  void save_state(std::ostream& out) const override;
+  void load_state(std::istream& in) override;
 
  private:
   OracleParams params_;

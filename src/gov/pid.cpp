@@ -4,6 +4,7 @@
 #include <cmath>
 #include <memory>
 
+#include "common/serial.hpp"
 #include "gov/registry.hpp"
 
 namespace prime::gov {
@@ -31,6 +32,20 @@ void PidGovernor::reset() {
   integral_ = 0.0;
   last_error_ = 0.0;
   index_ = -1.0;
+}
+
+void PidGovernor::save_state(std::ostream& out) const {
+  common::StateWriter w(out);
+  w.f64(integral_);
+  w.f64(last_error_);
+  w.f64(index_);
+}
+
+void PidGovernor::load_state(std::istream& in) {
+  common::StateReader r(in);
+  integral_ = r.f64();
+  last_error_ = r.f64();
+  index_ = r.f64();
 }
 
 namespace {

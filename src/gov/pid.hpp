@@ -38,6 +38,8 @@ class PidGovernor final : public Governor {
     return common::us(3.0);
   }
   void reset() override;
+  void save_state(std::ostream& out) const override;
+  void load_state(std::istream& in) override;
   /// \brief Access the gains.
   [[nodiscard]] const PidParams& params() const noexcept { return params_; }
 

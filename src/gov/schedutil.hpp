@@ -30,6 +30,8 @@ class SchedutilGovernor final : public Governor {
       const DecisionContext& ctx,
       const std::optional<EpochObservation>& last) override;
   void reset() override;
+  void save_state(std::ostream& out) const override;
+  void load_state(std::istream& in) override;
 
  private:
   SchedutilParams params_;

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <memory>
 
+#include "common/serial.hpp"
 #include "gov/registry.hpp"
 
 namespace prime::gov {
@@ -110,6 +111,45 @@ void ShenRlGovernor::reset() {
   has_last_ = false;
   explorations_ = 0;
   rng_ = common::Rng(params_.seed);
+}
+
+void ShenRlGovernor::save_state(std::ostream& out) const {
+  common::StateWriter w(out);
+  rng_.save_state(w);
+  w.size(states_);
+  w.size(actions_);
+  w.vec_f64(q_);
+  w.f64(epsilon_);
+  w.size(epoch_);
+  w.size(convergence_epoch_);
+  w.f64(max_cycles_seen_);
+  w.size(last_state_);
+  w.size(last_action_);
+  w.boolean(has_last_);
+  w.size(explorations_);
+}
+
+void ShenRlGovernor::load_state(std::istream& in) {
+  common::StateReader r(in);
+  rng_.load_state(r);
+  states_ = r.size();
+  actions_ = r.size();
+  q_ = r.vec_f64();
+  if (q_.size() != states_ * actions_) {
+    throw common::SerialError("shen-rl state: Q-table size " +
+                              std::to_string(q_.size()) +
+                              " does not match dimensions " +
+                              std::to_string(states_) + "x" +
+                              std::to_string(actions_));
+  }
+  epsilon_ = r.f64();
+  epoch_ = r.size();
+  convergence_epoch_ = r.size();
+  max_cycles_seen_ = r.f64();
+  last_state_ = r.size();
+  last_action_ = r.size();
+  has_last_ = r.boolean();
+  explorations_ = r.size();
 }
 
 std::vector<std::size_t> ShenRlGovernor::greedy_policy() const {

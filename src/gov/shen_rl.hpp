@@ -52,6 +52,8 @@ class ShenRlGovernor final : public Governor, public Learner {
     return common::us(2.0) + common::us(15.0);
   }
   void reset() override;
+  void save_state(std::ostream& out) const override;
+  void load_state(std::istream& in) override;
 
   /// \brief Number of epochs decided by the uniform-random (exploration) arm.
   [[nodiscard]] std::size_t exploration_count() const noexcept override {

@@ -2,6 +2,7 @@
 
 #include <memory>
 
+#include "common/serial.hpp"
 #include "gov/registry.hpp"
 
 namespace prime::gov {
@@ -19,6 +20,16 @@ std::size_t PowersaveGovernor::decide(const DecisionContext&,
 std::size_t UserspaceGovernor::decide(const DecisionContext& ctx,
                                       const std::optional<EpochObservation>&) {
   return ctx.opps->clamp_index(static_cast<long long>(index_));
+}
+
+void UserspaceGovernor::save_state(std::ostream& out) const {
+  common::StateWriter w(out);
+  w.size(index_);
+}
+
+void UserspaceGovernor::load_state(std::istream& in) {
+  common::StateReader r(in);
+  index_ = r.size();
 }
 
 namespace {

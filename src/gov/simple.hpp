@@ -42,6 +42,11 @@ class UserspaceGovernor final : public Governor {
   /// \brief Re-pin to a different OPP (the sysfs `scaling_setspeed` write).
   void set_index(std::size_t index) noexcept { index_ = index; }
   void reset() override {}
+  // The pinned index survives reset() (it is configuration, like sysfs
+  // scaling_setspeed) but set_index() makes it mutable, so checkpoints
+  // carry it.
+  void save_state(std::ostream& out) const override;
+  void load_state(std::istream& in) override;
 
  private:
   std::size_t index_;

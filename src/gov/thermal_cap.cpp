@@ -4,6 +4,7 @@
 #include <memory>
 #include <stdexcept>
 
+#include "common/serial.hpp"
 #include "gov/registry.hpp"
 
 namespace prime::gov {
@@ -53,6 +54,24 @@ void ThermalCapGovernor::reset() {
   inner_->reset();
   cap_ = std::numeric_limits<std::size_t>::max();
   capped_ = 0;
+}
+
+void ThermalCapGovernor::save_state(std::ostream& out) const {
+  {
+    common::StateWriter w(out);
+    w.size(cap_);
+    w.size(capped_);
+  }
+  inner_->save_state(out);
+}
+
+void ThermalCapGovernor::load_state(std::istream& in) {
+  {
+    common::StateReader r(in);
+    cap_ = r.size();
+    capped_ = r.size();
+  }
+  inner_->load_state(in);
 }
 
 namespace {

@@ -38,6 +38,10 @@ class ThermalCapGovernor final : public Governor {
     return inner_->epoch_overhead() + common::us(1.0);  // one sensor read
   }
   void reset() override;
+  // Decorator state (cap position, capped-epoch count) followed by the
+  // wrapped governor's own payload, so composed specs checkpoint as one unit.
+  void save_state(std::ostream& out) const override;
+  void load_state(std::istream& in) override;
 
   /// \brief Current cap as an OPP index (size_t max when uncapped).
   [[nodiscard]] std::size_t cap() const noexcept { return cap_; }

@@ -1,6 +1,9 @@
 #include "hw/cluster.hpp"
 
 #include <algorithm>
+#include <string>
+
+#include "common/serial.hpp"
 
 namespace prime::hw {
 
@@ -85,6 +88,31 @@ void Cluster::reset() {
   pending_stall_ = 0.0;
   total_energy_ = 0.0;
   total_time_ = 0.0;
+}
+
+void Cluster::save_state(common::StateWriter& out) const {
+  out.size(cores_.size());
+  dvfs_.save_state(out);
+  thermal_.save_state(out);
+  out.f64(pending_stall_);
+  out.f64(total_energy_);
+  out.f64(total_time_);
+  for (const Core& core : cores_) core.save_state(out);
+}
+
+void Cluster::load_state(common::StateReader& in) {
+  const std::size_t cores = in.size();
+  if (cores != cores_.size()) {
+    throw common::SerialError(
+        "Cluster state: saved for " + std::to_string(cores) +
+        " cores, this cluster has " + std::to_string(cores_.size()));
+  }
+  dvfs_.load_state(in);
+  thermal_.load_state(in);
+  pending_stall_ = in.f64();
+  total_energy_ = in.f64();
+  total_time_ = in.f64();
+  for (Core& core : cores_) core.load_state(in);
 }
 
 }  // namespace prime::hw

@@ -14,6 +14,7 @@
 
 #include "common/units.hpp"
 #include "hw/core.hpp"
+// StateWriter/StateReader forward declarations arrive via hw/core.hpp.
 #include "hw/dvfs_driver.hpp"
 #include "hw/opp.hpp"
 #include "hw/power_model.hpp"
@@ -103,6 +104,13 @@ class Cluster {
   [[nodiscard]] common::Seconds total_time() const noexcept { return total_time_; }
   /// \brief Reset cores, thermal state, DVFS counters and energy accounting.
   void reset();
+
+  /// \brief Serialise everything mutable: DVFS driver, thermal state, pending
+  ///        transition stall, energy/time totals and per-core PMU/energy.
+  void save_state(common::StateWriter& out) const;
+  /// \brief Restore state written by save_state() on a cluster with the same
+  ///        core count (mismatch throws common::SerialError).
+  void load_state(common::StateReader& in);
 
  private:
   const OppTable* table_;

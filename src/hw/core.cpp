@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "common/serial.hpp"
+
 namespace prime::hw {
 
 CoreEpochResult Core::run_epoch(common::Cycles work, const Opp& opp,
@@ -27,6 +29,16 @@ CoreEpochResult Core::run_epoch(common::Cycles work, const Opp& opp,
 void Core::reset() noexcept {
   pmu_.reset();
   energy_ = 0.0;
+}
+
+void Core::save_state(common::StateWriter& out) const {
+  pmu_.save_state(out);
+  out.f64(energy_);
+}
+
+void Core::load_state(common::StateReader& in) {
+  pmu_.load_state(in);
+  energy_ = in.f64();
 }
 
 }  // namespace prime::hw

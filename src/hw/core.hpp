@@ -14,6 +14,11 @@
 #include "hw/pmu.hpp"
 #include "hw/power_model.hpp"
 
+namespace prime::common {
+class StateWriter;
+class StateReader;
+}  // namespace prime::common
+
 namespace prime::hw {
 
 /// \brief Result of one core executing within one epoch window.
@@ -48,6 +53,11 @@ class Core {
   [[nodiscard]] common::Joule total_energy() const noexcept { return energy_; }
   /// \brief Reset PMU and energy accounting.
   void reset() noexcept;
+
+  /// \brief Serialise PMU counters and accumulated energy.
+  void save_state(common::StateWriter& out) const;
+  /// \brief Restore state written by save_state().
+  void load_state(common::StateReader& in);
 
  private:
   std::size_t id_;

@@ -1,6 +1,9 @@
 #include "hw/dvfs_driver.hpp"
 
 #include <cmath>
+#include <string>
+
+#include "common/serial.hpp"
 
 namespace prime::hw {
 
@@ -28,6 +31,25 @@ const Opp& DvfsDriver::current() const noexcept { return table_->at(index_); }
 void DvfsDriver::reset_counters() noexcept {
   transitions_ = 0;
   stall_ = 0.0;
+}
+
+void DvfsDriver::save_state(common::StateWriter& out) const {
+  out.size(index_);
+  out.size(transitions_);
+  out.f64(stall_);
+}
+
+void DvfsDriver::load_state(common::StateReader& in) {
+  const std::size_t index = in.size();
+  if (index >= table_->size()) {
+    throw common::SerialError("DvfsDriver state: OPP index " +
+                              std::to_string(index) +
+                              " out of range for a table of " +
+                              std::to_string(table_->size()));
+  }
+  index_ = index;
+  transitions_ = in.size();
+  stall_ = in.f64();
 }
 
 }  // namespace prime::hw

@@ -13,6 +13,11 @@
 #include "common/units.hpp"
 #include "hw/opp.hpp"
 
+namespace prime::common {
+class StateWriter;
+class StateReader;
+}  // namespace prime::common
+
 namespace prime::hw {
 
 /// \brief Parameters of the DVFS transition cost model.
@@ -46,6 +51,12 @@ class DvfsDriver {
   [[nodiscard]] const OppTable& table() const noexcept { return *table_; }
   /// \brief Reset counters (keeps the current OPP).
   void reset_counters() noexcept;
+
+  /// \brief Serialise the applied OPP index and transition statistics.
+  void save_state(common::StateWriter& out) const;
+  /// \brief Restore state written by save_state(). Restores the index
+  ///        directly — no transition is counted and no stall is charged.
+  void load_state(common::StateReader& in);
 
  private:
   const OppTable* table_;

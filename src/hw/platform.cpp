@@ -1,5 +1,7 @@
 #include "hw/platform.hpp"
 
+#include "common/serial.hpp"
+
 namespace prime::hw {
 
 Platform::Platform(OppTable table, const ClusterParams& cluster_params,
@@ -50,6 +52,18 @@ std::unique_ptr<Platform> Platform::from_config(const common::Config& cfg) {
 void Platform::reset() {
   cluster_->reset();
   sensor_.reset();
+}
+
+void Platform::save_state(std::ostream& out) const {
+  common::StateWriter w(out);
+  cluster_->save_state(w);
+  sensor_.save_state(w);
+}
+
+void Platform::load_state(std::istream& in) {
+  common::StateReader r(in);
+  cluster_->load_state(r);
+  sensor_.load_state(r);
 }
 
 }  // namespace prime::hw

@@ -6,6 +6,7 @@
 /// configurations used in the paper (ODROID-XU3 A15 quad) and in tests.
 #pragma once
 
+#include <iosfwd>
 #include <memory>
 #include <string>
 
@@ -55,6 +56,16 @@ class Platform {
   void set_name(std::string name) { name_ = std::move(name); }
   /// \brief Reset cluster state and sensor integration.
   void reset();
+
+  /// \brief Serialise all mutable board state (cluster + power sensor), so a
+  ///        run resumed from a checkpoint (sim/checkpoint.hpp) sees the exact
+  ///        thermal, DVFS and sensor-noise trajectory an uninterrupted run
+  ///        would. Configuration (OPP table, model parameters) is not stored:
+  ///        a payload is only valid for an identically constructed platform.
+  void save_state(std::ostream& out) const;
+  /// \brief Restore state written by save_state(). Throws
+  ///        common::SerialError on truncated payloads or core-count mismatch.
+  void load_state(std::istream& in);
 
  private:
   OppTable table_;

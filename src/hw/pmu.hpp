@@ -11,6 +11,11 @@
 
 #include "common/units.hpp"
 
+namespace prime::common {
+class StateWriter;
+class StateReader;
+}  // namespace prime::common
+
 namespace prime::hw {
 
 /// \brief Cumulative counter values at a point in time.
@@ -53,6 +58,11 @@ class Pmu {
   [[nodiscard]] PmuDelta delta_since(const PmuSnapshot& since) const noexcept;
   /// \brief Zero all counters (power-on reset).
   void reset() noexcept { snap_ = PmuSnapshot{}; }
+
+  /// \brief Serialise the cumulative counters (checkpoint/resume).
+  void save_state(common::StateWriter& out) const;
+  /// \brief Restore counters written by save_state().
+  void load_state(common::StateReader& in);
 
  private:
   PmuSnapshot snap_;

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "common/serial.hpp"
+
 namespace prime::hw {
 
 PowerSensor::PowerSensor(const PowerSensorParams& params, std::uint64_t seed)
@@ -23,6 +25,18 @@ common::Watt PowerSensor::integrate(common::Watt true_power,
   const common::Watt reading = sample(true_power);
   energy_ += reading * dt;
   return reading;
+}
+
+void PowerSensor::save_state(common::StateWriter& out) const {
+  rng_.save_state(out);
+  out.f64(gain_);
+  out.f64(energy_);
+}
+
+void PowerSensor::load_state(common::StateReader& in) {
+  rng_.load_state(in);
+  gain_ = in.f64();
+  energy_ = in.f64();
 }
 
 }  // namespace prime::hw

@@ -11,6 +11,11 @@
 #include "common/rng.hpp"
 #include "common/units.hpp"
 
+namespace prime::common {
+class StateWriter;
+class StateReader;
+}  // namespace prime::common
+
 namespace prime::hw {
 
 /// \brief Sensor error parameters.
@@ -43,6 +48,13 @@ class PowerSensor {
   [[nodiscard]] double gain() const noexcept { return gain_; }
   /// \brief Reset integrated energy (gain is a device property and persists).
   void reset() noexcept { energy_ = 0.0; }
+
+  /// \brief Serialise the noise RNG, gain and integrated energy — the noise
+  ///        stream must continue exactly for resumed runs to read the same
+  ///        per-epoch sensor values an uninterrupted run would.
+  void save_state(common::StateWriter& out) const;
+  /// \brief Restore state written by save_state().
+  void load_state(common::StateReader& in);
 
  private:
   PowerSensorParams params_;

@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "common/serial.hpp"
+
 namespace prime::hw {
 
 void ThermalModel::step(common::Watt p, common::Seconds dt) noexcept {
@@ -13,6 +15,14 @@ void ThermalModel::step(common::Watt p, common::Seconds dt) noexcept {
 
 common::Celsius ThermalModel::steady_state(common::Watt p) const noexcept {
   return params_.ambient + p * params_.r_th;
+}
+
+void ThermalModel::save_state(common::StateWriter& out) const {
+  out.f64(temperature_);
+}
+
+void ThermalModel::load_state(common::StateReader& in) {
+  temperature_ = in.f64();
 }
 
 }  // namespace prime::hw

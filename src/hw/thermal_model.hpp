@@ -11,6 +11,11 @@
 
 #include "common/units.hpp"
 
+namespace prime::common {
+class StateWriter;
+class StateReader;
+}  // namespace prime::common
+
 namespace prime::hw {
 
 /// \brief Parameters of the single-node RC thermal model.
@@ -44,6 +49,12 @@ class ThermalModel {
   void reset() noexcept { temperature_ = params_.t_init; }
   /// \brief Access parameters.
   [[nodiscard]] const ThermalModelParams& params() const noexcept { return params_; }
+
+  /// \brief Serialise the die temperature (checkpoint/resume; parameters are
+  ///        configuration).
+  void save_state(common::StateWriter& out) const;
+  /// \brief Restore the temperature written by save_state().
+  void load_state(common::StateReader& in);
 
  private:
   ThermalModelParams params_;

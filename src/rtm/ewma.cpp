@@ -3,6 +3,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "common/serial.hpp"
+
 namespace prime::rtm {
 
 EwmaPredictor::EwmaPredictor(double gamma) : gamma_(gamma) {
@@ -39,6 +41,22 @@ void EwmaPredictor::reset() noexcept {
   count_ = 0;
   last_err_ = 0.0;
   err_stats_.reset();
+}
+
+void EwmaPredictor::save_state(common::StateWriter& out) const {
+  out.u64(predicted_);
+  out.boolean(primed_);
+  out.size(count_);
+  out.f64(last_err_);
+  err_stats_.save_state(out);
+}
+
+void EwmaPredictor::load_state(common::StateReader& in) {
+  predicted_ = in.u64();
+  primed_ = in.boolean();
+  count_ = in.size();
+  last_err_ = in.f64();
+  err_stats_.load_state(in);
 }
 
 }  // namespace prime::rtm

@@ -15,6 +15,11 @@
 #include "common/stats.hpp"
 #include "common/units.hpp"
 
+namespace prime::common {
+class StateWriter;
+class StateReader;
+}  // namespace prime::common
+
 namespace prime::rtm {
 
 /// \brief EWMA predictor over per-epoch cycle counts.
@@ -53,6 +58,11 @@ class EwmaPredictor {
 
   /// \brief Forget all state (new application / requirement change).
   void reset() noexcept;
+
+  /// \brief Serialise the filter state (not gamma, which is configuration).
+  void save_state(common::StateWriter& out) const;
+  /// \brief Restore state written by save_state().
+  void load_state(common::StateReader& in);
 
  private:
   double gamma_;

@@ -4,6 +4,7 @@
 #include <memory>
 #include <stdexcept>
 
+#include "common/serial.hpp"
 #include "gov/registry.hpp"
 
 namespace prime::rtm {
@@ -53,6 +54,32 @@ void ManycoreRtmGovernor::reset() {
   RtmGovernor::reset();
   predictors_.clear();
   learner_ = 0;
+}
+
+void ManycoreRtmGovernor::save_state(std::ostream& out) const {
+  RtmGovernor::save_state(out);
+  common::StateWriter w(out);
+  w.size(predictors_.size());
+  for (const EwmaPredictor& predictor : predictors_) {
+    predictor.save_state(w);
+  }
+  w.size(learner_);
+}
+
+void ManycoreRtmGovernor::load_state(std::istream& in) {
+  RtmGovernor::load_state(in);
+  common::StateReader r(in);
+  const std::size_t predictor_count = r.size();
+  // Bound before the eager allocation: a corrupt count must fail closed.
+  if (predictor_count > 4096) {
+    throw common::SerialError("rtm-manycore state: implausible predictor "
+                              "count " + std::to_string(predictor_count));
+  }
+  predictors_.assign(predictor_count, EwmaPredictor(params_.ewma_gamma));
+  for (EwmaPredictor& predictor : predictors_) {
+    predictor.load_state(r);
+  }
+  learner_ = r.size();
 }
 
 namespace {

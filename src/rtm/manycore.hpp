@@ -36,6 +36,10 @@ class ManycoreRtmGovernor final : public RtmGovernor {
 
   [[nodiscard]] std::string name() const override { return "rtm-manycore"; }
   void reset() override;
+  // Base RTM payload followed by the per-core predictors and the round-robin
+  // learner cursor.
+  void save_state(std::ostream& out) const override;
+  void load_state(std::istream& in) override;
 
   /// \brief The per-core predictors (Fig. 3-style analysis per core).
   [[nodiscard]] const std::vector<EwmaPredictor>& core_predictors() const noexcept {

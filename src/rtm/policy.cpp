@@ -3,6 +3,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "common/serial.hpp"
+
 namespace prime::rtm {
 
 std::vector<double> EpdPolicy::probabilities(const hw::OppTable& opps,
@@ -99,6 +101,18 @@ void EpsilonSchedule::reset() noexcept {
   epsilon_ = params_.epsilon0;
   epoch_ = 0;
   convergence_epoch_ = 0;
+}
+
+void EpsilonSchedule::save_state(common::StateWriter& out) const {
+  out.f64(epsilon_);
+  out.size(epoch_);
+  out.size(convergence_epoch_);
+}
+
+void EpsilonSchedule::load_state(common::StateReader& in) {
+  epsilon_ = in.f64();
+  epoch_ = in.size();
+  convergence_epoch_ = in.size();
 }
 
 }  // namespace prime::rtm

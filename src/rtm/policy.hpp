@@ -145,6 +145,11 @@ class EpsilonSchedule {
   /// \brief Access parameters.
   [[nodiscard]] const Params& params() const noexcept { return params_; }
 
+  /// \brief Serialise the schedule state (checkpoint/resume).
+  void save_state(common::StateWriter& out) const;
+  /// \brief Restore state written by save_state().
+  void load_state(common::StateReader& in);
+
  private:
   Params params_;
   double epsilon_;

@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "common/csv.hpp"
+#include "common/serial.hpp"
 
 namespace prime::rtm {
 
@@ -127,6 +128,34 @@ void QTable::load_csv(const std::string& text) {
           row[static_cast<std::size_t>(vc)].c_str(), nullptr, 10));
     }
   }
+}
+
+void QTable::save_state(common::StateWriter& out) const {
+  out.size(states_);
+  out.size(actions_);
+  out.vec_f64(q_);
+  std::vector<std::uint64_t> visits(visits_.begin(), visits_.end());
+  out.vec_u64(visits);
+  out.size(updates_);
+}
+
+void QTable::load_state(common::StateReader& in) {
+  const std::size_t states = in.size();
+  const std::size_t actions = in.size();
+  if (states == 0 || actions == 0) {
+    throw common::SerialError("QTable state: zero dimension");
+  }
+  std::vector<double> q = in.vec_f64();
+  const std::vector<std::uint64_t> visits = in.vec_u64();
+  if (q.size() != states * actions || visits.size() != states * actions) {
+    throw common::SerialError("QTable state: value/visit vector size does "
+                              "not match the stored dimensions");
+  }
+  states_ = states;
+  actions_ = actions;
+  q_ = std::move(q);
+  visits_.assign(visits.begin(), visits.end());
+  updates_ = in.size();
 }
 
 }  // namespace prime::rtm

@@ -12,6 +12,11 @@
 #include <string>
 #include <vector>
 
+namespace prime::common {
+class StateWriter;
+class StateReader;
+}  // namespace prime::common
+
 namespace prime::rtm {
 
 /// \brief Dense state-action value table with Q-learning update.
@@ -60,6 +65,12 @@ class QTable {
   /// \brief Restore from to_csv() output. Throws std::runtime_error when the
   ///        text does not match this table's dimensions.
   void load_csv(const std::string& text);
+
+  /// \brief Binary state serialisation (checkpoint/resume): dimensions,
+  ///        bit-exact Q values, visit counters, total updates.
+  void save_state(common::StateWriter& out) const;
+  /// \brief Restore state written by save_state(), adopting its dimensions.
+  void load_state(common::StateReader& in);
 
  private:
   std::size_t states_;

@@ -4,6 +4,7 @@
 #include <memory>
 #include <stdexcept>
 
+#include "common/serial.hpp"
 #include "gov/registry.hpp"
 
 namespace prime::rtm {
@@ -106,6 +107,48 @@ void RtmGovernor::reset() {
 std::vector<std::size_t> RtmGovernor::greedy_policy() const {
   if (!qtable_) return {};
   return qtable_->greedy_policy();
+}
+
+void RtmGovernor::save_state(std::ostream& out) const {
+  common::StateWriter w(out);
+  ewma_.save_state(w);
+  w.f64(max_cycles_seen_);
+  w.boolean(qtable_ != nullptr);
+  if (qtable_) qtable_->save_state(w);
+  epsilon_.save_state(w);
+  slack_.save_state(w);
+  rng_.save_state(w);
+  w.size(actions_);
+  w.size(last_state_);
+  w.size(last_action_);
+  w.boolean(has_last_);
+  w.f64(last_period_);
+  w.size(explorations_);
+  w.f64(smoothed_payoff_);
+}
+
+void RtmGovernor::load_state(std::istream& in) {
+  common::StateReader r(in);
+  ewma_.load_state(r);
+  max_cycles_seen_ = r.f64();
+  if (r.boolean()) {
+    // Adopt the stored table's dimensions; a placeholder is enough since
+    // load_state overwrites everything including the dimensions.
+    if (!qtable_) qtable_ = std::make_unique<QTable>(1, 1);
+    qtable_->load_state(r);
+  } else {
+    qtable_.reset();
+  }
+  epsilon_.load_state(r);
+  slack_.load_state(r);
+  rng_.load_state(r);
+  actions_ = r.size();
+  last_state_ = r.size();
+  last_action_ = r.size();
+  has_last_ = r.boolean();
+  last_period_ = r.f64();
+  explorations_ = r.size();
+  smoothed_payoff_ = r.f64();
 }
 
 RtmParams rtm_params_from_spec(const common::Spec& spec, std::uint64_t seed) {

@@ -70,6 +70,8 @@ class RtmGovernor : public gov::Governor, public gov::Learner {
     return overhead_.epoch_overhead(1);
   }
   void reset() override;
+  void save_state(std::ostream& out) const override;
+  void load_state(std::istream& in) override;
 
   // --- Introspection (benches, tests, convergence tracking) -----------------
 

@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "common/serial.hpp"
+
 namespace prime::rtm {
 
 SlackMonitor::SlackMonitor(SlackAveraging mode, double ewma_alpha)
@@ -39,6 +41,22 @@ void SlackMonitor::reset() noexcept {
   last_ = 0.0;
   sum_ = 0.0;
   epochs_ = 0;
+}
+
+void SlackMonitor::save_state(common::StateWriter& out) const {
+  out.f64(average_);
+  out.f64(delta_);
+  out.f64(last_);
+  out.f64(sum_);
+  out.size(epochs_);
+}
+
+void SlackMonitor::load_state(common::StateReader& in) {
+  average_ = in.f64();
+  delta_ = in.f64();
+  last_ = in.f64();
+  sum_ = in.f64();
+  epochs_ = in.size();
 }
 
 }  // namespace prime::rtm

@@ -16,6 +16,11 @@
 
 #include "common/units.hpp"
 
+namespace prime::common {
+class StateWriter;
+class StateReader;
+}  // namespace prime::common
+
 namespace prime::rtm {
 
 /// \brief Averaging mode for the slack monitor.
@@ -51,6 +56,11 @@ class SlackMonitor {
 
   /// \brief Restart the accumulator (application start or Tref change).
   void reset() noexcept;
+
+  /// \brief Serialise the accumulator state (mode/alpha are configuration).
+  void save_state(common::StateWriter& out) const;
+  /// \brief Restore state written by save_state().
+  void load_state(common::StateReader& in);
 
  private:
   SlackAveraging mode_;

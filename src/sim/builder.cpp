@@ -91,36 +91,44 @@ std::string expand_spec(std::string spec, const Scenario& scenario) {
   return spec;
 }
 
-/// Two CsvSinks streaming into one target interleave and corrupt it —
-/// whether the collision is across concurrent runs or across specs within
-/// one run. Every csv spec therefore needs a path= whose expansion is
-/// unique over the whole sweep (stdout — no path= — is allowed exactly
-/// once, and only when a single run executes). Validated up front so the
-/// error arrives before any simulation work, naming the colliding target.
-/// Malformed specs are not this check's concern — the trial construction in
-/// run() reports those with the registry's did-you-mean diagnostics.
-void validate_csv_targets(const std::vector<std::string>& specs,
-                          const std::vector<Scenario>& runs) {
+/// Two sinks streaming into one target interleave and corrupt it — whether
+/// the collision is across concurrent runs or across specs within one run.
+/// Every file-writing spec (csv, bintrace, checkpoint) therefore needs a
+/// path= whose expansion is unique over the whole sweep (stdout — a csv with
+/// no path= — is allowed exactly once, and only when a single run executes).
+/// Validated up front so the error arrives before any simulation work,
+/// naming the colliding target. Malformed specs are not this check's concern
+/// — the trial construction in run() reports those with the registry's
+/// did-you-mean diagnostics. Nested specs (sample(inner=...)) are not
+/// inspected.
+void validate_sink_targets(const std::vector<std::string>& specs,
+                           const std::vector<Scenario>& runs) {
   std::set<std::string> targets;
   for (const auto& raw : specs) {
     for (const auto& scenario : runs) {
       const common::Spec parsed =
           common::Spec::parse(expand_spec(raw, scenario));
-      if (parsed.name() != "csv") break;  // same name for every expansion
+      const std::string& kind = parsed.name();
+      if (kind != "csv" && kind != "bintrace" && kind != "checkpoint") {
+        break;  // same name for every expansion
+      }
       const std::string path = parsed.get_string("path", "");
-      if (path.empty() && runs.size() > 1) {
+      if (path.empty() && kind == "csv" && runs.size() > 1) {
         throw std::invalid_argument(
             "ExperimentBuilder: telemetry spec '" + raw +
             "' would stream " + std::to_string(runs.size()) +
             " concurrent runs to stdout; give csv a path= with {governor}/"
             "{workload}/{fps}/{cell} placeholders");
       }
+      if (path.empty() && kind != "csv") {
+        continue;  // pathless bintrace/checkpoint fail in run()'s trial build
+      }
       const std::string target = path.empty() ? "<stdout>" : path;
       if (!targets.insert(target).second) {
         throw std::invalid_argument(
-            "ExperimentBuilder: csv target '" + target +
+            "ExperimentBuilder: " + kind + " target '" + target +
             "' is opened more than once by this sweep (spec '" + raw +
-            "'); make csv paths unique per run and per spec with "
+            "'); make " + kind + " paths unique per run and per spec with "
             "{governor}/{workload}/{fps}/{cell} placeholders");
       }
     }
@@ -203,6 +211,13 @@ ExperimentBuilder& ExperimentBuilder::telemetry(
 ExperimentBuilder& ExperimentBuilder::telemetry(
     std::initializer_list<std::string> specs) {
   telemetry_.insert(telemetry_.end(), specs.begin(), specs.end());
+  return *this;
+}
+
+ExperimentBuilder& ExperimentBuilder::checkpoint(const std::string& path,
+                                                 std::size_t every) {
+  telemetry_.push_back("checkpoint(path=" + path +
+                       ",every=" + std::to_string(every) + ")");
   return *this;
 }
 
@@ -333,7 +348,7 @@ SweepResult ExperimentBuilder::run() const {
     for (const auto& raw : telemetry_) {
       (void)make_sink(expand_spec(raw, runs.front()));
     }
-    validate_csv_targets(telemetry_, runs);
+    validate_sink_targets(telemetry_, runs);
   }
 
   // Phase 1: one task per (workload, fps) cell — generate and calibrate the

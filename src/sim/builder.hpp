@@ -133,6 +133,16 @@ class ExperimentBuilder {
   ///        constructor) and the vector one.
   ExperimentBuilder& telemetry(std::initializer_list<std::string> specs);
 
+  /// \brief Write a resumable checkpoint per scenario: sugar for
+  ///        .telemetry("checkpoint(path=<path>,every=<n>)"). The path
+  ///        supports the same {governor}/{workload}/{fps}/{cell}
+  ///        placeholders as csv paths, and multi-run sweeps reject
+  ///        non-unique expansions (concurrent runs overwriting one
+  ///        checkpoint would interleave snapshots of different runs).
+  ///        every=0 writes only each run's final checkpoint.
+  ExperimentBuilder& checkpoint(const std::string& path,
+                                std::size_t every = 0);
+
   /// \brief Trace length in frames (default 3000). For streaming scenarios
   ///        this is the run length (passed to RunOptions::max_frames) and the
   ///        calibration window.

@@ -1,9 +1,12 @@
 #include "sim/engine.hpp"
 
 #include <algorithm>
+#include <memory>
 #include <numeric>
+#include <sstream>
 #include <stdexcept>
 
+#include "sim/checkpoint.hpp"
 #include "sim/telemetry.hpp"
 
 namespace prime::sim {
@@ -36,8 +39,43 @@ common::Watt RunResult::mean_power() const {
 
 RunResult run_simulation(hw::Platform& platform, const wl::Application& app,
                          gov::Governor& governor, const RunOptions& options) {
-  if (options.reset_platform) platform.reset();
-  if (options.reset_governor) governor.reset();
+  // Resume first: the restored state supersedes the reset_* flags (resetting
+  // after loading would discard exactly the state the caller asked to keep).
+  std::optional<Checkpoint> resume;
+  if (!options.resume_from.empty()) {
+    resume = Checkpoint::load_file(options.resume_from);
+    if (resume->governor != governor.name() ||
+        resume->application != app.name()) {
+      throw CheckpointError(
+          "checkpoint '" + options.resume_from + "': saved for governor '" +
+          resume->governor + "' on application '" + resume->application +
+          "', cannot resume governor '" + governor.name() +
+          "' on application '" + app.name() + "'");
+    }
+    // Governors size their learning tables lazily from the action/core
+    // space; a shape mismatch would silently re-initialise the restored
+    // state on the first decision, so reject it up front.
+    if (resume->opp_count != platform.opp_table().size() ||
+        resume->core_count != platform.cluster().core_count()) {
+      throw CheckpointError(
+          "checkpoint '" + options.resume_from + "': saved on a platform "
+          "with " + std::to_string(resume->opp_count) + " OPPs and " +
+          std::to_string(resume->core_count) + " cores, cannot resume on " +
+          std::to_string(platform.opp_table().size()) + " OPPs and " +
+          std::to_string(platform.cluster().core_count()) + " cores");
+    }
+    {
+      std::istringstream in(resume->governor_state);
+      governor.load_state(in);
+    }
+    {
+      std::istringstream in(resume->platform_state);
+      platform.load_state(in);
+    }
+  } else {
+    if (options.reset_platform) platform.reset();
+    if (options.reset_governor) governor.reset();
+  }
 
   hw::Cluster& cluster = platform.cluster();
   const hw::OppTable& opps = platform.opp_table();
@@ -60,15 +98,93 @@ RunResult run_simulation(hw::Platform& platform, const wl::Application& app,
                  : std::min(options.max_frames, app.frame_count());
   }
 
+  std::size_t start = 0;
   RunResult result;
+  if (resume) {
+    start = static_cast<std::size_t>(resume->frame_position);
+    if (start > frames) {
+      throw std::invalid_argument(
+          "run_simulation: checkpoint '" + options.resume_from +
+          "' is at frame " + std::to_string(start) +
+          ", beyond the requested run length of " + std::to_string(frames));
+    }
+    result = resume->aggregates;
+    // Fast-forward the deterministic frame stream to where the run stopped
+    // (O(1) for trace-backed sources; generator streams replay their draws).
+    app.skip_to(start);
+  }
+
   RunContext ctx;
   ctx.governor = governor.name();
   ctx.application = app.name();
-  ctx.frames = frames;
-  RunEmitter emitter(result, options.sinks, ctx);
+  ctx.frames = frames - start;
 
   std::optional<gov::EpochObservation> last;
-  for (std::size_t i = 0; i < frames; ++i) {
+  if (resume && resume->has_last) last = resume->last;
+
+  // Checkpoint sinks: the engine owns the *what* (a full-state snapshot over
+  // the live loop variables), the sinks own the *when* (their epoch cadence).
+  // RunOptions::checkpoint_path is sugar for attaching one more sink.
+  std::vector<TelemetrySink*> sinks = options.sinks;
+  std::unique_ptr<CheckpointSink> own_checkpoint;
+  if (!options.checkpoint_path.empty()) {
+    own_checkpoint = std::make_unique<CheckpointSink>(
+        options.checkpoint_path, options.checkpoint_every);
+    sinks.push_back(own_checkpoint.get());
+  } else if (options.checkpoint_every != 0) {
+    throw std::invalid_argument(
+        "run_simulation: RunOptions::checkpoint_every requires "
+        "checkpoint_path");
+  }
+  const CheckpointSnapshotFn snapshot = [&]() {
+    Checkpoint ck;
+    ck.governor = ctx.governor;
+    ck.application = ctx.application;
+    ck.opp_count = opps.size();
+    ck.core_count = cluster.core_count();
+    // result accumulates one epoch per emitted record across sessions, so
+    // its epoch count *is* the absolute frame position.
+    ck.frame_position = result.epoch_count;
+    ck.aggregates = result;
+    ck.has_last = last.has_value();
+    if (last) ck.last = *last;
+    std::ostringstream governor_state;
+    governor.save_state(governor_state);
+    ck.governor_state = governor_state.str();
+    std::ostringstream platform_state;
+    platform.save_state(platform_state);
+    ck.platform_state = platform_state.str();
+    return ck;
+  };
+  std::vector<CheckpointSink*> bound;
+  for (TelemetrySink* sink : sinks) {
+    // Unwrap decimating pass-throughs so sample(inner=checkpoint(...)) binds
+    // too — the sample cadence then gates how often snapshots are taken.
+    TelemetrySink* s = sink;
+    while (s != nullptr) {
+      if (auto* ck = dynamic_cast<CheckpointSink*>(s)) {
+        ck->bind(snapshot);
+        bound.push_back(ck);
+        break;
+      }
+      auto* sample = dynamic_cast<SampleSink*>(s);
+      s = sample != nullptr ? &sample->inner() : nullptr;
+    }
+  }
+  // The snapshot lambda captures this frame by reference. Unbind on every
+  // exit — including an exception thrown mid-run, which skips the sinks'
+  // own on_run_end cleanup — so a caller-owned sink can never retain a
+  // dangling binding into a dead stack frame.
+  struct UnbindGuard {
+    std::vector<CheckpointSink*>* sinks;
+    ~UnbindGuard() {
+      for (CheckpointSink* ck : *sinks) ck->bind(nullptr);
+    }
+  } unbind_guard{&bound};
+
+  RunEmitter emitter(result, sinks, ctx);
+
+  for (std::size_t i = start; i < frames; ++i) {
     const common::Seconds period = app.deadline_at(i);
     std::vector<common::Cycles> work = app.core_work(i, cluster.core_count());
     const common::Cycles demand =

@@ -92,6 +92,25 @@ struct RunOptions {
   std::vector<TelemetrySink*> sinks;
   bool reset_platform = true;   ///< Reset hardware state before the run.
   bool reset_governor = true;   ///< Reset governor learning before the run.
+
+  // --- Checkpoint/resume (sim/checkpoint.hpp) --------------------------------
+
+  /// Write a resumable `.ckpt` snapshot here (atomic overwrite). Implemented
+  /// by attaching an engine-owned CheckpointSink; a `checkpoint(path=...)`
+  /// telemetry sink in `sinks` is the equivalent spec-driven form. Empty
+  /// disables engine-side checkpointing.
+  std::string checkpoint_path;
+  /// Snapshot cadence in epochs for checkpoint_path (0 = only at run end).
+  /// Nonzero without a checkpoint_path throws std::invalid_argument.
+  std::size_t checkpoint_every = 0;
+  /// Resume from the `.ckpt` at this path instead of starting fresh: restores
+  /// governor + platform + aggregate state, fast-forwards the frame stream,
+  /// and continues at the stored frame position — bit-identical to a run that
+  /// never stopped. The checkpoint's governor/application names must match
+  /// (CheckpointError otherwise), its frame position must not exceed the run
+  /// length, and the reset_* flags are ignored (the restored state *is* the
+  /// pre-run state). Empty disables resume.
+  std::string resume_from;
 };
 
 /// \brief Run \p app on \p platform under \p governor.

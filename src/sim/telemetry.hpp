@@ -38,7 +38,11 @@ namespace prime::sim {
 struct RunContext {
   std::string governor;      ///< Governor display name.
   std::string application;   ///< Application name.
-  std::size_t frames = 0;    ///< Planned epoch count.
+  /// Epoch count planned for *this* session. A resumed run
+  /// (RunOptions::resume_from) plans only its tail, so per-epoch sinks
+  /// record the resumed epochs only; records keep their absolute epoch
+  /// indices.
+  std::size_t frames = 0;
   std::size_t app_index = 0; ///< Stream index in a multi-app run.
   std::size_t app_count = 1; ///< Number of concurrent application streams.
 };

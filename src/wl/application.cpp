@@ -89,6 +89,27 @@ const FrameDemand& Application::demand_at(std::size_t frame) const {
   return current_;
 }
 
+void Application::skip_to(std::size_t frame) const {
+  if (!streaming()) return;  // materialised traces are random access already
+  if (next_index_ > frame || source_ == nullptr) {
+    source_ = source_factory_();
+    next_index_ = 0;
+    current_ = FrameDemand{};
+  }
+  if (!source_->skip_to(frame)) {
+    throw std::out_of_range("Application '" + name_ +
+                            "': frame source exhausted at frame " +
+                            std::to_string(source_->position()) +
+                            " while skipping to " + std::to_string(frame));
+  }
+  // The one-frame cache is stale after a genuine skip: the next demand_at()
+  // pulls the frame at the new position instead of trusting it.
+  if (frame != next_index_) {
+    next_index_ = frame;
+    current_ = FrameDemand{};
+  }
+}
+
 void Application::set_mem_fraction(double m) noexcept {
   mem_fraction_ = std::clamp(m, 0.0, 0.9);
 }

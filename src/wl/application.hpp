@@ -94,6 +94,16 @@ class Application {
   [[nodiscard]] bool streaming() const noexcept {
     return static_cast<bool>(source_factory_);
   }
+
+  /// \brief Fast-forward the streaming replay cursor so the next sequential
+  ///        access serves frame \p frame directly (checkpoint resume). Uses
+  ///        FrameSource::skip_to — O(1) for trace-backed sources, a draw
+  ///        replay for generator streams. A no-op for materialised (random
+  ///        access) applications. Skipping below the cursor re-creates the
+  ///        source first. Throws std::out_of_range when a bounded source
+  ///        exhausts before \p frame. Like the cursor itself this is replay
+  ///        state, not logical state, hence const.
+  void skip_to(std::size_t frame) const;
   /// \brief Total frames in the trace (0 for streaming applications, whose
   ///        length is unbounded — check streaming() first).
   [[nodiscard]] std::size_t frame_count() const noexcept { return trace_.size(); }

@@ -17,15 +17,16 @@ class FftFrameStream final : public FrameSource {
   FftFrameStream(const FftParams& params, std::uint64_t seed)
       : params_(params), rng_(seed) {}
 
-  std::optional<FrameDemand> next() override {
+  [[nodiscard]] std::string name() const override { return params_.label; }
+
+ protected:
+  std::optional<FrameDemand> generate() override {
     double cycles = params_.mean_cycles *
                     std::max(0.5, 1.0 + rng_.normal(0.0, params_.jitter_cv));
     if (rng_.bernoulli(params_.outlier_prob)) cycles *= params_.outlier_scale;
     return FrameDemand{static_cast<common::Cycles>(cycles),
                        FrameKind::kGeneric};
   }
-
-  [[nodiscard]] std::string name() const override { return params_.label; }
 
  private:
   FftParams params_;

@@ -1,13 +1,46 @@
 #include "wl/frame_source.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <stdexcept>
 
 namespace prime::wl {
 
-std::optional<FrameDemand> TraceFrameSource::next() {
-  if (pos_ >= trace_.size()) return std::nullopt;
-  return trace_.at(pos_++);
+std::optional<FrameDemand> FrameSource::next() {
+  std::optional<FrameDemand> frame = generate();
+  if (frame) ++position_;
+  return frame;
+}
+
+bool FrameSource::skip_to(std::size_t frame_index) {
+  if (frame_index < position_) {
+    throw std::invalid_argument(
+        "FrameSource::skip_to: cannot skip backward (at frame " +
+        std::to_string(position_) + ", asked for " +
+        std::to_string(frame_index) + "); re-create the source to rewind");
+  }
+  const std::size_t skipped = discard(frame_index - position_);
+  position_ += skipped;
+  return position_ == frame_index;
+}
+
+std::size_t FrameSource::discard(std::size_t n) {
+  // Sequential fallback: replay the generation step without handing frames
+  // out. For RNG-driven generator streams this is the fastest possible skip —
+  // the stream state at frame n depends on every draw before it.
+  for (std::size_t i = 0; i < n; ++i) {
+    if (!generate()) return i;
+  }
+  return n;
+}
+
+std::optional<FrameDemand> TraceFrameSource::generate() {
+  if (position() >= trace_.size()) return std::nullopt;
+  return trace_.at(position());  // the base wrapper advances the cursor
+}
+
+std::size_t TraceFrameSource::discard(std::size_t n) {
+  return std::min(n, trace_.size() - position());
 }
 
 ScaledFrameSource::ScaledFrameSource(std::unique_ptr<FrameSource> inner,
@@ -21,13 +54,21 @@ ScaledFrameSource::ScaledFrameSource(std::unique_ptr<FrameSource> inner,
   }
 }
 
-std::optional<FrameDemand> ScaledFrameSource::next() {
+std::optional<FrameDemand> ScaledFrameSource::generate() {
   std::optional<FrameDemand> frame = inner_->next();
   if (frame) {
     frame->cycles = static_cast<common::Cycles>(
         std::llround(static_cast<double>(frame->cycles) * scale_));
   }
   return frame;
+}
+
+std::size_t ScaledFrameSource::discard(std::size_t n) {
+  // Delegate through the inner source's public skip (O(1) for trace-backed
+  // inners); scaling frames nobody sees is a no-op.
+  const std::size_t before = inner_->position();
+  (void)inner_->skip_to(before + n);
+  return inner_->position() - before;
 }
 
 }  // namespace prime::wl

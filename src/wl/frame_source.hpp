@@ -12,6 +12,14 @@
 /// materialises, for every n — `generate()` is implemented by pulling from
 /// `stream()`, and tests/test_frame_source.cpp pins the guarantee per
 /// registered generator.
+///
+/// Sources track their absolute position (the index of the frame the next
+/// `next()` yields) and support forward `skip_to()` — how checkpoint resume
+/// (sim/checkpoint.hpp) fast-forwards a stream to the frame it stopped at.
+/// Trace-backed and scaled sources skip in O(1); sequential-RNG generator
+/// streams replay their per-frame draws (O(n) but allocation-free — an RNG
+/// stream's state at frame n is a function of all n draws before it, so no
+/// deterministic generator can jump it without changing the sequence).
 #pragma once
 
 #include <functional>
@@ -31,11 +39,36 @@ namespace prime::wl {
 class FrameSource {
  public:
   virtual ~FrameSource() = default;
+
   /// \brief The next frame, or nullopt when the source is exhausted.
   ///        Generator-backed sources are unbounded and never return nullopt.
-  [[nodiscard]] virtual std::optional<FrameDemand> next() = 0;
+  [[nodiscard]] std::optional<FrameDemand> next();
+
+  /// \brief Index of the frame the next `next()` call will yield (frames
+  ///        consumed so far, counting skipped ones).
+  [[nodiscard]] std::size_t position() const noexcept { return position_; }
+
+  /// \brief Fast-forward so position() == \p frame_index. Returns false when
+  ///        the source exhausts first (position() is then the end). Skipping
+  ///        backward throws std::invalid_argument — deterministic streams
+  ///        rewind by re-creation, not by seeking.
+  bool skip_to(std::size_t frame_index);
+
   /// \brief Display name (matches the trace name the source would produce).
   [[nodiscard]] virtual std::string name() const = 0;
+
+ protected:
+  /// \brief Produce the next frame (the per-source generation step behind
+  ///        the position-tracking public next()).
+  [[nodiscard]] virtual std::optional<FrameDemand> generate() = 0;
+
+  /// \brief Discard up to \p n frames, returning how many were discarded
+  ///        (fewer only on exhaustion). Default replays generate(); sources
+  ///        with random-access backends override for O(1).
+  [[nodiscard]] virtual std::size_t discard(std::size_t n);
+
+ private:
+  std::size_t position_ = 0;
 };
 
 /// \brief Factory re-creating a source from scratch — how replay-from-frame-0
@@ -44,34 +77,43 @@ class FrameSource {
 using FrameSourceFactory = std::function<std::unique_ptr<FrameSource>()>;
 
 /// \brief Bounded source replaying a materialised trace front to back.
+///        Skips in O(1) (cursor arithmetic over the random-access trace).
 class TraceFrameSource final : public FrameSource {
  public:
   explicit TraceFrameSource(WorkloadTrace trace) : trace_(std::move(trace)) {}
 
-  [[nodiscard]] std::optional<FrameDemand> next() override;
   [[nodiscard]] std::string name() const override { return trace_.name(); }
   /// \brief Frames not yet yielded.
   [[nodiscard]] std::size_t remaining() const noexcept {
-    return trace_.size() - pos_;
+    return trace_.size() - position();
   }
+
+ protected:
+  // The base position() is the cursor: generate()/discard() index the
+  // random-access trace with it directly instead of tracking a duplicate.
+  [[nodiscard]] std::optional<FrameDemand> generate() override;
+  [[nodiscard]] std::size_t discard(std::size_t n) override;
 
  private:
   WorkloadTrace trace_;
-  std::size_t pos_ = 0;
 };
 
 /// \brief Decorator scaling every frame's demand by a constant factor,
 ///        rounding to nearest — the same rounding WorkloadTrace::scaled_to_mean
 ///        applies, so a scaled stream and a scaled trace built from the same
 ///        frames stay frame-for-frame identical (the calibration path in
-///        sim::make_application relies on this).
+///        sim::make_application relies on this). Skips as fast as its inner
+///        source does (scaling discarded frames is a no-op).
 class ScaledFrameSource final : public FrameSource {
  public:
   ScaledFrameSource(std::unique_ptr<FrameSource> inner, double scale);
 
-  [[nodiscard]] std::optional<FrameDemand> next() override;
   [[nodiscard]] std::string name() const override { return inner_->name(); }
   [[nodiscard]] double scale() const noexcept { return scale_; }
+
+ protected:
+  [[nodiscard]] std::optional<FrameDemand> generate() override;
+  [[nodiscard]] std::size_t discard(std::size_t n) override;
 
  private:
   std::unique_ptr<FrameSource> inner_;

@@ -20,7 +20,10 @@ class PhaseFrameStream final : public FrameSource {
                    std::uint64_t seed)
       : label_(std::move(label)), phases_(std::move(phases)), rng_(seed) {}
 
-  std::optional<FrameDemand> next() override {
+  [[nodiscard]] std::string name() const override { return label_; }
+
+ protected:
+  std::optional<FrameDemand> generate() override {
     const Phase& ph = phases_[phase_idx_];
     const double progress =
         ph.frames <= 1 ? 0.0
@@ -36,8 +39,6 @@ class PhaseFrameStream final : public FrameSource {
     return FrameDemand{static_cast<common::Cycles>(cycles),
                        FrameKind::kGeneric};
   }
-
-  [[nodiscard]] std::string name() const override { return label_; }
 
  private:
   std::string label_;
@@ -55,7 +56,10 @@ class MarkovFrameStream final : public FrameSource {
       : params_(std::move(params)), rng_(seed), state_(params_.initial_state),
         row_(params_.state_means.size()) {}
 
-  std::optional<FrameDemand> next() override {
+  [[nodiscard]] std::string name() const override { return params_.label; }
+
+ protected:
+  std::optional<FrameDemand> generate() override {
     const std::size_t s = params_.state_means.size();
     const double jitter =
         std::max(0.2, 1.0 + rng_.normal(0.0, params_.jitter_cv));
@@ -67,8 +71,6 @@ class MarkovFrameStream final : public FrameSource {
     return FrameDemand{static_cast<common::Cycles>(cycles),
                        FrameKind::kGeneric};
   }
-
-  [[nodiscard]] std::string name() const override { return params_.label; }
 
  private:
   MarkovParams params_;

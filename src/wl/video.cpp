@@ -27,7 +27,10 @@ class VideoFrameStream final : public FrameSource {
     base_ = params_.mean_cycles * static_cast<double>(gop_) / weight_sum;
   }
 
-  std::optional<FrameDemand> next() override {
+  [[nodiscard]] std::string name() const override { return params_.label; }
+
+ protected:
+  std::optional<FrameDemand> generate() override {
     const auto [kind, weight] = weight_at(i_++ % gop_);
     if (rng_.bernoulli(params_.scene_change_prob)) {
       scene_scale_ =
@@ -39,8 +42,6 @@ class VideoFrameStream final : public FrameSource {
     const double cycles = base_ * weight * scene_scale_ * jitter;
     return FrameDemand{static_cast<common::Cycles>(cycles), kind};
   }
-
-  [[nodiscard]] std::string name() const override { return params_.label; }
 
  private:
   /// Kind and relative cost of GOP position \p pos.
