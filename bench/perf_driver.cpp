@@ -1,0 +1,173 @@
+/// \file perf_driver.cpp
+/// \brief Simulator throughput bench: emits BENCH_6.json for CI tracking.
+///
+/// Population mode's cost model is "devices × frames / simulator throughput",
+/// so this driver measures, per governor: end-to-end simulated frames per
+/// wall-clock second (with p50/p95/p99 of ns/frame across repetitions), and
+/// the governor's bare decision cost (ns per decide() call on a synthetic
+/// feedback loop, amortised over a long loop). Results land in a small
+/// hand-rolled JSON file CI uploads as an artifact, so regressions in the
+/// engine hot path or a governor's decision path show up as a diffable
+/// number rather than a vague "CI got slower".
+///
+/// Usage: bench_perf_driver [out=BENCH_6.json] [frames=2000] [reps=5]
+///                          [decisions=2000000]
+///                          [governors=ondemand,schedutil,rtm,rtm-manycore]
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/config.hpp"
+#include "common/stats.hpp"
+#include "common/strings.hpp"
+#include "sim/engine.hpp"
+#include "sim/experiment.hpp"
+
+namespace {
+
+using namespace prime;
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+std::string json_number(double value) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.6g", value);
+  return buf;
+}
+
+/// Wall-clock seconds to simulate \p frames frames under \p name, streaming
+/// workload, fresh platform/app/governor — the full engine hot path.
+double time_run(const std::string& name, std::size_t frames,
+                std::uint64_t seed) {
+  const auto platform = hw::Platform::odroid_xu3_a15(seed);
+  sim::ExperimentSpec spec;
+  spec.workload = "h264";
+  spec.stream = true;
+  spec.frames = frames;
+  spec.seed = seed;
+  const wl::Application app = sim::make_application(spec, *platform);
+  const auto governor = sim::make_governor(name, seed);
+  sim::RunOptions opts;
+  opts.max_frames = frames;
+  const auto start = Clock::now();
+  const sim::RunResult result =
+      sim::run_simulation(*platform, app, *governor, opts);
+  const double elapsed = seconds_since(start);
+  if (result.epoch_count != frames) {
+    throw std::runtime_error("perf_driver: run under '" + name +
+                             "' executed " +
+                             std::to_string(result.epoch_count) + " of " +
+                             std::to_string(frames) + " frames");
+  }
+  return elapsed;
+}
+
+/// ns per decide() call on a synthetic feedback loop: the governor sees a
+/// plausible alternating-slack observation stream, isolated from the
+/// platform/workload cost that time_run measures.
+double time_decisions(const std::string& name, std::size_t decisions) {
+  const hw::OppTable opps = hw::OppTable::odroid_xu3_a15();
+  const auto governor = sim::make_governor(name, 7);
+  gov::DecisionContext ctx;
+  ctx.period = 0.04;
+  ctx.cores = 4;
+  ctx.opps = &opps;
+  std::optional<gov::EpochObservation> last;
+  std::size_t opp = opps.size() / 2;
+  const auto start = Clock::now();
+  for (std::size_t epoch = 0; epoch < decisions; ++epoch) {
+    ctx.epoch = epoch;
+    opp = governor->decide(ctx, last);
+    gov::EpochObservation obs;
+    obs.epoch = epoch;
+    obs.period = ctx.period;
+    // Alternate between slack and a mild miss so adaptive governors keep
+    // exercising both branches instead of converging to a no-op.
+    obs.frame_time = (epoch % 3 == 0) ? 0.044 : 0.031;
+    obs.window = std::max(obs.frame_time, obs.period);
+    obs.total_cycles = 8'000'000;
+    obs.opp_index = opp;
+    obs.avg_power = 2.5;
+    obs.temperature = 55.0;
+    obs.deadline_met = obs.frame_time <= obs.period;
+    last = obs;
+  }
+  return seconds_since(start) * 1e9 / static_cast<double>(decisions);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  common::Config cfg;
+  cfg.parse_args(argc, argv);
+  const std::string out_path = cfg.get_string("out", "BENCH_6.json");
+  const auto frames = static_cast<std::size_t>(cfg.get_int("frames", 2000));
+  const auto reps = static_cast<std::size_t>(cfg.get_int("reps", 5));
+  const auto decisions =
+      static_cast<std::size_t>(cfg.get_int("decisions", 2'000'000));
+  std::vector<std::string> governors;
+  for (const auto& field : common::split_outside_parens(
+           cfg.get_string("governors", "ondemand,schedutil,rtm,rtm-manycore"),
+           ',')) {
+    const std::string token = common::trim(field);
+    if (!token.empty()) governors.push_back(token);
+  }
+
+  try {
+    std::string json = "{\n  \"bench\": \"perf_driver\",\n";
+    json += "  \"frames_per_run\": " + std::to_string(frames) + ",\n";
+    json += "  \"reps\": " + std::to_string(reps) + ",\n";
+    json += "  \"decision_loop\": " + std::to_string(decisions) + ",\n";
+    json += "  \"governors\": [\n";
+    for (std::size_t g = 0; g < governors.size(); ++g) {
+      const std::string& name = governors[g];
+      std::cerr << "perf_driver: " << name << " ..." << std::endl;
+      std::vector<double> ns_per_frame;
+      ns_per_frame.reserve(reps);
+      for (std::size_t rep = 0; rep < reps; ++rep) {
+        const double elapsed = time_run(name, frames, 1000 + rep);
+        ns_per_frame.push_back(elapsed * 1e9 /
+                               static_cast<double>(frames));
+      }
+      const std::vector<double> pct =
+          common::percentiles_of(ns_per_frame, {50.0, 95.0, 99.0});
+      const double ns_decide = time_decisions(name, decisions);
+      json += "    {\"name\": \"" + name + "\", ";
+      json += "\"frames_per_sec\": " + json_number(1e9 / pct[0]) + ", ";
+      json += "\"ns_per_frame_p50\": " + json_number(pct[0]) + ", ";
+      json += "\"ns_per_frame_p95\": " + json_number(pct[1]) + ", ";
+      json += "\"ns_per_frame_p99\": " + json_number(pct[2]) + ", ";
+      json += "\"ns_per_decision\": " + json_number(ns_decide) + "}";
+      json += (g + 1 < governors.size()) ? ",\n" : "\n";
+    }
+    json += "  ]\n}\n";
+
+    std::ofstream out(out_path);
+    if (!out) {
+      std::cerr << "perf_driver: cannot open '" << out_path
+                << "' for writing\n";
+      return 1;
+    }
+    out << json;
+    out.close();
+    if (!out) {
+      std::cerr << "perf_driver: writing '" << out_path << "' failed\n";
+      return 1;
+    }
+    std::cout << json;
+    std::cout << "wrote " << out_path << "\n";
+    return 0;
+  } catch (const std::exception& e) {
+    std::cerr << "perf_driver: " << e.what() << "\n";
+    return 1;
+  }
+}

@@ -4,15 +4,19 @@
 /// The command-line companion of the bintrace(path=) telemetry sink: prints
 /// a trace's header and streamed aggregate summary, converts it to the
 /// per-frame series CSV (byte-identical to what csv(path=) would have
-/// written for the same run), or dumps a single record by epoch index using
-/// the reader's O(1) random access.
+/// written for the same run), dumps a single record by epoch index using
+/// the reader's O(1) random access, or concatenates sealed traces of one
+/// logical run into a single re-sealed trace.
 ///
 /// Usage: trace_tool path=run.bt [mode=info|csv|record]
 ///                   [out=run.csv]   (csv mode; stdout when omitted)
 ///                   [record=N]      (record mode: record index to print)
+///        trace_tool mode=cat in=a.bt,b.bt,... out=all.bt
+#include <cstdint>
 #include <fstream>
 #include <iostream>
 #include <string>
+#include <vector>
 
 #include "common/config.hpp"
 #include "common/strings.hpp"
@@ -90,9 +94,34 @@ int main(int argc, char** argv) {
   cfg.parse_args(argc, argv);
   const std::string path = cfg.get_string("path", "");
   const std::string mode = cfg.get_string("mode", "info");
+
+  if (mode == "cat") {
+    std::vector<std::string> inputs;
+    for (const auto& field :
+         common::split(cfg.get_string("in", ""), ',')) {
+      const std::string token = common::trim(field);
+      if (!token.empty()) inputs.push_back(token);
+    }
+    const std::string out_path = cfg.get_string("out", "");
+    if (inputs.empty() || out_path.empty()) {
+      std::cerr << "Usage: trace_tool mode=cat in=a.bt,b.bt,... out=all.bt\n";
+      return 2;
+    }
+    try {
+      const std::uint64_t records = sim::concat_traces(inputs, out_path);
+      std::cout << "wrote " << records << " records from " << inputs.size()
+                << " trace(s) to " << out_path << "\n";
+      return 0;
+    } catch (const std::exception& e) {
+      std::cerr << "trace_tool: " << e.what() << "\n";
+      return 1;
+    }
+  }
+
   if (path.empty()) {
     std::cerr << "Usage: trace_tool path=run.bt [mode=info|csv|record] "
-                 "[out=run.csv] [record=N]\n";
+                 "[out=run.csv] [record=N]\n"
+                 "       trace_tool mode=cat in=a.bt,b.bt,... out=all.bt\n";
     return 2;
   }
 

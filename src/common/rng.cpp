@@ -21,6 +21,14 @@ std::uint64_t splitmix64_next(std::uint64_t& state) noexcept {
   return z ^ (z >> 31);
 }
 
+std::uint64_t derive_seed(std::uint64_t base_seed,
+                          std::uint64_t stream_index) noexcept {
+  // Jump the splitmix64 state walk directly to the stream_index-th step
+  // (the walk is a constant-gamma stride), then take one output.
+  std::uint64_t state = base_seed + stream_index * 0x9E3779B97F4A7C15ULL;
+  return splitmix64_next(state);
+}
+
 Rng::Rng(std::uint64_t seed) noexcept {
   std::uint64_t sm = seed;
   for (auto& word : state_) word = splitmix64_next(sm);

@@ -24,6 +24,19 @@ class StateReader;
 /// \return Next 64-bit output.
 [[nodiscard]] std::uint64_t splitmix64_next(std::uint64_t& state) noexcept;
 
+/// \brief Derive the seed of stream \p stream_index from \p base_seed in
+///        O(1), independent of any other stream's derivation.
+///
+/// SplitMix64's k-th output is mix(base + (k+1)*gamma): the state walk is a
+/// plain gamma stride, so jumping straight to index k and mixing once yields
+/// exactly the output a sequential walk would — derive_seed(base, k) is the
+/// (k+1)-th splitmix64_next() output from state=base. The fleet layer seeds
+/// each simulated device with its *population-wide* device index, so a
+/// device's seed (and therefore its entire simulated trajectory) never
+/// depends on how the population was partitioned into shards.
+[[nodiscard]] std::uint64_t derive_seed(std::uint64_t base_seed,
+                                        std::uint64_t stream_index) noexcept;
+
 /// \brief Deterministic xoshiro256** generator with convenience samplers.
 ///
 /// Not thread-safe; give each simulated component its own instance (use

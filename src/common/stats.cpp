@@ -114,6 +114,111 @@ double Histogram::percentile(double p) const {
   return hi_;
 }
 
+bool Histogram::bin_compatible(const Histogram& other) const noexcept {
+  return lo_ == other.lo_ && hi_ == other.hi_ &&
+         counts_.size() == other.counts_.size();
+}
+
+void Histogram::merge(const Histogram& other) {
+  if (!bin_compatible(other)) {
+    throw std::invalid_argument(
+        "Histogram::merge: incompatible bins — [" + std::to_string(lo_) +
+        ", " + std::to_string(hi_) + ") x" + std::to_string(counts_.size()) +
+        " vs [" + std::to_string(other.lo_) + ", " +
+        std::to_string(other.hi_) + ") x" +
+        std::to_string(other.counts_.size()));
+  }
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    counts_[i] += other.counts_[i];
+  }
+  total_ += other.total_;
+}
+
+Histogram& Histogram::operator+=(const Histogram& other) {
+  merge(other);
+  return *this;
+}
+
+void Histogram::save_state(StateWriter& out) const {
+  out.f64(lo_);
+  out.f64(hi_);
+  out.size(counts_.size());
+  for (const std::size_t c : counts_) out.u64(static_cast<std::uint64_t>(c));
+  out.size(total_);
+}
+
+void Histogram::load_state(StateReader& in) {
+  const double lo = in.f64();
+  const double hi = in.f64();
+  const std::size_t bins = in.size();
+  if (bins == 0 || !(hi > lo)) {
+    throw SerialError("Histogram::load_state: invalid range/bin count");
+  }
+  std::vector<std::size_t> counts(bins, 0);
+  std::size_t total = 0;
+  for (auto& c : counts) {
+    c = static_cast<std::size_t>(in.u64());
+    total += c;
+  }
+  const std::size_t stored_total = in.size();
+  if (stored_total != total) {
+    throw SerialError("Histogram::load_state: total does not match bin sum");
+  }
+  lo_ = lo;
+  hi_ = hi;
+  width_ = (hi - lo) / static_cast<double>(bins);
+  counts_ = std::move(counts);
+  total_ = total;
+}
+
+void ExactSum::add(double x) {
+  if (!std::isfinite(x)) {
+    throw std::invalid_argument("ExactSum::add: value must be finite");
+  }
+  if (x == 0.0) return;
+  // Decompose exactly: every finite double is mi * 2^(e-53) with mi a 53-bit
+  // integer, so x on the 2^-kFracBits grid is mi shifted by e-53+kFracBits.
+  int e = 0;
+  const double m = std::frexp(x, &e);
+  const auto mi = static_cast<std::int64_t>(std::ldexp(m, 53));  // exact
+  const int shift = e - 53 + kFracBits;
+  __int128 q = 0;
+  if (shift >= 0) {
+    if (shift > 74) {
+      // |x| >= ~1.5e23: the shifted mantissa would no longer leave headroom
+      // for accumulation. Population metrics never get near this.
+      throw std::invalid_argument("ExactSum::add: magnitude too large");
+    }
+    q = static_cast<__int128>(mi) << shift;
+  } else if (shift >= -62) {
+    // Deterministic round-half-away-from-zero onto the grid.
+    const int s = -shift;
+    const std::int64_t bias = std::int64_t{1} << (s - 1);
+    q = mi >= 0 ? (static_cast<__int128>(mi) + bias) >> s
+                : -((static_cast<__int128>(-mi) + bias) >> s);
+  }
+  // else: |x| below half the grid quantum rounds to exactly 0.
+  acc_ += q;
+}
+
+double ExactSum::value() const noexcept {
+  return std::ldexp(static_cast<double>(acc_), -kFracBits);
+}
+
+void ExactSum::save_state(StateWriter& out) const {
+  const auto u = static_cast<unsigned __int128>(acc_);
+  out.u64(static_cast<std::uint64_t>(u));
+  out.u64(static_cast<std::uint64_t>(u >> 64));
+}
+
+void ExactSum::load_state(StateReader& in) {
+  const std::uint64_t lo = in.u64();
+  const std::uint64_t hi = in.u64();
+  acc_ = static_cast<__int128>(
+      (static_cast<unsigned __int128>(hi) << 64) |
+      static_cast<unsigned __int128>(lo));
+}
+
 MovingAverage::MovingAverage(std::size_t window)
     : buf_(window == 0 ? 1 : window, 0.0) {}
 
@@ -139,15 +244,35 @@ void MovingAverage::reset() noexcept {
   sum_ = 0.0;
 }
 
+namespace {
+
+/// Interpolated rank lookup over an already-sorted sample vector — the one
+/// percentile definition percentile_of and percentiles_of share.
+double percentile_of_sorted(const std::vector<double>& sorted, double p) {
+  p = std::clamp(p, 0.0, 100.0);
+  const double rank = p / 100.0 * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(rank);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return sorted[lo] + frac * (sorted[hi] - sorted[lo]);
+}
+
+}  // namespace
+
 double percentile_of(std::vector<double> samples, double p) {
   if (samples.empty()) return 0.0;
   std::sort(samples.begin(), samples.end());
-  p = std::clamp(p, 0.0, 100.0);
-  const double rank = p / 100.0 * static_cast<double>(samples.size() - 1);
-  const auto lo = static_cast<std::size_t>(rank);
-  const std::size_t hi = std::min(lo + 1, samples.size() - 1);
-  const double frac = rank - static_cast<double>(lo);
-  return samples[lo] + frac * (samples[hi] - samples[lo]);
+  return percentile_of_sorted(samples, p);
+}
+
+std::vector<double> percentiles_of(std::vector<double> samples,
+                                   const std::vector<double>& ps) {
+  if (samples.empty()) return std::vector<double>(ps.size(), 0.0);
+  std::sort(samples.begin(), samples.end());
+  std::vector<double> out;
+  out.reserve(ps.size());
+  for (const double p : ps) out.push_back(percentile_of_sorted(samples, p));
+  return out;
 }
 
 double mape(const std::vector<double>& actual,

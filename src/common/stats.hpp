@@ -70,10 +70,31 @@ class Histogram {
   [[nodiscard]] std::size_t bin_count(std::size_t i) const;
   /// \brief Number of bins.
   [[nodiscard]] std::size_t bins() const noexcept { return counts_.size(); }
+  /// \brief Lower range bound.
+  [[nodiscard]] double lo() const noexcept { return lo_; }
+  /// \brief Upper range bound (exclusive).
+  [[nodiscard]] double hi() const noexcept { return hi_; }
   /// \brief Lower edge of bin \p i.
   [[nodiscard]] double bin_lo(std::size_t i) const;
   /// \brief Approximate value at percentile \p p in [0, 100].
   [[nodiscard]] double percentile(double p) const;
+
+  /// \brief True when \p other covers the same [lo, hi) range with the same
+  ///        bin count — the precondition for an exact merge.
+  [[nodiscard]] bool bin_compatible(const Histogram& other) const noexcept;
+  /// \brief Merge another histogram's counts into this one. Bin counts are
+  ///        integers, so merging is exact, associative and order-invariant —
+  ///        N shards' histograms fold into the same population histogram in
+  ///        any grouping. Throws std::invalid_argument unless bin_compatible.
+  void merge(const Histogram& other);
+  /// \brief Operator form of merge().
+  Histogram& operator+=(const Histogram& other);
+
+  /// \brief Serialise range, bin counts and total (shard summaries).
+  void save_state(StateWriter& out) const;
+  /// \brief Restore state written by save_state(), replacing the current
+  ///        range and counts. Throws SerialError on malformed payloads.
+  void load_state(StateReader& in);
 
  private:
   double lo_;
@@ -81,6 +102,47 @@ class Histogram {
   double width_;
   std::vector<std::size_t> counts_;
   std::size_t total_ = 0;
+};
+
+/// \brief Exactly-mergeable sum of doubles on a fixed-point grid.
+///
+/// Floating-point addition is not associative, so folding per-device values
+/// into per-shard sums and then merging shards would not be bit-identical to
+/// one sequential fold — the property the fleet layer's 1-shard-vs-N-shard
+/// differential demands. ExactSum therefore quantises each added value to a
+/// 2^-50 grid (deterministic round-half-away, ~9e-16 absolute resolution)
+/// and accumulates in a 128-bit integer: integer addition is exact,
+/// associative and commutative, so any merge tree over any shard partition
+/// yields the same bits. Values must be finite and below ~1.5e23 in
+/// magnitude (std::invalid_argument otherwise).
+class ExactSum {
+ public:
+  /// \brief Fractional bits of the fixed-point grid.
+  static constexpr int kFracBits = 50;
+
+  /// \brief Add one value (quantised to the grid).
+  void add(double x);
+  /// \brief Merge another accumulator — exact at any grouping or order.
+  ExactSum& operator+=(const ExactSum& other) noexcept {
+    acc_ += other.acc_;
+    return *this;
+  }
+  /// \brief The accumulated sum, converted back to double.
+  [[nodiscard]] double value() const noexcept;
+  /// \brief True when nothing has been accumulated (sum is exactly 0).
+  [[nodiscard]] bool zero() const noexcept { return acc_ == 0; }
+  /// \brief Exact equality of the underlying fixed-point accumulator.
+  [[nodiscard]] bool operator==(const ExactSum& other) const noexcept {
+    return acc_ == other.acc_;
+  }
+
+  /// \brief Serialise the 128-bit accumulator (two u64 words).
+  void save_state(StateWriter& out) const;
+  /// \brief Restore state written by save_state().
+  void load_state(StateReader& in);
+
+ private:
+  __int128 acc_ = 0;
 };
 
 /// \brief Sliding-window arithmetic mean over the last N samples.
@@ -112,6 +174,13 @@ class MovingAverage {
 /// \brief Exact percentile of a copied sample vector (nearest-rank with
 ///        linear interpolation). Returns 0 on empty input.
 [[nodiscard]] double percentile_of(std::vector<double> samples, double p);
+
+/// \brief Several exact percentiles from one sort: equivalent to calling
+///        percentile_of once per entry of \p ps, but the samples are sorted
+///        once instead of once per percentile — what report paths asking for
+///        p50/p95/p99 in one row should use. Returns zeros on empty input.
+[[nodiscard]] std::vector<double> percentiles_of(std::vector<double> samples,
+                                                 const std::vector<double>& ps);
 
 /// \brief Mean absolute percentage error between two equally-sized series,
 ///        skipping entries where the reference is zero. Returns 0 if nothing

@@ -1,0 +1,132 @@
+#include "fleet/runner.hpp"
+
+#include <cstdlib>
+#include <exception>
+#include <iostream>
+#include <optional>
+#include <utility>
+
+#include "sim/engine.hpp"
+#include "sim/experiment.hpp"
+
+namespace prime::fleet {
+
+namespace {
+
+/// Load a usable resume point, or nullopt for a fresh start. Deliberately
+/// swallows every load error: the checkpoint only saves work, and a corrupt
+/// or foreign file must never wedge a retried worker.
+std::optional<ShardSummary> try_resume(const std::string& checkpoint_path,
+                                       std::uint64_t fingerprint,
+                                       const Shard& shard) {
+  if (checkpoint_path.empty()) return std::nullopt;
+  try {
+    ShardSummary ck = ShardSummary::load_file(checkpoint_path);
+    if (ck.fingerprint != fingerprint || ck.shard.index != shard.index ||
+        ck.shard.count != shard.count ||
+        ck.shard.device_begin != shard.device_begin ||
+        ck.shard.device_end != shard.device_end) {
+      return std::nullopt;  // different population or partition: start over
+    }
+    return ck;
+  } catch (...) {
+    return std::nullopt;
+  }
+}
+
+}  // namespace
+
+sim::RunResult run_device(const PopulationSpec& pop, const DeviceSpec& dev) {
+  // A fresh platform per device: every device is an independent board with
+  // its own sensor-noise stream, thermal state and history.
+  const auto platform = hw::Platform::odroid_xu3_a15(dev.platform_seed);
+
+  sim::ExperimentSpec spec;
+  spec.workload = dev.workload;
+  spec.fps = dev.fps;
+  spec.frames = pop.frames;
+  spec.seed = dev.trace_seed;
+  spec.stream = pop.stream;
+  spec.target_utilisation = pop.target_utilisation;
+  const wl::Application app = sim::make_application(spec, *platform);
+
+  const auto governor = sim::make_governor(dev.governor, dev.governor_seed);
+
+  sim::RunOptions run_opts;
+  run_opts.max_frames = pop.frames;
+  return sim::run_simulation(*platform, app, *governor, run_opts);
+}
+
+ShardSummary run_shard(const PopulationSpec& pop, const Shard& shard,
+                       const ShardRunnerOptions& opts) {
+  pop.validate();
+  if (opts.summary_path.empty()) {
+    throw std::invalid_argument("run_shard: summary_path is required");
+  }
+  if (shard.device_end > pop.device_count() ||
+      shard.device_begin > shard.device_end) {
+    throw std::invalid_argument(
+        "run_shard: shard range [" + std::to_string(shard.device_begin) +
+        ", " + std::to_string(shard.device_end) + ") exceeds the population (" +
+        std::to_string(pop.device_count()) + " devices)");
+  }
+
+  const std::uint64_t fingerprint = pop.fingerprint();
+  ShardSummary summary;
+  if (auto resumed = try_resume(opts.checkpoint_path, fingerprint, shard)) {
+    summary = std::move(*resumed);
+  } else {
+    summary.fingerprint = fingerprint;
+    summary.shard = shard;
+    summary.next_device = shard.device_begin;
+  }
+  summary.started_at_device = summary.next_device;
+
+  std::size_t session_devices = 0;
+  while (summary.next_device < shard.device_end) {
+    const auto index = static_cast<std::size_t>(summary.next_device);
+    const DeviceSpec dev = pop.device(index);
+    const sim::RunResult result = run_device(pop, dev);
+
+    auto it = summary.cells.find(dev.cell);
+    if (it == summary.cells.end()) {
+      it = summary.cells.emplace(dev.cell, CellStats(pop)).first;
+    }
+    it->second.add_device(result);
+    ++summary.next_device;
+    ++session_devices;
+
+    const bool done = summary.next_device == shard.device_end;
+    if (!opts.checkpoint_path.empty() && opts.checkpoint_every > 0 &&
+        session_devices % opts.checkpoint_every == 0 && !done) {
+      summary.save_file(opts.checkpoint_path);
+    }
+    if (opts.fail_after_devices > 0 && opts.attempt == 0 &&
+        session_devices == opts.fail_after_devices && !done) {
+      // Simulated crash: no summary, no unwinding, no atexit — exactly what
+      // an OOM-kill or power loss leaves behind (at most a sealed checkpoint).
+      std::_Exit(kWorkerFailureExit);
+    }
+  }
+
+  summary.save_file(opts.summary_path);
+  return summary;
+}
+
+int run_worker(const PopulationSpec& pop, const Shard& shard,
+               const ShardRunnerOptions& opts) noexcept {
+  try {
+    (void)run_shard(pop, shard, opts);
+    return 0;
+  } catch (const std::exception& e) {
+    std::cerr << "fleet worker (shard " << shard.index << "): " << e.what()
+              << "\n";
+    return kWorkerFailureExit;
+  } catch (...) {
+    std::cerr << "fleet worker (shard " << shard.index
+              << "): unknown error\n";
+    return kWorkerFailureExit;
+  }
+}
+
+}  // namespace prime::fleet

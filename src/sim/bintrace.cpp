@@ -254,6 +254,49 @@ void BinTraceReader::to_csv(std::ostream& out) {
   rewind();
 }
 
+std::uint64_t concat_traces(const std::vector<std::string>& inputs,
+                            const std::string& out_path) {
+  if (inputs.empty()) {
+    throw BinTraceError("concat_traces: no input traces given");
+  }
+  // Open and validate every input before writing a byte: BinTraceReader
+  // already rejects unsealed files, version skew and record-size skew, so
+  // what remains is cross-file header agreement.
+  std::vector<std::unique_ptr<BinTraceReader>> readers;
+  readers.reserve(inputs.size());
+  for (const auto& path : inputs) {
+    readers.push_back(std::make_unique<BinTraceReader>(path));
+    const BinTraceReader& r = *readers.back();
+    const BinTraceReader& first = *readers.front();
+    if (r.governor() != first.governor() ||
+        r.application() != first.application()) {
+      throw BinTraceError(
+          "concat_traces: '" + path + "' records governor '" + r.governor() +
+          "' on application '" + r.application() + "', but '" +
+          first.path() + "' records '" + first.governor() + "' on '" +
+          first.application() + "' — refusing to mix runs in one trace");
+    }
+  }
+
+  std::ofstream out(out_path, std::ios::binary | std::ios::trunc);
+  if (!out) {
+    throw BinTraceError("concat_traces: cannot open '" + out_path +
+                        "' for writing");
+  }
+  BinTraceWriter writer(out);
+  writer.begin(readers.front()->governor(), readers.front()->application());
+  for (const auto& reader : readers) {
+    while (const auto record = reader->next()) writer.append(*record);
+  }
+  writer.seal();
+  out.close();
+  if (!out) {
+    throw BinTraceError("concat_traces: closing '" + out_path +
+                        "' failed — the trace may be incomplete");
+  }
+  return writer.records_written();
+}
+
 // --- BinTraceSink ------------------------------------------------------------
 
 BinTraceSink::BinTraceSink(std::string path) : path_(std::move(path)) {}

@@ -175,6 +175,19 @@ class BinTraceReader {
   std::uint64_t stream_pos_ = 0;
 };
 
+/// \brief Concatenate sealed `.bt` traces into one re-sealed trace at
+///        \p out_path, preserving every record verbatim in input order —
+///        how per-shard traces of one logical run are stitched back into a
+///        single archive. Every input must load through BinTraceReader
+///        (sealed, version/record-size validated) and all inputs must agree
+///        on the governor and application header fields; a mismatch throws
+///        BinTraceError naming the offending file before anything is
+///        written. The output is written directly (not atomically) and
+///        sealed at the end like any sink-produced trace.
+/// \return Total records written to \p out_path.
+std::uint64_t concat_traces(const std::vector<std::string>& inputs,
+                            const std::string& out_path);
+
 /// \brief Telemetry sink writing the run as a `.bt` file. Spec:
 ///        `bintrace(path=out/run.bt)`.
 ///

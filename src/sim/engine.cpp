@@ -21,6 +21,19 @@ void RunResult::accumulate(const EpochRecord& record) {
   power_sum += record.sensor_power;
 }
 
+RunResult& RunResult::merge(const RunResult& other) {
+  if (governor.empty()) governor = other.governor;
+  if (application.empty()) application = other.application;
+  epoch_count += other.epoch_count;
+  total_energy += other.total_energy;
+  measured_energy += other.measured_energy;
+  total_time += other.total_time;
+  deadline_misses += other.deadline_misses;
+  performance_sum += other.performance_sum;
+  power_sum += other.power_sum;
+  return *this;
+}
+
 double RunResult::mean_normalized_performance() const {
   if (epoch_count == 0) return 0.0;
   return performance_sum / static_cast<double>(epoch_count);

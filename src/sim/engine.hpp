@@ -66,6 +66,15 @@ struct RunResult {
   ///        derived metrics can never drift between them.
   void accumulate(const EpochRecord& record);
 
+  /// \brief Fold another run's aggregates into this one: counts and sums
+  ///        add; empty identity labels take the other run's (left-biased
+  ///        otherwise, so repeated merging is associative). The fleet layer
+  ///        merges per-device results into per-cell aggregates with this.
+  ///        Note the double-typed sums add in merge order — for sums that
+  ///        must be bit-identical under any shard partition the fleet layer
+  ///        keeps common::ExactSum accumulators alongside.
+  RunResult& merge(const RunResult& other);
+
   /// \brief Mean of frame_time/period — the paper's normalised performance
   ///        (>1 under-performs the requirement, <1 over-performs). O(1).
   [[nodiscard]] double mean_normalized_performance() const;

@@ -503,5 +503,99 @@ TEST_F(BinTraceCorruptionTest, MissingFileRejected) {
   }
 }
 
+// --- concat_traces -----------------------------------------------------------
+
+/// Write a sealed trace with distinctive records at the given epoch offset.
+void write_chunk(const std::string& path, std::size_t offset,
+                 std::size_t records, const std::string& governor = "g",
+                 const std::string& application = "a") {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  BinTraceWriter writer(out);
+  writer.begin(governor, application);
+  for (std::size_t i = 0; i < records; ++i) {
+    EpochRecord r;
+    r.epoch = offset + i;
+    r.period = 0.04;
+    r.energy = 0.001 * static_cast<double>(offset + i);
+    r.slack = -0.1 + 0.01 * static_cast<double>(i);
+    writer.append(r);
+  }
+  writer.seal();
+}
+
+TEST(ConcatTraces, PreservesEveryRecordVerbatimInInputOrder) {
+  const std::string a = temp_path("cat-a.bt");
+  const std::string b = temp_path("cat-b.bt");
+  const std::string c = temp_path("cat-c.bt");
+  const std::string out = temp_path("cat-out.bt");
+  write_chunk(a, 0, 3);
+  write_chunk(b, 3, 0);  // an empty chunk is legitimate (sealed, 0 records)
+  write_chunk(c, 3, 4);
+  EXPECT_EQ(concat_traces({a, b, c}, out), 7u);
+
+  BinTraceReader reader(out);
+  EXPECT_EQ(reader.governor(), "g");
+  EXPECT_EQ(reader.application(), "a");
+  ASSERT_EQ(reader.record_count(), 7u);
+  for (std::size_t i = 0; i < 7; ++i) {
+    EXPECT_EQ(reader.at(i).epoch, i);
+    EXPECT_EQ(std::bit_cast<std::uint64_t>(reader.at(i).energy),
+              std::bit_cast<std::uint64_t>(0.001 * static_cast<double>(i)));
+  }
+
+  // Byte-level: the output's record block is the inputs' record blocks
+  // appended — concatenation re-frames, never re-encodes.
+  const std::string got = read_bytes(out);
+  const std::string want =
+      read_bytes(a).substr(kBinTraceHeaderSize) +
+      read_bytes(c).substr(kBinTraceHeaderSize);
+  EXPECT_EQ(got.substr(kBinTraceHeaderSize), want);
+}
+
+TEST(ConcatTraces, SingleInputRoundTripsByteIdentical) {
+  const std::string a = temp_path("cat-single.bt");
+  const std::string out = temp_path("cat-single-out.bt");
+  write_chunk(a, 0, 5);
+  EXPECT_EQ(concat_traces({a}, out), 5u);
+  EXPECT_EQ(read_bytes(out), read_bytes(a));
+}
+
+TEST(ConcatTraces, RejectsMixedRunsNamingTheOffendingFile) {
+  const std::string a = temp_path("cat-mix-a.bt");
+  const std::string b = temp_path("cat-mix-b.bt");
+  const std::string out = temp_path("cat-mix-out.bt");
+  write_chunk(a, 0, 2, "rtm", "h264");
+  write_chunk(b, 2, 2, "ondemand", "h264");
+  try {
+    concat_traces({a, b}, out);
+    FAIL() << "expected BinTraceError";
+  } catch (const BinTraceError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find(b), std::string::npos) << what;
+    EXPECT_NE(what.find("rtm"), std::string::npos) << what;
+    EXPECT_NE(what.find("ondemand"), std::string::npos) << what;
+  }
+  // Validation happens before writing: no output file appears.
+  std::ifstream probe(out, std::ios::binary);
+  EXPECT_FALSE(probe.good());
+}
+
+TEST(ConcatTraces, RejectsUnsealedInput) {
+  const std::string a = temp_path("cat-unsealed-a.bt");
+  const std::string b = temp_path("cat-unsealed-b.bt");
+  write_chunk(a, 0, 2);
+  write_synthetic(b, 2, /*sealed=*/false);
+  try {
+    concat_traces({a, b}, temp_path("cat-unsealed-out.bt"));
+    FAIL() << "expected BinTraceError";
+  } catch (const BinTraceError& e) {
+    EXPECT_NE(std::string(e.what()).find("unsealed"), std::string::npos);
+  }
+}
+
+TEST(ConcatTraces, RejectsEmptyInputList) {
+  EXPECT_THROW(concat_traces({}, temp_path("cat-none.bt")), BinTraceError);
+}
+
 }  // namespace
 }  // namespace prime::sim

@@ -178,5 +178,49 @@ INSTANTIATE_TEST_SUITE_P(Seeds, RngSeedSweep,
                          ::testing::Values(0ull, 1ull, 42ull, 0xDEADBEEFull,
                                            ~0ull));
 
+// --- derive_seed -------------------------------------------------------------
+
+TEST(DeriveSeed, PinnedGoldenValues) {
+  // Golden values pin the derivation scheme itself: a change here silently
+  // re-seeds every device of every fleet population, so it must be loud.
+  EXPECT_EQ(derive_seed(0, 0), 0xE220A8397B1DCDAFull);
+  EXPECT_EQ(derive_seed(0, 1), 0x6E789E6AA1B965F4ull);
+  EXPECT_EQ(derive_seed(0, 2), 0x06C45D188009454Full);
+  EXPECT_EQ(derive_seed(0, 5), 0x53CB9F0C747EA2EAull);
+  EXPECT_EQ(derive_seed(0, 1000000), 0xCE17D6BAB14CD32Aull);
+  EXPECT_EQ(derive_seed(42, 0), 0xBDD732262FEB6E95ull);
+  EXPECT_EQ(derive_seed(42, 1), 0x28EFE333B266F103ull);
+  EXPECT_EQ(derive_seed(42, 2), 0x47526757130F9F52ull);
+  EXPECT_EQ(derive_seed(42, 5), 0xDE4431FA3C80DB06ull);
+  EXPECT_EQ(derive_seed(42, 1000000), 0xB053C53312AC3FFBull);
+  EXPECT_EQ(derive_seed(0xDEADBEEF, 0), 0x4ADFB90F68C9EB9Bull);
+  EXPECT_EQ(derive_seed(0xDEADBEEF, 1), 0xDE586A3141A10922ull);
+  EXPECT_EQ(derive_seed(0xDEADBEEF, 1000000), 0xA9F301D8D37D23A7ull);
+}
+
+TEST(DeriveSeed, IsAnO1JumpIntoTheSequentialSplitMixStream) {
+  // derive_seed(base, k) must equal the (k+1)-th output of a sequential
+  // splitmix64 walk seeded with base — the jump is an indexing convenience,
+  // not a different generator.
+  std::uint64_t state = 42;
+  for (std::uint64_t k = 0; k < 256; ++k) {
+    EXPECT_EQ(derive_seed(42, k), splitmix64_next(state)) << "stream " << k;
+  }
+}
+
+TEST(DeriveSeed, StreamsAreDistinct) {
+  std::set<std::uint64_t> seen;
+  for (std::uint64_t k = 0; k < 10000; ++k) seen.insert(derive_seed(7, k));
+  EXPECT_EQ(seen.size(), 10000u);
+}
+
+TEST(DeriveSeed, DifferentBasesDecorrelate) {
+  int equal = 0;
+  for (std::uint64_t k = 0; k < 1000; ++k) {
+    if (derive_seed(1, k) == derive_seed(2, k)) ++equal;
+  }
+  EXPECT_EQ(equal, 0);
+}
+
 }  // namespace
 }  // namespace prime::common

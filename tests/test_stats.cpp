@@ -3,8 +3,13 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
+#include <sstream>
+#include <string>
+#include <vector>
 
 #include "common/rng.hpp"
+#include "common/serial.hpp"
 #include "common/stats.hpp"
 
 namespace prime::common {
@@ -179,6 +184,193 @@ TEST_P(StatsPropertySweep, VarianceNonNegative) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, StatsPropertySweep,
                          ::testing::Values(1ull, 2ull, 3ull, 4ull, 5ull));
+
+// --- Histogram merge ---------------------------------------------------------
+
+TEST(HistogramMerge, EqualsSequentialFill) {
+  Rng rng(11);
+  Histogram all(0.0, 10.0, 64);
+  Histogram a(0.0, 10.0, 64);
+  Histogram b(0.0, 10.0, 64);
+  for (int i = 0; i < 500; ++i) {
+    const double x = rng.uniform(-1.0, 11.0);  // exercise clamping too
+    all.add(x);
+    (i % 2 == 0 ? a : b).add(x);
+  }
+  a.merge(b);
+  ASSERT_EQ(a.count(), all.count());
+  for (std::size_t i = 0; i < all.bins(); ++i) {
+    EXPECT_EQ(a.bin_count(i), all.bin_count(i)) << "bin " << i;
+  }
+  EXPECT_DOUBLE_EQ(a.percentile(95.0), all.percentile(95.0));
+}
+
+TEST(HistogramMerge, OrderInvariant) {
+  Rng rng(12);
+  Histogram ab(2.0, 4.0, 16);
+  Histogram ba(2.0, 4.0, 16);
+  Histogram a(2.0, 4.0, 16);
+  Histogram b(2.0, 4.0, 16);
+  for (int i = 0; i < 200; ++i) {
+    (i % 3 == 0 ? a : b).add(rng.uniform(2.0, 4.0));
+  }
+  ab.merge(a);
+  ab.merge(b);
+  ba.merge(b);
+  ba.merge(a);
+  for (std::size_t i = 0; i < ab.bins(); ++i) {
+    EXPECT_EQ(ab.bin_count(i), ba.bin_count(i));
+  }
+}
+
+TEST(HistogramMerge, OperatorFormAccumulates) {
+  Histogram a(0.0, 1.0, 4);
+  Histogram b(0.0, 1.0, 4);
+  a.add(0.1);
+  b.add(0.9);
+  a += b;
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_EQ(a.bin_count(0), 1u);
+  EXPECT_EQ(a.bin_count(3), 1u);
+}
+
+TEST(HistogramMerge, IncompatibleGeometryThrows) {
+  Histogram base(0.0, 1.0, 10);
+  EXPECT_FALSE(base.bin_compatible(Histogram(0.0, 1.0, 11)));
+  EXPECT_FALSE(base.bin_compatible(Histogram(0.0, 2.0, 10)));
+  EXPECT_FALSE(base.bin_compatible(Histogram(-1.0, 1.0, 10)));
+  EXPECT_TRUE(base.bin_compatible(Histogram(0.0, 1.0, 10)));
+  Histogram other(0.0, 2.0, 10);
+  EXPECT_THROW(base.merge(other), std::invalid_argument);
+  EXPECT_THROW(base += Histogram(0.0, 1.0, 11), std::invalid_argument);
+}
+
+TEST(HistogramSerial, RoundTripsBitExact) {
+  Histogram h(-1.5, 2.5, 7);
+  for (int i = 0; i < 50; ++i) h.add(-2.0 + 0.1 * i);
+  std::stringstream buf;
+  StateWriter w(buf);
+  h.save_state(w);
+  Histogram restored(0.0, 1.0, 1);
+  StateReader r(buf);
+  restored.load_state(r);
+  EXPECT_TRUE(h.bin_compatible(restored));
+  ASSERT_EQ(restored.count(), h.count());
+  for (std::size_t i = 0; i < h.bins(); ++i) {
+    EXPECT_EQ(restored.bin_count(i), h.bin_count(i));
+  }
+  EXPECT_DOUBLE_EQ(restored.percentile(50.0), h.percentile(50.0));
+}
+
+TEST(HistogramSerial, CorruptTotalRejected) {
+  Histogram h(0.0, 1.0, 4);
+  h.add(0.5);
+  std::stringstream buf;
+  StateWriter w(buf);
+  h.save_state(w);
+  std::string bytes = buf.str();
+  // The trailing u64 is the total; flip a bit so it disagrees with the bins.
+  bytes[bytes.size() - 8] ^= 1;
+  std::stringstream bad(bytes);
+  StateReader r(bad);
+  Histogram target(0.0, 1.0, 1);
+  EXPECT_THROW(target.load_state(r), SerialError);
+}
+
+// --- ExactSum ----------------------------------------------------------------
+
+TEST(ExactSum, ExactForGridValues) {
+  // Values on the 2^-50 grid accumulate with zero rounding.
+  ExactSum s;
+  EXPECT_TRUE(s.zero());
+  s.add(0.5);
+  s.add(0.25);
+  s.add(-0.125);
+  EXPECT_DOUBLE_EQ(s.value(), 0.625);
+  EXPECT_FALSE(s.zero());
+}
+
+TEST(ExactSum, MergeIsAssociativeAndOrderInvariantOnRandomDoubles) {
+  Rng rng(13);
+  std::vector<double> values;
+  for (int i = 0; i < 300; ++i) values.push_back(rng.uniform(-1e6, 1e6));
+
+  ExactSum sequential;
+  for (const double v : values) sequential.add(v);
+
+  // Three different groupings/orders over the same multiset.
+  ExactSum a, b, c;
+  for (int i = 0; i < 300; ++i) (i % 3 == 0 ? a : (i % 3 == 1 ? b : c))
+      .add(values[static_cast<std::size_t>(i)]);
+  ExactSum left;
+  left += a;
+  left += b;
+  left += c;
+  ExactSum right;
+  right += c;
+  right += b;
+  right += a;
+  EXPECT_TRUE(left == sequential);
+  EXPECT_TRUE(right == sequential);
+  EXPECT_EQ(left.value(), right.value());
+}
+
+TEST(ExactSum, QuantizationIsDeterministic) {
+  // Two accumulators fed the same value always agree bit-for-bit, even off
+  // the grid — the quantisation is a pure function of the input.
+  ExactSum a, b;
+  a.add(0.1);
+  b.add(0.1);
+  EXPECT_TRUE(a == b);
+  // And the grid resolution is ~9e-16: a tiny value rounds to zero.
+  ExactSum tiny;
+  tiny.add(1e-20);
+  EXPECT_TRUE(tiny.zero());
+}
+
+TEST(ExactSum, RejectsNonFiniteAndOverflowingValues) {
+  ExactSum s;
+  EXPECT_THROW(s.add(std::numeric_limits<double>::infinity()),
+               std::invalid_argument);
+  EXPECT_THROW(s.add(std::numeric_limits<double>::quiet_NaN()),
+               std::invalid_argument);
+  EXPECT_THROW(s.add(1e300), std::invalid_argument);
+}
+
+TEST(ExactSum, SerialRoundTripsBitExact) {
+  ExactSum s;
+  s.add(3.14159);
+  s.add(-123.456);
+  std::stringstream buf;
+  StateWriter w(buf);
+  s.save_state(w);
+  ExactSum restored;
+  StateReader r(buf);
+  restored.load_state(r);
+  EXPECT_TRUE(restored == s);
+  EXPECT_EQ(restored.value(), s.value());
+}
+
+// --- percentiles_of ----------------------------------------------------------
+
+TEST(PercentilesOf, MatchesRepeatedPercentileOf) {
+  Rng rng(14);
+  std::vector<double> samples;
+  for (int i = 0; i < 777; ++i) samples.push_back(rng.uniform(-5.0, 5.0));
+  const std::vector<double> ps = {0.0, 25.0, 50.0, 95.0, 99.0, 100.0};
+  const std::vector<double> batch = percentiles_of(samples, ps);
+  ASSERT_EQ(batch.size(), ps.size());
+  for (std::size_t i = 0; i < ps.size(); ++i) {
+    EXPECT_DOUBLE_EQ(batch[i], percentile_of(samples, ps[i])) << "p" << ps[i];
+  }
+}
+
+TEST(PercentilesOf, EmptyInputYieldsZeros) {
+  const std::vector<double> out = percentiles_of({}, {50.0, 95.0});
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_DOUBLE_EQ(out[0], 0.0);
+  EXPECT_DOUBLE_EQ(out[1], 0.0);
+}
 
 }  // namespace
 }  // namespace prime::common
