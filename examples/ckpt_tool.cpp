@@ -9,6 +9,7 @@
 /// resuming from it.
 ///
 /// Usage: ckpt_tool path=run.ckpt [mode=info|verify]
+#include <cstdio>
 #include <iostream>
 #include <string>
 
@@ -20,6 +21,13 @@ namespace {
 
 using prime::common::format_double;
 
+std::string hex16(std::uint64_t v) {
+  char buf[17];
+  std::snprintf(buf, sizeof(buf), "%016llx",
+                static_cast<unsigned long long>(v));
+  return buf;
+}
+
 void print_info(const prime::sim::Checkpoint& ck, const std::string& path) {
   const prime::sim::RunResult& agg = ck.aggregates;
   std::cout << "checkpoint " << path << "\n"
@@ -30,6 +38,7 @@ void print_info(const prime::sim::Checkpoint& ck, const std::string& path) {
             << "  application:    " << ck.application << "\n"
             << "  platform:       " << ck.opp_count << " OPPs, "
             << ck.core_count << " cores\n"
+            << "  platform shape: " << hex16(ck.platform_fingerprint) << "\n"
             << "  frame position: " << ck.frame_position << "\n"
             << "  pending obs:    " << (ck.has_last ? "yes" : "no") << "\n"
             << "  governor state: " << ck.governor_state.size() << " B\n"

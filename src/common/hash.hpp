@@ -1,0 +1,68 @@
+/// \file hash.hpp
+/// \brief FNV-1a 64-bit hashing shared by every artifact fingerprint.
+///
+/// One hash, one encoding: fleet population fingerprints, platform shape
+/// fingerprints and policy-library keys all feed canonical byte encodings
+/// through this accumulator, so "same fingerprint" always means "same
+/// canonical encoding" regardless of which subsystem computed it. Tokens are
+/// terminated with '\n' (token("ab"), token("c") must differ from
+/// token("a"), token("bc")); integers hash as 8 little-endian bytes and
+/// doubles as their IEEE-754 bit pattern, matching common/serial's bit-exact
+/// round-trip discipline.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <string_view>
+
+namespace prime::common {
+
+/// \brief Incremental FNV-1a 64-bit hash accumulator.
+class Fnv1a64 {
+ public:
+  static constexpr std::uint64_t kOffsetBasis = 0xCBF29CE484222325ULL;
+  static constexpr std::uint64_t kPrime = 0x100000001B3ULL;
+
+  /// \brief Fold \p size raw bytes into the hash.
+  void bytes(const void* data, std::size_t size) noexcept {
+    const auto* p = static_cast<const unsigned char*>(data);
+    for (std::size_t i = 0; i < size; ++i) {
+      hash_ ^= static_cast<std::uint64_t>(p[i]);
+      hash_ *= kPrime;
+    }
+  }
+
+  /// \brief Fold a string token followed by a '\n' separator.
+  void token(std::string_view s) noexcept {
+    bytes(s.data(), s.size());
+    const char sep = '\n';
+    bytes(&sep, 1);
+  }
+
+  /// \brief Fold an unsigned 64-bit value as 8 little-endian bytes.
+  void u64(std::uint64_t v) noexcept {
+    unsigned char buf[8];
+    for (int i = 0; i < 8; ++i) {
+      buf[i] = static_cast<unsigned char>(v >> (8 * i));
+    }
+    bytes(buf, sizeof buf);
+  }
+
+  /// \brief Fold a double as its IEEE-754 bit pattern (bit-exact, so two
+  ///        platforms fingerprint equal iff their tables are bit-equal).
+  void f64(double v) noexcept {
+    std::uint64_t bits = 0;
+    static_assert(sizeof bits == sizeof v);
+    std::memcpy(&bits, &v, sizeof bits);
+    u64(bits);
+  }
+
+  /// \brief The current hash value.
+  [[nodiscard]] std::uint64_t value() const noexcept { return hash_; }
+
+ private:
+  std::uint64_t hash_ = kOffsetBasis;
+};
+
+}  // namespace prime::common

@@ -11,10 +11,16 @@
 #include <filesystem>
 #include <iostream>
 #include <map>
+#include <memory>
 #include <unistd.h>
 #include <utility>
+#include <vector>
 
 #include "fleet/runner.hpp"
+#include "gov/merge.hpp"
+#include "qlib/library.hpp"
+#include "qlib/policy.hpp"
+#include "sim/experiment.hpp"
 #include "sim/report.hpp"
 
 namespace prime::fleet {
@@ -80,6 +86,94 @@ ShardRunnerOptions worker_options(const FleetOptions& fleet,
   std::cerr << "fleet: execv '" << argv[0] << "' failed: "
             << std::strerror(errno) << "\n";
   std::_Exit(127);
+}
+
+/// Fold one cell's per-shard policy records into a fleet `.qpol` entry in
+/// \p qlib_dir and return its path ("" when the cell's governor has no
+/// mergeable learning state, or when no shard recorded a policy — e.g.
+/// hand-built summaries). Validates record identity across shards with
+/// specific errors before touching the merge, mirroring qlib::merge_entries.
+std::string merge_cell_policies(const PopulationSpec& pop,
+                                std::size_t cell_index,
+                                const std::vector<CellPolicy>& records,
+                                const std::string& qlib_dir) {
+  if (records.empty()) return "";
+  const CellPolicy& first = records.front();
+  for (const CellPolicy& rec : records) {
+    if (rec.mergeable != first.mergeable) {
+      throw FleetError("fleet merge: cell " + std::to_string(cell_index) +
+                       " has a mergeable policy in some shards but not "
+                       "others — shards were run by different builds");
+    }
+    if (rec.governor_name != first.governor_name) {
+      throw FleetError("fleet merge: cell " + std::to_string(cell_index) +
+                       " was trained by governor '" + first.governor_name +
+                       "' in one shard and '" + rec.governor_name +
+                       "' in another");
+    }
+    if (rec.opp_count != first.opp_count) {
+      throw FleetError("fleet merge: cell " + std::to_string(cell_index) +
+                       " policies have different action spaces (" +
+                       std::to_string(first.opp_count) + " vs " +
+                       std::to_string(rec.opp_count) + " OPPs)");
+    }
+    if (rec.core_count != first.core_count) {
+      throw FleetError("fleet merge: cell " + std::to_string(cell_index) +
+                       " policies have different core counts (" +
+                       std::to_string(first.core_count) + " vs " +
+                       std::to_string(rec.core_count) + ")");
+    }
+    if (rec.platform_fingerprint != first.platform_fingerprint) {
+      throw FleetError("fleet merge: cell " + std::to_string(cell_index) +
+                       " policies carry mismatched platform shape "
+                       "fingerprints — same OPP/core counts but different "
+                       "operating points");
+    }
+  }
+  if (!first.mergeable) return "";
+
+  const CellCoords cell = pop.cell(cell_index);
+  auto merger = sim::make_governor(cell.governor, 0)->make_state_merger();
+  if (!merger) {
+    throw FleetError("fleet merge: cell " + std::to_string(cell_index) +
+                     " recorded mergeable policies but governor '" +
+                     cell.governor + "' has no state merger in this build");
+  }
+  std::uint64_t epochs = 0;
+  std::uint64_t source_fingerprint = 0;
+  for (const CellPolicy& rec : records) {
+    try {
+      merger->add_accumulator(rec.accumulator);
+    } catch (const gov::StateMergeError& e) {
+      throw FleetError("fleet merge: cell " + std::to_string(cell_index) +
+                       ": " + e.what());
+    }
+    epochs += rec.epochs;
+    source_fingerprint ^= rec.source_fingerprint;
+  }
+
+  qlib::PolicyEntry entry;
+  entry.key.platform_fingerprint = first.platform_fingerprint;
+  entry.key.workload_class = qlib::PolicyKey::workload_class_of(cell.workload);
+  entry.key.fps_band = qlib::PolicyKey::fps_band_of(cell.fps);
+  entry.key.governor_spec =
+      qlib::PolicyKey::canonical_governor_spec(cell.governor);
+  entry.governor_name = first.governor_name;
+  entry.opp_count = first.opp_count;
+  entry.core_count = first.core_count;
+  entry.kind = qlib::PolicyBlobKind::kMerged;
+  entry.provenance.visit_weight = merger->weight();
+  entry.provenance.epochs_trained = epochs;
+  entry.provenance.sources = merger->sources();
+  entry.provenance.source_fingerprint = source_fingerprint;
+  entry.blob = merger->accumulator();
+
+  try {
+    qlib::PolicyLibrary lib(qlib_dir);
+    return lib.put(entry);
+  } catch (const qlib::QlibError& e) {
+    throw FleetError(std::string("fleet merge: ") + e.what());
+  }
 }
 
 std::string describe_exit(int status) {
@@ -231,6 +325,11 @@ PopulationReport FleetDriver::merge_shards(const PopulationSpec& pop,
   const std::uint64_t fingerprint = pop.fingerprint();
 
   std::map<std::uint64_t, CellStats> merged;
+  // Per-cell policy records in shard-index order; the policy fold happens
+  // after coverage is validated. add_accumulator is associative and
+  // order-invariant, so the emitted `.qpol` bytes are identical under any
+  // shard partition — the fleet-merge differential pins this.
+  std::map<std::uint64_t, std::vector<CellPolicy>> policies;
   std::uint64_t devices_seen = 0;
   for (const Shard& shard : plan.shards()) {
     const std::string path = shard_summary_path(out_dir, shard.index);
@@ -269,6 +368,16 @@ PopulationReport FleetDriver::merge_shards(const PopulationSpec& pop,
         it = merged.emplace(cell_index, CellStats(pop)).first;
       }
       it->second.merge(stats);
+    }
+    for (const auto& [cell_index, policy] : s.policies) {
+      if (cell_index >= pop.cell_count()) {
+        throw FleetError("fleet merge: '" + path +
+                         "' carries a policy for cell " +
+                         std::to_string(cell_index) +
+                         " of a population with " +
+                         std::to_string(pop.cell_count()) + " cells");
+      }
+      policies[cell_index].push_back(policy);
     }
     if (shard_devices != shard.size()) {
       throw FleetError("fleet merge: '" + path + "' aggregates " +
@@ -313,6 +422,9 @@ PopulationReport FleetDriver::merge_shards(const PopulationSpec& pop,
     row.perf_p50 = stats.perf_hist.percentile(50.0);
     row.perf_p95 = stats.perf_hist.percentile(95.0);
     row.perf_p99 = stats.perf_hist.percentile(99.0);
+    row.policy_path = merge_cell_policies(pop, cell_index,
+                                          policies[cell_index],
+                                          out_dir + "/qlib");
     report.rows.push_back(std::move(row));
     report.cells.push_back(stats);
   }

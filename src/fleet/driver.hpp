@@ -70,6 +70,11 @@ struct ReportRow {
   double energy_p50 = 0.0, energy_p95 = 0.0, energy_p99 = 0.0;
   double miss_p50 = 0.0, miss_p95 = 0.0, miss_p99 = 0.0;
   double perf_p50 = 0.0, perf_p95 = 0.0, perf_p99 = 0.0;
+  /// Path of the fleet-merged `.qpol` policy written for this cell into
+  /// `<out_dir>/qlib`, or "" when the cell's governor has no mergeable
+  /// learning state. Deliberately NOT a write_csv column: the CSV stays
+  /// byte-identical to earlier versions.
+  std::string policy_path;
 };
 
 /// \brief The merged population-wide result: one row per cell (cell-index

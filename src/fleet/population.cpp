@@ -5,6 +5,7 @@
 #include <cstdlib>
 #include <stdexcept>
 
+#include "common/hash.hpp"
 #include "common/rng.hpp"
 #include "common/strings.hpp"
 
@@ -174,17 +175,9 @@ PopulationSpec PopulationSpec::from_config(const common::Config& cfg) {
 std::uint64_t PopulationSpec::fingerprint() const {
   // FNV-1a 64 over the canonical encoding, fields separated by '\n' (a byte
   // that cannot occur inside the tokens).
-  std::uint64_t hash = 0xCBF29CE484222325ULL;
-  const auto mix = [&hash](const std::string& token) {
-    for (const char c : token) {
-      hash ^= static_cast<unsigned char>(c);
-      hash *= 0x100000001B3ULL;
-    }
-    hash ^= static_cast<unsigned char>('\n');
-    hash *= 0x100000001B3ULL;
-  };
-  for (const auto& arg : to_args()) mix(arg);
-  return hash;
+  common::Fnv1a64 h;
+  for (const auto& arg : to_args()) h.token(arg);
+  return h.value();
 }
 
 ShardPlan::ShardPlan(std::size_t device_count, std::size_t shard_count)

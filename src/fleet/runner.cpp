@@ -3,9 +3,14 @@
 #include <cstdlib>
 #include <exception>
 #include <iostream>
+#include <map>
+#include <memory>
 #include <optional>
+#include <sstream>
 #include <utility>
 
+#include "common/hash.hpp"
+#include "gov/merge.hpp"
 #include "sim/engine.hpp"
 #include "sim/experiment.hpp"
 
@@ -13,12 +18,21 @@ namespace prime::fleet {
 
 namespace {
 
+/// A resumed checkpoint plus the live per-cell mergers rebuilt from its
+/// policy accumulators — both or neither, so a resumed session's policy fold
+/// continues bit-identically to an uninterrupted one.
+struct ResumedShard {
+  ShardSummary summary;
+  std::map<std::uint64_t, std::unique_ptr<gov::StateMerger>> mergers;
+};
+
 /// Load a usable resume point, or nullopt for a fresh start. Deliberately
 /// swallows every load error: the checkpoint only saves work, and a corrupt
 /// or foreign file must never wedge a retried worker.
-std::optional<ShardSummary> try_resume(const std::string& checkpoint_path,
+std::optional<ResumedShard> try_resume(const std::string& checkpoint_path,
                                        std::uint64_t fingerprint,
-                                       const Shard& shard) {
+                                       const Shard& shard,
+                                       const PopulationSpec& pop) {
   if (checkpoint_path.empty()) return std::nullopt;
   try {
     ShardSummary ck = ShardSummary::load_file(checkpoint_path);
@@ -28,7 +42,22 @@ std::optional<ShardSummary> try_resume(const std::string& checkpoint_path,
         ck.shard.device_end != shard.device_end) {
       return std::nullopt;  // different population or partition: start over
     }
-    return ck;
+    // Rebuild the live mergers from the checkpointed accumulator bytes. Any
+    // problem — a cell's governor no longer mergeable, torn accumulator —
+    // discards the checkpoint like any other load error.
+    ResumedShard resumed;
+    for (const auto& [cell, policy] : ck.policies) {
+      if (!policy.mergeable) continue;
+      auto merger = sim::make_governor(pop.cell(static_cast<std::size_t>(cell))
+                                           .governor,
+                                       0)
+                        ->make_state_merger();
+      if (!merger) return std::nullopt;
+      merger->add_accumulator(policy.accumulator);
+      resumed.mergers.emplace(cell, std::move(merger));
+    }
+    resumed.summary = std::move(ck);
+    return resumed;
   } catch (...) {
     return std::nullopt;
   }
@@ -36,7 +65,8 @@ std::optional<ShardSummary> try_resume(const std::string& checkpoint_path,
 
 }  // namespace
 
-sim::RunResult run_device(const PopulationSpec& pop, const DeviceSpec& dev) {
+DeviceOutcome run_device_outcome(const PopulationSpec& pop,
+                                 const DeviceSpec& dev) {
   // A fresh platform per device: every device is an independent board with
   // its own sensor-noise stream, thermal state and history.
   const auto platform = hw::Platform::odroid_xu3_a15(dev.platform_seed);
@@ -54,7 +84,22 @@ sim::RunResult run_device(const PopulationSpec& pop, const DeviceSpec& dev) {
 
   sim::RunOptions run_opts;
   run_opts.max_frames = pop.frames;
-  return sim::run_simulation(*platform, app, *governor, run_opts);
+  DeviceOutcome out;
+  out.result = sim::run_simulation(*platform, app, *governor, run_opts);
+  out.governor_name = governor->name();
+  {
+    std::ostringstream state(std::ios::binary);
+    governor->save_state(state);
+    out.governor_state = state.str();
+  }
+  out.opp_count = platform->opp_table().size();
+  out.core_count = platform->cluster().core_count();
+  out.platform_fingerprint = platform->shape_fingerprint();
+  return out;
+}
+
+sim::RunResult run_device(const PopulationSpec& pop, const DeviceSpec& dev) {
+  return run_device_outcome(pop, dev).result;
 }
 
 ShardSummary run_shard(const PopulationSpec& pop, const Shard& shard,
@@ -73,8 +118,10 @@ ShardSummary run_shard(const PopulationSpec& pop, const Shard& shard,
 
   const std::uint64_t fingerprint = pop.fingerprint();
   ShardSummary summary;
-  if (auto resumed = try_resume(opts.checkpoint_path, fingerprint, shard)) {
-    summary = std::move(*resumed);
+  std::map<std::uint64_t, std::unique_ptr<gov::StateMerger>> mergers;
+  if (auto resumed = try_resume(opts.checkpoint_path, fingerprint, shard, pop)) {
+    summary = std::move(resumed->summary);
+    mergers = std::move(resumed->mergers);
   } else {
     summary.fingerprint = fingerprint;
     summary.shard = shard;
@@ -86,13 +133,44 @@ ShardSummary run_shard(const PopulationSpec& pop, const Shard& shard,
   while (summary.next_device < shard.device_end) {
     const auto index = static_cast<std::size_t>(summary.next_device);
     const DeviceSpec dev = pop.device(index);
-    const sim::RunResult result = run_device(pop, dev);
+    const DeviceOutcome outcome = run_device_outcome(pop, dev);
+    const sim::RunResult& result = outcome.result;
 
     auto it = summary.cells.find(dev.cell);
     if (it == summary.cells.end()) {
       it = summary.cells.emplace(dev.cell, CellStats(pop)).first;
     }
     it->second.add_device(result);
+
+    // Policy fold. First touch of a cell decides mergeability once (from the
+    // cell's governor spec — deterministic, so every shard of a population
+    // agrees); after that every device's trained state folds into the cell's
+    // merger and the serialised accumulator is refreshed so any checkpoint
+    // written at this boundary carries the fold so far.
+    auto pit = summary.policies.find(dev.cell);
+    if (pit == summary.policies.end()) {
+      CellPolicy policy;
+      policy.governor_name = outcome.governor_name;
+      policy.opp_count = outcome.opp_count;
+      policy.core_count = outcome.core_count;
+      policy.platform_fingerprint = outcome.platform_fingerprint;
+      auto merger = sim::make_governor(dev.governor, 0)->make_state_merger();
+      policy.mergeable = merger != nullptr;
+      if (merger) mergers.emplace(dev.cell, std::move(merger));
+      pit = summary.policies.emplace(dev.cell, std::move(policy)).first;
+    }
+    CellPolicy& policy = pit->second;
+    if (policy.mergeable) {
+      auto& merger = mergers.at(dev.cell);
+      merger->add_state(outcome.governor_state);
+      policy.epochs += result.epoch_count;
+      common::Fnv1a64 h;
+      h.u64(summary.next_device);  // population-wide device index
+      h.u64(result.epoch_count);
+      h.bytes(outcome.governor_state.data(), outcome.governor_state.size());
+      policy.source_fingerprint ^= h.value();  // XOR: order-invariant
+      policy.accumulator = merger->accumulator();
+    }
     ++summary.next_device;
     ++session_devices;
 

@@ -44,12 +44,31 @@ struct ShardRunnerOptions {
   std::size_t fail_after_devices = 0;
 };
 
+/// \brief One device's full outcome: the run aggregates plus the trained
+///        governor state (what the policy accumulation folds) and the
+///        platform-shape identity it was trained on.
+struct DeviceOutcome {
+  sim::RunResult result;
+  std::string governor_name;    ///< Governor display name.
+  std::string governor_state;   ///< gov::Governor::save_state payload.
+  std::uint64_t opp_count = 0;
+  std::uint64_t core_count = 0;
+  std::uint64_t platform_fingerprint = 0;
+};
+
 /// \brief Simulate one device of \p pop on a fresh platform and return its
 ///        run aggregates. The single definition of "run device i" shared by
 ///        the shard runner, benches and tests — trajectories depend only on
 ///        \p dev, never on who is asking.
 [[nodiscard]] sim::RunResult run_device(const PopulationSpec& pop,
                                         const DeviceSpec& dev);
+
+/// \brief run_device plus the trained governor state — what the shard
+///        runner's per-cell policy accumulation consumes. The simulated
+///        trajectory is identical to run_device's (the state capture happens
+///        after the run).
+[[nodiscard]] DeviceOutcome run_device_outcome(const PopulationSpec& pop,
+                                               const DeviceSpec& dev);
 
 /// \brief Run shard \p shard of \p pop: resume from the checkpoint when
 ///        possible, simulate the remaining devices in index order, write the

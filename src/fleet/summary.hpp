@@ -20,11 +20,11 @@
 ///   - `shard-<i>.ckpt` — mid-shard progress at a device boundary, what a
 ///     relaunched worker resumes from after a crash or kill.
 ///
-/// On-disk layout (version 1; little-endian, 64 B header + sealed payload):
+/// On-disk layout (version 2; little-endian, 64 B header + sealed payload):
 ///
 ///     offset size header field
 ///          0    8 magic "PRIMEFS\0"
-///          8    4 u32 format version (1)
+///          8    4 u32 format version (2)
 ///         12    4 u32 header size (64)
 ///         16    8 u64 payload size — kShardSummaryUnsealed until sealed
 ///         24    8 u64 shard index
@@ -32,7 +32,12 @@
 ///         40   24 reserved (0)
 ///
 /// The payload (common::StateWriter) carries the population fingerprint,
-/// the device range, progress counters, and the per-cell stats. Files are
+/// the device range, progress counters, the per-cell stats and — since
+/// version 2 — the per-cell policy accumulator records (CellPolicy): the
+/// gov::StateMerger accumulator of every trained governor state the shard
+/// folded, so the driver can merge shards into fleet `.qpol` policies and a
+/// killed/retried worker resumes its accumulation bit-identically from the
+/// same sealed artifact as its statistics. Files are
 /// written to `<path>.tmp` and atomically renamed, and the payload size is
 /// patched in only after the last byte ("sealing") — exactly the `.ckpt`
 /// discipline, so a torn artifact is detectable, never silently partial.
@@ -54,8 +59,9 @@ namespace prime::fleet {
 /// \brief File identification bytes at offset 0.
 inline constexpr std::array<unsigned char, 8> kShardSummaryMagic = {
     'P', 'R', 'I', 'M', 'E', 'F', 'S', '\0'};
-/// \brief The format version this build reads and writes.
-inline constexpr std::uint32_t kShardSummaryVersion = 1;
+/// \brief The format version this build reads and writes. Version 2 added
+///        the per-cell policy accumulator records.
+inline constexpr std::uint32_t kShardSummaryVersion = 2;
 /// \brief Fixed header size; the payload starts here.
 inline constexpr std::size_t kShardSummaryHeaderSize = 64;
 /// \brief Payload-size sentinel meaning "write still in progress / torn".
@@ -106,6 +112,26 @@ struct CellStats {
   void load_state(common::StateReader& in);
 };
 
+/// \brief Per-cell accumulated governor learning state (shard summary v2).
+///
+/// One record per cell the shard touched. For a mergeable governor the
+/// accumulator holds the gov::StateMerger bytes over every device state the
+/// shard folded so far — associative and order-invariant, so the driver's
+/// cross-shard fold is bit-identical under any partition. Non-mergeable
+/// governors record mergeable=false (deterministically skipped downstream).
+/// The identity fields mirror a `.qpol` entry's and are validated at merge
+/// time with the same specific errors.
+struct CellPolicy {
+  bool mergeable = false;           ///< Whether the governor has a merger.
+  std::string governor_name;        ///< Governor display name.
+  std::uint64_t opp_count = 0;      ///< Device OPP-table size.
+  std::uint64_t core_count = 0;     ///< Device cluster core count.
+  std::uint64_t platform_fingerprint = 0;  ///< hw shape fingerprint.
+  std::uint64_t epochs = 0;         ///< Σ epochs trained across devices.
+  std::uint64_t source_fingerprint = 0;  ///< XOR of per-device fingerprints.
+  std::string accumulator;          ///< StateMerger accumulator bytes.
+};
+
 /// \brief One shard's sealed result/progress artifact (see file comment).
 struct ShardSummary {
   std::uint64_t fingerprint = 0;   ///< PopulationSpec::fingerprint().
@@ -120,6 +146,9 @@ struct ShardSummary {
   /// device range intersects the shard appear. The map key order makes the
   /// serialisation canonical.
   std::map<std::uint64_t, CellStats> cells;
+  /// Per-cell policy accumulators (v2), keyed like `cells` — every cell
+  /// present in `cells` has a record here (possibly mergeable=false).
+  std::map<std::uint64_t, CellPolicy> policies;
 
   /// \brief True when every device of the shard has been folded in.
   [[nodiscard]] bool complete() const noexcept {

@@ -12,6 +12,7 @@
 
 #include <cstddef>
 #include <iosfwd>
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
@@ -20,6 +21,8 @@
 #include "hw/opp.hpp"
 
 namespace prime::gov {
+
+class StateMerger;  // gov/merge.hpp
 
 /// \brief Hardware/application feedback for one completed decision epoch.
 struct EpochObservation {
@@ -95,6 +98,16 @@ class Governor {
   [[nodiscard]] virtual const Governor* inner_governor() const noexcept {
     return nullptr;
   }
+
+  /// \brief A fresh merge accumulator for this governor's save_state()
+  ///        payloads (gov/merge.hpp), the primitive behind the warm-start
+  ///        policy library's visit-weighted fleet merge. The merger is bound
+  ///        to this governor's *configuration* — only payloads saved by
+  ///        identically constructed governors may be folded in. Governors
+  ///        without mergeable learning state return nullptr (the default),
+  ///        which callers treat as "not publishable, skip". Defined
+  ///        out-of-line (gov/merge.cpp) where StateMerger is complete.
+  [[nodiscard]] virtual std::unique_ptr<StateMerger> make_state_merger() const;
 };
 
 /// \brief Interface for governors whose learning progress is observable: the

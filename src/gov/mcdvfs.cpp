@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <memory>
+#include <sstream>
 
 #include "common/serial.hpp"
+#include "gov/merge.hpp"
 #include "gov/registry.hpp"
 
 namespace prime::gov {
@@ -184,6 +186,91 @@ void MulticoreDvfsGovernor::load_state(std::istream& in) {
   epoch_ = r.size();
   convergence_epoch_ = r.size();
   exploration_epochs_ = r.size();
+}
+
+namespace {
+
+/// Merge layout of mcdvfs: every core agent's Q vector is mergeable,
+/// weighted by the governor's total epoch count (no per-cell counters). The
+/// per-agent bookkeeping between the vectors, the RNG and the epsilon
+/// schedule ride along verbatim from the champion, so the replacement spans
+/// are one per agent.
+class McdvfsMergeTraits final : public MergeTraits {
+ public:
+  [[nodiscard]] std::string name() const override { return "mcdvfs-q"; }
+
+  [[nodiscard]] ParsedState parse(const std::string& payload) const override {
+    std::istringstream in(payload, std::ios::binary);
+    common::StateReader r(in);
+    ParsedState p;
+    try {
+      common::Rng rng;
+      rng.load_state(r);
+      const std::size_t actions = r.size();
+      const std::size_t agent_count = r.size();
+      if (agent_count > 4096) {
+        throw StateMergeError("mcdvfs state parse: implausible agent count " +
+                              std::to_string(agent_count));
+      }
+      std::size_t q_size = 0;
+      for (std::size_t i = 0; i < agent_count; ++i) {
+        const auto begin = static_cast<std::size_t>(in.tellg());
+        const std::vector<double> q = r.vec_f64();
+        const auto end = static_cast<std::size_t>(in.tellg());
+        if (i == 0) {
+          q_size = q.size();
+        } else if (q.size() != q_size) {
+          throw StateMergeError("mcdvfs state parse: ragged per-core Q "
+                                "tables");
+        }
+        p.values.insert(p.values.end(), q.begin(), q.end());
+        p.spans.emplace_back(begin, end);
+        (void)r.size();     // last_state
+        (void)r.size();     // last_action
+        (void)r.boolean();  // has_last
+      }
+      (void)r.f64();  // epsilon_
+      const std::size_t epoch = r.size();
+      if (agent_count == 0 || q_size == 0) {
+        p = ParsedState{};  // untrained: champion only
+        return p;
+      }
+      p.has_data = true;
+      p.dims = {agent_count, q_size, actions};
+      p.cell_weights.assign(p.values.size(), epoch);
+      p.weight = epoch;
+    } catch (const common::SerialError& e) {
+      throw StateMergeError(std::string("mcdvfs state parse: ") + e.what());
+    }
+    return p;
+  }
+
+  [[nodiscard]] std::vector<std::string> replacements(
+      const ParsedState& champion, const std::vector<double>& merged_values,
+      const std::vector<std::uint64_t>& /*merged_cell_weights*/,
+      const std::vector<std::uint64_t>& /*merged_counters*/) const override {
+    std::vector<std::string> out;
+    if (champion.spans.empty()) return out;
+    const auto q_size = static_cast<std::size_t>(champion.dims.at(1));
+    out.reserve(champion.spans.size());
+    for (std::size_t i = 0; i < champion.spans.size(); ++i) {
+      const std::vector<double> q(
+          merged_values.begin() + static_cast<std::ptrdiff_t>(i * q_size),
+          merged_values.begin() +
+              static_cast<std::ptrdiff_t>((i + 1) * q_size));
+      std::ostringstream bytes(std::ios::binary);
+      common::StateWriter w(bytes);
+      w.vec_f64(q);
+      out.push_back(bytes.str());
+    }
+    return out;
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<StateMerger> MulticoreDvfsGovernor::make_state_merger() const {
+  return make_weighted_merger(std::make_unique<McdvfsMergeTraits>());
 }
 
 std::vector<std::size_t> MulticoreDvfsGovernor::greedy_policy() const {

@@ -58,6 +58,10 @@ class MulticoreDvfsGovernor final : public Governor, public Learner {
   void reset() override;
   void save_state(std::ostream& out) const override;
   void load_state(std::istream& in) override;
+  /// \brief Epoch-weighted merger over the per-core Q tables (warm-start
+  ///        policy library).
+  [[nodiscard]] std::unique_ptr<StateMerger> make_state_merger()
+      const override;
 
   /// \brief Learner interface: number of epochs in which at least one core
   ///        explored.

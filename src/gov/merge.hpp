@@ -1,0 +1,125 @@
+/// \file merge.hpp
+/// \brief Deterministic merge of governor learning state: the primitive
+///        behind the warm-start policy library's fleet merge.
+///
+/// A `StateMerger` folds many governors' `save_state()` payloads — or other
+/// mergers' serialised accumulators — into one combined learning state. The
+/// contract mirrors the fleet layer's `.fsum` merging:
+///
+///   - **Exact accumulation.** Mergeable table cells accumulate as
+///     visit-weight × value products in `common::ExactSum` (128-bit
+///     fixed-point) and integer weight sums, so folding is associative,
+///     commutative and bit-identical at any grouping — N shards' states merge
+///     into the same bytes no matter how the fold tree is shaped.
+///   - **Champion carry.** Non-mergeable state (EWMA filters, epsilon
+///     schedules, exploration RNG, last-action bookkeeping) cannot be
+///     averaged; the merger carries the payload of the *champion* source —
+///     most-trained first, payload bytes as the total-order tie-break — so
+///     selection is order-invariant too.
+///   - **Fail closed.** Folding states with mismatched table geometry (the
+///     state-space/action-space skew of differently configured governors)
+///     throws StateMergeError; nothing partial is ever extracted.
+///
+/// Governors opt in via `Governor::make_state_merger()`, implemented with the
+/// `MergeTraits`/`make_weighted_merger` helpers below so each governor only
+/// describes its payload layout, not the merge algebra.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace prime::gov {
+
+/// \brief Error thrown on incompatible or corrupt merge inputs.
+class StateMergeError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// \brief Accumulates governor state payloads into one merged state.
+class StateMerger {
+ public:
+  virtual ~StateMerger() = default;
+
+  /// \brief Fold one governor's save_state() payload into the accumulator.
+  ///        Throws StateMergeError on geometry mismatch or malformed bytes.
+  virtual void add_state(const std::string& payload) = 0;
+
+  /// \brief Fold another merger's accumulator() bytes — the exact merge used
+  ///        across shards/library entries. Associative with add_state: any
+  ///        fold tree over the same leaves yields the same accumulator bits.
+  virtual void add_accumulator(const std::string& bytes) = 0;
+
+  /// \brief Serialise the accumulator exactly (ExactSum words, integer
+  ///        weights, champion payload) for storage or further merging.
+  [[nodiscard]] virtual std::string accumulator() const = 0;
+
+  /// \brief Materialise a load_state() payload from the accumulated state:
+  ///        weight-averaged table cells spliced into the champion's payload.
+  ///        Throws StateMergeError when nothing has been folded in.
+  [[nodiscard]] virtual std::string extract_state() const = 0;
+
+  /// \brief Total visit weight folded in (the provenance number).
+  [[nodiscard]] virtual std::uint64_t weight() const noexcept = 0;
+
+  /// \brief Number of leaf states folded in (directly or via accumulators).
+  [[nodiscard]] virtual std::uint64_t sources() const noexcept = 0;
+};
+
+/// \brief A governor payload decomposed for merging (see MergeTraits).
+struct ParsedState {
+  /// True when the payload carries a trained table (a fresh governor that
+  /// never decided has no mergeable data and only competes as a champion of
+  /// last resort).
+  bool has_data = false;
+  /// Table geometry (e.g. {states, actions}); must match across sources.
+  std::vector<std::uint64_t> dims;
+  /// All mergeable cells, concatenated in payload order.
+  std::vector<double> values;
+  /// Per-cell merge weight (per-cell visit counts, or the payload's scalar
+  /// training weight replicated). Same size as values.
+  std::vector<std::uint64_t> cell_weights;
+  /// Scalar training weight of this payload (champion order + provenance).
+  std::uint64_t weight = 0;
+  /// Integer counters summed across sources (e.g. total table updates).
+  std::vector<std::uint64_t> counters;
+  /// Byte ranges of the payload that extract_state() replaces with merged
+  /// data, ascending and non-overlapping.
+  std::vector<std::pair<std::size_t, std::size_t>> spans;
+};
+
+/// \brief Governor-specific payload layout for the generic weighted merger.
+class MergeTraits {
+ public:
+  virtual ~MergeTraits() = default;
+
+  /// \brief Accumulator type tag; folding accumulators with a different tag
+  ///        throws (a governor-family identity check, not a security check).
+  [[nodiscard]] virtual std::string name() const = 0;
+
+  /// \brief Decompose one save_state() payload. Throws StateMergeError (or
+  ///        common::SerialError) on malformed bytes.
+  [[nodiscard]] virtual ParsedState parse(const std::string& payload) const = 0;
+
+  /// \brief Serialised replacement bytes for each span of the champion's
+  ///        payload, given the merged cells — one string per champion span,
+  ///        same order.
+  [[nodiscard]] virtual std::vector<std::string> replacements(
+      const ParsedState& champion, const std::vector<double>& merged_values,
+      const std::vector<std::uint64_t>& merged_cell_weights,
+      const std::vector<std::uint64_t>& merged_counters) const = 0;
+};
+
+/// \brief The generic visit-weighted merger over a payload layout.
+[[nodiscard]] std::unique_ptr<StateMerger> make_weighted_merger(
+    std::unique_ptr<MergeTraits> traits);
+
+/// \brief Render table geometry for mismatch errors ("74x19").
+[[nodiscard]] std::string describe_dims(const std::vector<std::uint64_t>& dims);
+
+}  // namespace prime::gov

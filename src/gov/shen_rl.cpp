@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <memory>
+#include <sstream>
 
 #include "common/serial.hpp"
+#include "gov/merge.hpp"
 #include "gov/registry.hpp"
 
 namespace prime::gov {
@@ -150,6 +152,68 @@ void ShenRlGovernor::load_state(std::istream& in) {
   last_action_ = r.size();
   has_last_ = r.boolean();
   explorations_ = r.size();
+}
+
+namespace {
+
+/// Merge layout of shen-rl: the flat Q vector is the mergeable core. The
+/// governor keeps no per-cell visit counters, so every cell of a payload
+/// merges at the payload's total epoch count; the epsilon schedule, RNG and
+/// bookkeeping ride along verbatim from the champion.
+class ShenRlMergeTraits final : public MergeTraits {
+ public:
+  [[nodiscard]] std::string name() const override { return "shen-rl-q"; }
+
+  [[nodiscard]] ParsedState parse(const std::string& payload) const override {
+    std::istringstream in(payload, std::ios::binary);
+    common::StateReader r(in);
+    ParsedState p;
+    try {
+      common::Rng rng;
+      rng.load_state(r);
+      const std::size_t states = r.size();
+      const std::size_t actions = r.size();
+      const auto begin = static_cast<std::size_t>(in.tellg());
+      const std::vector<double> q = r.vec_f64();
+      const auto end = static_cast<std::size_t>(in.tellg());
+      if (q.size() != states * actions) {
+        throw StateMergeError("shen-rl state parse: Q size " +
+                              std::to_string(q.size()) +
+                              " does not match dimensions " +
+                              std::to_string(states) + "x" +
+                              std::to_string(actions));
+      }
+      (void)r.f64();  // epsilon_
+      const std::size_t epoch = r.size();
+      if (states == 0 || actions == 0) return p;  // untrained: champion only
+      p.has_data = true;
+      p.dims = {states, actions};
+      p.values = q;
+      p.cell_weights.assign(q.size(), epoch);
+      p.weight = epoch;
+      p.spans = {{begin, end}};
+    } catch (const common::SerialError& e) {
+      throw StateMergeError(std::string("shen-rl state parse: ") + e.what());
+    }
+    return p;
+  }
+
+  [[nodiscard]] std::vector<std::string> replacements(
+      const ParsedState& champion, const std::vector<double>& merged_values,
+      const std::vector<std::uint64_t>& /*merged_cell_weights*/,
+      const std::vector<std::uint64_t>& /*merged_counters*/) const override {
+    if (champion.spans.empty()) return {};
+    std::ostringstream out(std::ios::binary);
+    common::StateWriter w(out);
+    w.vec_f64(merged_values);
+    return {out.str()};
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<StateMerger> ShenRlGovernor::make_state_merger() const {
+  return make_weighted_merger(std::make_unique<ShenRlMergeTraits>());
 }
 
 std::vector<std::size_t> ShenRlGovernor::greedy_policy() const {

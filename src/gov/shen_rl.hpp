@@ -54,6 +54,11 @@ class ShenRlGovernor final : public Governor, public Learner {
   void reset() override;
   void save_state(std::ostream& out) const override;
   void load_state(std::istream& in) override;
+  /// \brief Epoch-weighted Q-vector merger (warm-start policy library): no
+  ///        per-cell visit counters here, so each payload's cells merge at
+  ///        its total epoch count.
+  [[nodiscard]] std::unique_ptr<StateMerger> make_state_merger()
+      const override;
 
   /// \brief Number of epochs decided by the uniform-random (exploration) arm.
   [[nodiscard]] std::size_t exploration_count() const noexcept override {

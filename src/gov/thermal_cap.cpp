@@ -2,9 +2,11 @@
 
 #include <limits>
 #include <memory>
+#include <sstream>
 #include <stdexcept>
 
 #include "common/serial.hpp"
+#include "gov/merge.hpp"
 #include "gov/registry.hpp"
 
 namespace prime::gov {
@@ -72,6 +74,68 @@ void ThermalCapGovernor::load_state(std::istream& in) {
     capped_ = r.size();
   }
   inner_->load_state(in);
+}
+
+namespace {
+
+/// Decorator merger: strips the two-word cap header off each payload and
+/// folds the rest into the inner governor's merger, so accumulators are
+/// interchangeable with the bare inner governor's. extract_state() prepends
+/// a fresh (uncapped, zero-count) cap header — thermal pressure is device
+/// state, not transferable knowledge.
+class ThermalCapMerger final : public StateMerger {
+ public:
+  explicit ThermalCapMerger(std::unique_ptr<StateMerger> inner)
+      : inner_(std::move(inner)) {}
+
+  void add_state(const std::string& payload) override {
+    std::istringstream in(payload, std::ios::binary);
+    std::size_t header_end = 0;
+    try {
+      common::StateReader r(in);
+      (void)r.size();  // cap_
+      (void)r.size();  // capped_
+      header_end = static_cast<std::size_t>(in.tellg());
+    } catch (const common::SerialError& e) {
+      throw StateMergeError(std::string("thermal-cap state parse: ") +
+                            e.what());
+    }
+    inner_->add_state(payload.substr(header_end));
+  }
+
+  void add_accumulator(const std::string& bytes) override {
+    inner_->add_accumulator(bytes);
+  }
+
+  [[nodiscard]] std::string accumulator() const override {
+    return inner_->accumulator();
+  }
+
+  [[nodiscard]] std::string extract_state() const override {
+    std::ostringstream out(std::ios::binary);
+    common::StateWriter w(out);
+    w.size(std::numeric_limits<std::size_t>::max());  // uncapped
+    w.size(0);                                        // no capped epochs
+    return out.str() + inner_->extract_state();
+  }
+
+  [[nodiscard]] std::uint64_t weight() const noexcept override {
+    return inner_->weight();
+  }
+  [[nodiscard]] std::uint64_t sources() const noexcept override {
+    return inner_->sources();
+  }
+
+ private:
+  std::unique_ptr<StateMerger> inner_;
+};
+
+}  // namespace
+
+std::unique_ptr<StateMerger> ThermalCapGovernor::make_state_merger() const {
+  auto inner = inner_->make_state_merger();
+  if (!inner) return nullptr;
+  return std::make_unique<ThermalCapMerger>(std::move(inner));
 }
 
 namespace {

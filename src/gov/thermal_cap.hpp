@@ -42,6 +42,12 @@ class ThermalCapGovernor final : public Governor {
   // wrapped governor's own payload, so composed specs checkpoint as one unit.
   void save_state(std::ostream& out) const override;
   void load_state(std::istream& in) override;
+  /// \brief Delegates to the inner governor's merger: the learnable core is
+  ///        the inner state; the cap state extracts fresh (uncapped), since
+  ///        a warm-started device starts thermally cold. Returns nullptr
+  ///        when the inner governor is not mergeable.
+  [[nodiscard]] std::unique_ptr<StateMerger> make_state_merger()
+      const override;
 
   /// \brief Current cap as an OPP index (size_t max when uncapped).
   [[nodiscard]] std::size_t cap() const noexcept { return cap_; }

@@ -1,5 +1,6 @@
 #include "hw/platform.hpp"
 
+#include "common/hash.hpp"
 #include "common/serial.hpp"
 
 namespace prime::hw {
@@ -47,6 +48,17 @@ std::unique_ptr<Platform> Platform::from_config(const common::Config& cfg) {
                                              PowerSensorParams{}, seed);
   platform->set_name(cfg.get_string("hw.name", "sim-board"));
   return platform;
+}
+
+std::uint64_t Platform::shape_fingerprint() const noexcept {
+  common::Fnv1a64 h;
+  h.u64(static_cast<std::uint64_t>(cluster_->core_count()));
+  h.u64(static_cast<std::uint64_t>(table_.size()));
+  for (const Opp& opp : table_.points()) {
+    h.f64(opp.frequency);
+    h.f64(opp.voltage);
+  }
+  return h.value();
 }
 
 void Platform::reset() {

@@ -52,6 +52,13 @@ class Platform {
   [[nodiscard]] PowerSensor& power_sensor() noexcept { return sensor_; }
   /// \brief Board name for reports.
   [[nodiscard]] const std::string& name() const noexcept { return name_; }
+  /// \brief FNV-1a fingerprint of the platform *shape*: core count plus every
+  ///        OPP's frequency/voltage bit pattern. Two platforms fingerprint
+  ///        equal iff a governor's action space and learning-state geometry
+  ///        are interchangeable between them — the identity that checkpoints
+  ///        and policy-library entries are keyed by. Deliberately excludes
+  ///        mutable state, seeds and the display name.
+  [[nodiscard]] std::uint64_t shape_fingerprint() const noexcept;
   /// \brief Set the board name.
   void set_name(std::string name) { name_ = std::move(name); }
   /// \brief Reset cluster state and sensor integration.

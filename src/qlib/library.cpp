@@ -1,0 +1,88 @@
+#include "qlib/library.hpp"
+
+#include <algorithm>
+#include <filesystem>
+#include <system_error>
+#include <utility>
+
+namespace prime::qlib {
+
+namespace fs = std::filesystem;
+
+PolicyLibrary::PolicyLibrary(std::string dir) : dir_(std::move(dir)) {
+  if (dir_.empty()) {
+    throw QlibError("policy library: a directory is required");
+  }
+  std::error_code ec;
+  fs::create_directories(dir_, ec);
+  if (ec) {
+    throw QlibError("policy library: cannot create directory '" + dir_ +
+                    "': " + ec.message());
+  }
+}
+
+std::string PolicyLibrary::path_for(const PolicyKey& key) const {
+  return (fs::path(dir_) / key.filename()).string();
+}
+
+std::string PolicyLibrary::put(const PolicyEntry& entry) const {
+  const std::string path = path_for(entry.key);
+  entry.save_file(path);
+  return path;
+}
+
+PolicyEntry PolicyLibrary::get(const PolicyKey& key) const {
+  const std::string path = path_for(key);
+  std::error_code ec;
+  if (!fs::exists(path, ec) || ec) {
+    throw QlibError("policy library '" + dir_ + "': no entry for key [" +
+                    key.canonical() + "] (expected " + path + ")");
+  }
+  return PolicyEntry::load_file(path);
+}
+
+bool PolicyLibrary::contains(const PolicyKey& key) const {
+  std::error_code ec;
+  return fs::exists(path_for(key), ec) && !ec;
+}
+
+std::vector<PolicyEntry> PolicyLibrary::find(
+    const std::string& governor_name, std::uint64_t platform_fingerprint,
+    const std::string& workload_class, std::uint64_t fps_band) const {
+  std::vector<PolicyEntry> out;
+  for (PolicyEntry& entry : entries()) {
+    if (entry.governor_name != governor_name) continue;
+    if (entry.key.platform_fingerprint != platform_fingerprint) continue;
+    if (entry.key.workload_class != workload_class) continue;
+    if (entry.key.fps_band != fps_band) continue;
+    out.push_back(std::move(entry));
+  }
+  return out;
+}
+
+std::vector<std::string> PolicyLibrary::list() const {
+  std::vector<std::string> paths;
+  std::error_code ec;
+  for (fs::directory_iterator it(dir_, ec), end; !ec && it != end;
+       it.increment(ec)) {
+    if (!it->is_regular_file()) continue;
+    if (it->path().extension() != ".qpol") continue;
+    paths.push_back(it->path().string());
+  }
+  if (ec) {
+    throw QlibError("policy library: cannot enumerate '" + dir_ +
+                    "': " + ec.message());
+  }
+  std::sort(paths.begin(), paths.end());
+  return paths;
+}
+
+std::vector<PolicyEntry> PolicyLibrary::entries() const {
+  std::vector<PolicyEntry> out;
+  for (const std::string& path : list()) {
+    out.push_back(PolicyEntry::load_file(path));
+  }
+  return out;
+}
+
+}  // namespace prime::qlib

@@ -1,0 +1,64 @@
+/// \file library.hpp
+/// \brief Directory-backed store of `.qpol` policy entries.
+///
+/// A PolicyLibrary is a plain directory of sealed `.qpol` files, one per
+/// PolicyKey (the filename embeds the key fingerprint, so put() of the same
+/// key overwrites and distinct keys never collide). Writes are atomic
+/// (PolicyEntry::save_file's tmp+rename), so concurrent fleet workers
+/// publishing into one library and a crashed publisher both leave every
+/// entry either absent or complete. Reads fail closed: a torn, truncated or
+/// foreign file in the directory surfaces as a QlibError naming the file,
+/// never as silently skipped knowledge.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "qlib/policy.hpp"
+
+namespace prime::qlib {
+
+/// \brief A directory of `.qpol` entries addressed by PolicyKey.
+class PolicyLibrary {
+ public:
+  /// \brief Open (creating the directory if needed) the library at \p dir.
+  ///        Throws QlibError when the directory cannot be created.
+  explicit PolicyLibrary(std::string dir);
+
+  /// \brief The directory backing this library.
+  [[nodiscard]] const std::string& dir() const noexcept { return dir_; }
+  /// \brief The file path an entry with \p key lives at.
+  [[nodiscard]] std::string path_for(const PolicyKey& key) const;
+
+  /// \brief Store \p entry (atomically; replaces any entry with the same key).
+  ///        Returns the path written.
+  std::string put(const PolicyEntry& entry) const;
+  /// \brief Load the entry for \p key. Throws QlibError when absent or
+  ///        malformed.
+  [[nodiscard]] PolicyEntry get(const PolicyKey& key) const;
+  /// \brief Whether an entry file for \p key exists (says nothing about its
+  ///        validity — get() still fails closed on a torn file).
+  [[nodiscard]] bool contains(const PolicyKey& key) const;
+
+  /// \brief Entries matching a *run* identity — governor display name,
+  ///        platform shape fingerprint, workload class and fps band — in
+  ///        list() order. This is the engine's warm-start lookup: a run
+  ///        knows its governor's display name but not necessarily the
+  ///        construction spec the entry was keyed under, so the spec
+  ///        component is left free (several spec variants of one governor
+  ///        may match; the caller decides whether ambiguity is an error).
+  [[nodiscard]] std::vector<PolicyEntry> find(
+      const std::string& governor_name, std::uint64_t platform_fingerprint,
+      const std::string& workload_class, std::uint64_t fps_band) const;
+
+  /// \brief All `.qpol` paths in the library, sorted (deterministic order).
+  [[nodiscard]] std::vector<std::string> list() const;
+  /// \brief Load every entry in list() order. Fail-closed: one bad file
+  ///        fails the whole enumeration with its specific error.
+  [[nodiscard]] std::vector<PolicyEntry> entries() const;
+
+ private:
+  std::string dir_;
+};
+
+}  // namespace prime::qlib

@@ -1,0 +1,73 @@
+#include "qlib/sink.hpp"
+
+#include <memory>
+#include <stdexcept>
+#include <utility>
+
+#include "common/spec.hpp"
+
+namespace prime::qlib {
+
+QlibSink::QlibSink(std::string dir) : dir_(std::move(dir)) {
+  if (dir_.empty()) {
+    throw std::invalid_argument("QlibSink: a library directory is required");
+  }
+}
+
+void QlibSink::bind(PolicyPublishFn publish) { publish_ = std::move(publish); }
+
+void QlibSink::on_run_begin(const sim::RunContext&) {
+  if (!publish_) {
+    throw std::logic_error(
+        "QlibSink '" + dir_ +
+        "': not bound to a run — policy publication is only supported by the "
+        "single-app engine (run_simulation), which binds attached qlib sinks "
+        "at run begin");
+  }
+}
+
+void QlibSink::on_epoch(const sim::EpochRecord&, gov::Governor&) {}
+
+void QlibSink::on_run_end(const sim::RunResult& result) {
+  const std::string path = publish_(result);
+  if (!path.empty()) {
+    ++published_;
+    last_path_ = path;
+  }
+  publish_ = nullptr;  // the engine's captures die with the run
+}
+
+// --- Registry entry ----------------------------------------------------------
+
+namespace {
+
+const sim::TelemetrySinkRegistrar reg_qlib{
+    sim::telemetry_registry(), "qlib",
+    "publish the trained governor state into a policy library at run end: "
+    "qlib(dir=out/qlib); optional gov=/wl=/fps= override the key components "
+    "derived from the run",
+    [](const common::Spec& spec) {
+      const std::string dir = spec.get_string("dir", "");
+      const std::string gov = spec.get_string("gov", "");
+      const std::string wl = spec.get_string("wl", "");
+      const double fps = spec.get_double("fps", 0.0);
+      if (dir.empty()) {
+        const auto unknown = spec.unrequested_keys();
+        if (!unknown.empty()) {
+          throw common::UnknownKeyError("telemetry sink", "qlib", unknown,
+                                        spec.requested_keys());
+        }
+        throw std::invalid_argument(
+            "telemetry sink 'qlib': a library directory is required, e.g. "
+            "qlib(dir=out/qlib)");
+      }
+      auto sink = std::make_unique<QlibSink>(dir);
+      if (!gov.empty()) sink->set_governor_spec(gov);
+      if (!wl.empty()) sink->set_workload(wl);
+      if (fps > 0.0) sink->set_fps(fps);
+      return sink;
+    }};
+
+}  // namespace
+
+}  // namespace prime::qlib

@@ -71,6 +71,13 @@ std::size_t QTable::visits(std::size_t s, std::size_t a) const {
   return visits_[s * actions_ + a];
 }
 
+void QTable::set_visits(std::size_t s, std::size_t a, std::size_t count) {
+  if (s >= states_ || a >= actions_) {
+    throw std::out_of_range("QTable::set_visits");
+  }
+  visits_[s * actions_ + a] = count;
+}
+
 std::size_t QTable::visited_states() const {
   std::size_t count = 0;
   for (std::size_t s = 0; s < states_; ++s) {

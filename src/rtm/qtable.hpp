@@ -52,6 +52,11 @@ class QTable {
 
   /// \brief Times (s, a) has been updated.
   [[nodiscard]] std::size_t visits(std::size_t s, std::size_t a) const;
+  /// \brief Directly set the (s, a) visit counter (merge/persistence — a
+  ///        merged table's counters are sums over its source tables).
+  void set_visits(std::size_t s, std::size_t a, std::size_t count);
+  /// \brief Directly set the total-update counter (merge/persistence).
+  void set_total_updates(std::size_t updates) noexcept { updates_ = updates; }
   /// \brief Number of distinct states updated at least once (coverage).
   [[nodiscard]] std::size_t visited_states() const;
   /// \brief Total updates performed.

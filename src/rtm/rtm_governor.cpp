@@ -2,9 +2,11 @@
 
 #include <algorithm>
 #include <memory>
+#include <sstream>
 #include <stdexcept>
 
 #include "common/serial.hpp"
+#include "gov/merge.hpp"
 #include "gov/registry.hpp"
 
 namespace prime::rtm {
@@ -149,6 +151,83 @@ void RtmGovernor::load_state(std::istream& in) {
   last_period_ = r.f64();
   explorations_ = r.size();
   smoothed_payoff_ = r.f64();
+}
+
+namespace {
+
+/// Merge layout of the RTM family (rtm, rtm-upd and — via inheritance — the
+/// many-core variants): the Q-table is the mergeable core, weighted by its
+/// per-cell visit counters; everything before it (EWMA filter, workload
+/// normaliser) and after it (epsilon schedule, slack monitor, RNG, manycore
+/// extensions) rides along verbatim from the champion payload. Parsing stops
+/// at the table, so any derived governor that appends state after the base
+/// payload merges through the same traits.
+class RtmMergeTraits final : public gov::MergeTraits {
+ public:
+  [[nodiscard]] std::string name() const override { return "rtm-q"; }
+
+  [[nodiscard]] gov::ParsedState parse(
+      const std::string& payload) const override {
+    std::istringstream in(payload, std::ios::binary);
+    common::StateReader r(in);
+    gov::ParsedState p;
+    try {
+      EwmaPredictor ewma;
+      ewma.load_state(r);
+      (void)r.f64();  // max_cycles_seen_ (champion-carried, not merged)
+      if (!r.boolean()) return p;  // no table yet: nothing mergeable
+      const auto begin = static_cast<std::size_t>(in.tellg());
+      QTable table(1, 1);
+      table.load_state(r);
+      const auto end = static_cast<std::size_t>(in.tellg());
+      p.has_data = true;
+      p.dims = {table.states(), table.actions()};
+      p.values.reserve(table.states() * table.actions());
+      p.cell_weights.reserve(table.states() * table.actions());
+      for (std::size_t s = 0; s < table.states(); ++s) {
+        for (std::size_t a = 0; a < table.actions(); ++a) {
+          p.values.push_back(table.q(s, a));
+          p.cell_weights.push_back(table.visits(s, a));
+        }
+      }
+      p.weight = table.total_updates();
+      p.counters = {table.total_updates()};
+      p.spans = {{begin, end}};
+    } catch (const common::SerialError& e) {
+      throw gov::StateMergeError(std::string("rtm state parse: ") + e.what());
+    }
+    return p;
+  }
+
+  [[nodiscard]] std::vector<std::string> replacements(
+      const gov::ParsedState& champion,
+      const std::vector<double>& merged_values,
+      const std::vector<std::uint64_t>& merged_cell_weights,
+      const std::vector<std::uint64_t>& merged_counters) const override {
+    if (champion.spans.empty()) return {};
+    const auto states = static_cast<std::size_t>(champion.dims.at(0));
+    const auto actions = static_cast<std::size_t>(champion.dims.at(1));
+    QTable table(states, actions);
+    std::size_t i = 0;
+    for (std::size_t s = 0; s < states; ++s) {
+      for (std::size_t a = 0; a < actions; ++a, ++i) {
+        table.set_q(s, a, merged_values.at(i));
+        table.set_visits(s, a,
+                         static_cast<std::size_t>(merged_cell_weights.at(i)));
+      }
+    }
+    table.set_total_updates(static_cast<std::size_t>(merged_counters.at(0)));
+    std::ostringstream out(std::ios::binary);
+    common::StateWriter w(out);
+    table.save_state(w);
+    return {out.str()};
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<gov::StateMerger> RtmGovernor::make_state_merger() const {
+  return gov::make_weighted_merger(std::make_unique<RtmMergeTraits>());
 }
 
 RtmParams rtm_params_from_spec(const common::Spec& spec, std::uint64_t seed) {

@@ -72,6 +72,11 @@ class RtmGovernor : public gov::Governor, public gov::Learner {
   void reset() override;
   void save_state(std::ostream& out) const override;
   void load_state(std::istream& in) override;
+  /// \brief Visit-weighted Q-table merger (warm-start policy library); also
+  ///        covers the many-core variants, whose extra state appends after
+  ///        the base payload and rides along with the champion.
+  [[nodiscard]] std::unique_ptr<gov::StateMerger> make_state_merger()
+      const override;
 
   // --- Introspection (benches, tests, convergence tracking) -----------------
 

@@ -1,5 +1,8 @@
 #include "sim/builder.hpp"
 
+#include "qlib/library.hpp"
+#include "qlib/sink.hpp"
+
 #include <algorithm>
 #include <atomic>
 #include <cmath>
@@ -221,6 +224,16 @@ ExperimentBuilder& ExperimentBuilder::checkpoint(const std::string& path,
   return *this;
 }
 
+ExperimentBuilder& ExperimentBuilder::warm_start(const std::string& dir) {
+  warm_start_dir_ = dir;
+  return *this;
+}
+
+ExperimentBuilder& ExperimentBuilder::publish_policies(const std::string& dir) {
+  publish_dir_ = dir;
+  return *this;
+}
+
 ExperimentBuilder& ExperimentBuilder::fps(double f) {
   fps_.push_back(f);
   return *this;
@@ -286,11 +299,21 @@ std::unique_ptr<hw::Platform> ExperimentBuilder::make_platform() const {
 }
 
 std::vector<std::unique_ptr<TelemetrySink>> ExperimentBuilder::make_sinks(
-    const Scenario& scenario) const {
+    const Scenario& scenario, bool publish) const {
   std::vector<std::unique_ptr<TelemetrySink>> sinks;
   sinks.reserve(telemetry_.size());
   for (const auto& spec : telemetry_) {
     sinks.push_back(make_sink(expand_spec(spec, scenario)));
+  }
+  if (publish && !publish_dir_.empty()) {
+    // Constructed directly, not through a spec string: the key hints are the
+    // raw scenario coordinates ("rtm(policy=upd)"), whose punctuation the
+    // placeholder sanitiser would destroy.
+    auto ql = std::make_unique<qlib::QlibSink>(publish_dir_);
+    ql->set_governor_spec(scenario.governor);
+    ql->set_workload(scenario.workload);
+    ql->set_fps(scenario.fps);
+    sinks.push_back(std::move(ql));
   }
   return sinks;
 }
@@ -367,7 +390,7 @@ SweepResult ExperimentBuilder::run() const {
       const auto oracle = make_governor("oracle", governor_seed_);
       Scenario coords = first;
       coords.governor = "oracle";
-      cells[i].oracle_telemetry = make_sinks(coords);
+      cells[i].oracle_telemetry = make_sinks(coords, /*publish=*/false);
       RunOptions opt;
       // Streaming applications are unbounded: the configured trace length is
       // the run length (a no-op for materialised apps, whose trace is exactly
@@ -390,9 +413,21 @@ SweepResult ExperimentBuilder::run() const {
     const auto platform = make_platform();
     auto governor = make_governor(scenario.governor, governor_seed_);
     ScenarioResult& result = sweep.results[i];
-    result.telemetry = make_sinks(scenario);
+    result.telemetry = make_sinks(scenario, /*publish=*/true);
     RunOptions opt;
     for (const auto& sink : result.telemetry) opt.sinks.push_back(sink.get());
+    if (!warm_start_dir_.empty()) {
+      const qlib::PolicyLibrary lib(warm_start_dir_);
+      const qlib::PolicyKey key = qlib::PolicyKey::make(
+          *platform, scenario.workload, scenario.fps, scenario.governor);
+      if (!lib.contains(key)) {
+        throw qlib::QlibError(
+            "ExperimentBuilder: warm-start library '" + warm_start_dir_ +
+            "' has no entry for [" + key.canonical() +
+            "] — publish one first (publish_policies / qlib_tool merge)");
+      }
+      opt.warm_start_from = lib.path_for(key);
+    }
     // A streaming application's replay cursor is mutable state, so the cell's
     // shared instance cannot serve concurrent scenario runs — copy it
     // instead: the copy shares the already-computed calibration and source
@@ -435,6 +470,11 @@ Comparison ExperimentBuilder::compare() const {
     throw std::invalid_argument(
         "ExperimentBuilder::compare: telemetry sinks are attached by run(); "
         "use run() for per-epoch observation");
+  }
+  if (!warm_start_dir_.empty() || !publish_dir_.empty()) {
+    throw std::invalid_argument(
+        "ExperimentBuilder::compare: warm_start/publish_policies are wired "
+        "by run(); use run() for policy-library sweeps");
   }
   ExperimentSpec spec = base_;
   spec.workload = workloads_.front();

@@ -143,6 +143,22 @@ class ExperimentBuilder {
   ExperimentBuilder& checkpoint(const std::string& path,
                                 std::size_t every = 0);
 
+  /// \brief Warm-start every scenario from the policy library at \p dir:
+  ///        each (governor spec, workload, fps) looks up its exact
+  ///        qlib::PolicyKey on the sweep's platform and runs with
+  ///        RunOptions::warm_start_from pointing at that entry. A scenario
+  ///        whose key has no entry fails the sweep with qlib::QlibError
+  ///        naming the key (fail-closed: a silent cold start would corrupt a
+  ///        warm-vs-cold comparison). Oracle baseline runs never warm-start.
+  ExperimentBuilder& warm_start(const std::string& dir);
+
+  /// \brief Publish every scenario's trained governor state into the policy
+  ///        library at \p dir at run end (a qlib::QlibSink per scenario,
+  ///        keyed by the scenario's governor *spec*, workload and fps, so
+  ///        warm_start() on an identical sweep finds the entries). Oracle
+  ///        baseline runs do not publish.
+  ExperimentBuilder& publish_policies(const std::string& dir);
+
   /// \brief Trace length in frames (default 3000). For streaming scenarios
   ///        this is the run length (passed to RunOptions::max_frames) and the
   ///        calibration window.
@@ -188,14 +204,18 @@ class ExperimentBuilder {
   [[nodiscard]] std::unique_ptr<hw::Platform> make_platform() const;
 
   /// \brief Instantiate the telemetry specs for one scenario's coordinates.
+  ///        \p publish additionally attaches the publish_policies() qlib
+  ///        sink (off for Oracle baseline runs).
   [[nodiscard]] std::vector<std::unique_ptr<TelemetrySink>> make_sinks(
-      const Scenario& scenario) const;
+      const Scenario& scenario, bool publish) const;
 
   common::Config platform_cfg_;
   bool custom_platform_ = false;
   std::vector<std::string> governors_;
   std::vector<std::string> workloads_;
   std::vector<std::string> telemetry_;
+  std::string warm_start_dir_;
+  std::string publish_dir_;
   std::vector<double> fps_;
   ExperimentSpec base_;
   std::uint64_t governor_seed_ = 0x271828;

@@ -116,6 +116,7 @@ void Checkpoint::write(std::ostream& out) const {
   w.str(application);
   w.u64(opp_count);
   w.u64(core_count);
+  w.u64(platform_fingerprint);
   write_aggregates(w, aggregates);
   w.boolean(has_last);
   if (has_last) write_observation(w, last);
@@ -179,6 +180,7 @@ Checkpoint Checkpoint::read(std::istream& in, const std::string& label) {
     ck.application = r.str();
     ck.opp_count = r.u64();
     ck.core_count = r.u64();
+    ck.platform_fingerprint = r.u64();
     read_aggregates(r, ck.aggregates);
     ck.aggregates.governor = ck.governor;
     ck.aggregates.application = ck.application;

@@ -12,20 +12,21 @@
 /// **bit-identical** to one that never stopped, pinned per registered
 /// governor by the differential tests in tests/test_checkpoint.cpp.
 ///
-/// On-disk layout (version 1; little-endian, 64 B header + sealed payload):
+/// On-disk layout (version 2; little-endian, 64 B header + sealed payload):
 ///
 ///     offset size header field
 ///          0    8 magic "PRIMECK\0"
-///          8    4 u32 format version (1)
+///          8    4 u32 format version (2)
 ///         12    4 u32 header size (64)
 ///         16    8 u64 payload size — kCheckpointUnsealed until sealed
 ///         24    8 u64 frame position (epochs executed before the snapshot)
 ///         32   32 reserved (0)
 ///
 /// The payload (common::StateWriter encoding) carries, in order: governor
-/// display name, application name, the RunResult aggregates, the optional
-/// last EpochObservation, then the length-prefixed opaque governor and
-/// platform state blobs. Like the `.bt` trace, the payload size is patched
+/// display name, application name, platform shape (OPP count, core count and
+/// — since version 2 — the hw::Platform::shape_fingerprint over the full V-F
+/// table), the RunResult aggregates, the optional last EpochObservation,
+/// then the length-prefixed opaque governor and platform state blobs. Like the `.bt` trace, the payload size is patched
 /// into the header only after every payload byte is written ("sealing"), and
 /// files are written to a temporary name and atomically renamed — a producer
 /// killed mid-write leaves the previous checkpoint intact, and a torn file is
@@ -52,8 +53,9 @@ namespace prime::sim {
 /// \brief File identification bytes at offset 0.
 inline constexpr std::array<unsigned char, 8> kCheckpointMagic = {
     'P', 'R', 'I', 'M', 'E', 'C', 'K', '\0'};
-/// \brief The format version this build reads and writes.
-inline constexpr std::uint32_t kCheckpointVersion = 1;
+/// \brief The format version this build reads and writes. Version 2 added
+///        the platform shape fingerprint to the payload.
+inline constexpr std::uint32_t kCheckpointVersion = 2;
 /// \brief Fixed header size; the payload starts here.
 inline constexpr std::size_t kCheckpointHeaderSize = 64;
 /// \brief Payload-size sentinel meaning "write still in progress / torn".
@@ -77,6 +79,10 @@ struct Checkpoint {
   /// re-initialise the restored state on the first decision.
   std::uint64_t opp_count = 0;     ///< OPP-table size (the action space).
   std::uint64_t core_count = 0;    ///< Cluster core count.
+  /// hw::Platform::shape_fingerprint() at snapshot time: core count plus the
+  /// exact V-F table bits, so resume additionally rejects a platform with
+  /// the same table *size* but different operating points.
+  std::uint64_t platform_fingerprint = 0;
   std::uint64_t frame_position = 0;///< Epochs executed before the snapshot.
   RunResult aggregates;            ///< Partial run aggregates at the snapshot.
   bool has_last = false;           ///< Whether an observation is pending.

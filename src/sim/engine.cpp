@@ -6,6 +6,8 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "qlib/library.hpp"
+#include "qlib/sink.hpp"
 #include "sim/checkpoint.hpp"
 #include "sim/telemetry.hpp"
 
@@ -50,8 +52,51 @@ common::Watt RunResult::mean_power() const {
   return power_sum / static_cast<double>(epoch_count);
 }
 
+namespace {
+
+/// Resolve RunOptions::warm_start_from: a `.qpol` path loads directly; a
+/// directory is searched by the run's identity and must match exactly one
+/// entry (none or several fail closed — point at the file to disambiguate).
+qlib::PolicyEntry resolve_warm_start(const std::string& from,
+                                     const hw::Platform& platform,
+                                     const wl::Application& app,
+                                     const gov::Governor& governor) {
+  const bool is_file =
+      from.size() > 5 && from.compare(from.size() - 5, 5, ".qpol") == 0;
+  if (is_file) return qlib::PolicyEntry::load_file(from);
+  const qlib::PolicyLibrary lib(from);
+  const double fps =
+      app.deadline_at(0) > 0.0 ? 1.0 / app.deadline_at(0) : 0.0;
+  auto matches = lib.find(governor.name(), platform.shape_fingerprint(),
+                          qlib::PolicyKey::workload_class_of(app.name()),
+                          qlib::PolicyKey::fps_band_of(fps));
+  if (matches.empty()) {
+    throw qlib::QlibError(
+        "warm start: no entry in library '" + from + "' matches governor '" +
+        governor.name() + "', workload class '" +
+        qlib::PolicyKey::workload_class_of(app.name()) + "', fps band " +
+        std::to_string(qlib::PolicyKey::fps_band_of(fps)) +
+        " on this platform");
+  }
+  if (matches.size() > 1) {
+    throw qlib::QlibError(
+        "warm start: " + std::to_string(matches.size()) +
+        " entries in library '" + from +
+        "' match this run (different governor specs share the display name "
+        "'" + governor.name() + "') — pass the .qpol file path instead");
+  }
+  return std::move(matches.front());
+}
+
+}  // namespace
+
 RunResult run_simulation(hw::Platform& platform, const wl::Application& app,
                          gov::Governor& governor, const RunOptions& options) {
+  if (!options.warm_start_from.empty() && !options.resume_from.empty()) {
+    throw std::invalid_argument(
+        "run_simulation: warm_start_from and resume_from are mutually "
+        "exclusive — a resume already restores the learned state");
+  }
   // Resume first: the restored state supersedes the reset_* flags (resetting
   // after loading would discard exactly the state the caller asked to keep).
   std::optional<Checkpoint> resume;
@@ -77,6 +122,14 @@ RunResult run_simulation(hw::Platform& platform, const wl::Application& app,
           std::to_string(platform.opp_table().size()) + " OPPs and " +
           std::to_string(platform.cluster().core_count()) + " cores");
     }
+    // Same table *size* is not same table: the V-F points themselves shape
+    // what the learned state means, so the full shape fingerprint must match.
+    if (resume->platform_fingerprint != platform.shape_fingerprint()) {
+      throw CheckpointError(
+          "checkpoint '" + options.resume_from +
+          "': platform shape fingerprint mismatch — saved on a platform with "
+          "the same OPP/core counts but different operating points");
+    }
     {
       std::istringstream in(resume->governor_state);
       governor.load_state(in);
@@ -88,6 +141,39 @@ RunResult run_simulation(hw::Platform& platform, const wl::Application& app,
   } else {
     if (options.reset_platform) platform.reset();
     if (options.reset_governor) governor.reset();
+    if (!options.warm_start_from.empty()) {
+      // After the resets: a warm start is a fresh run that begins having
+      // already learned, so everything *except* the transferred knowledge
+      // starts from zero.
+      const qlib::PolicyEntry entry =
+          resolve_warm_start(options.warm_start_from, platform, app, governor);
+      if (entry.governor_name != governor.name()) {
+        throw qlib::QlibError(
+            "warm start '" + options.warm_start_from +
+            "': entry trained for governor '" + entry.governor_name +
+            "', cannot warm-start '" + governor.name() + "'");
+      }
+      if (entry.opp_count != platform.opp_table().size() ||
+          entry.core_count != platform.cluster().core_count()) {
+        throw qlib::QlibError(
+            "warm start '" + options.warm_start_from +
+            "': entry trained on a platform with " +
+            std::to_string(entry.opp_count) + " OPPs and " +
+            std::to_string(entry.core_count) + " cores, cannot apply on " +
+            std::to_string(platform.opp_table().size()) + " OPPs and " +
+            std::to_string(platform.cluster().core_count()) + " cores");
+      }
+      if (entry.key.platform_fingerprint != platform.shape_fingerprint()) {
+        throw qlib::QlibError(
+            "warm start '" + options.warm_start_from +
+            "': platform shape fingerprint mismatch — the entry was trained "
+            "on a platform with the same OPP/core counts but different "
+            "operating points");
+      }
+      const std::string state = entry.state_for(governor);
+      std::istringstream in(state);
+      governor.load_state(in);
+    }
   }
 
   hw::Cluster& cluster = platform.cluster();
@@ -155,6 +241,7 @@ RunResult run_simulation(hw::Platform& platform, const wl::Application& app,
     ck.application = ctx.application;
     ck.opp_count = opps.size();
     ck.core_count = cluster.core_count();
+    ck.platform_fingerprint = platform.shape_fingerprint();
     // result accumulates one epoch per emitted record across sessions, so
     // its epoch count *is* the absolute frame position.
     ck.frame_position = result.epoch_count;
@@ -170,6 +257,7 @@ RunResult run_simulation(hw::Platform& platform, const wl::Application& app,
     return ck;
   };
   std::vector<CheckpointSink*> bound;
+  std::vector<qlib::QlibSink*> bound_qlib;
   for (TelemetrySink* sink : sinks) {
     // Unwrap decimating pass-throughs so sample(inner=checkpoint(...)) binds
     // too — the sample cadence then gates how often snapshots are taken.
@@ -180,20 +268,44 @@ RunResult run_simulation(hw::Platform& platform, const wl::Application& app,
         bound.push_back(ck);
         break;
       }
+      if (auto* ql = dynamic_cast<qlib::QlibSink*>(s)) {
+        // Policy publication: the entry's key derives from the run unless
+        // the sink carries spec overrides (gov=/wl=/fps=) — the builder and
+        // fleet use those to key by construction spec instead of display
+        // name, so lookups match across processes.
+        ql->bind([&platform, &governor, &app, ql](const RunResult& run)
+                     -> std::string {
+          double fps = ql->fps();
+          if (fps <= 0.0) {
+            const common::Seconds period = app.deadline_at(0);
+            fps = period > 0.0 ? 1.0 / period : 0.0;
+          }
+          const std::string workload =
+              ql->workload().empty() ? app.name() : ql->workload();
+          const qlib::PolicyLibrary lib(ql->dir());
+          return lib.put(qlib::make_leaf_entry(platform, governor, workload,
+                                               fps, ql->governor_spec(),
+                                               run.epoch_count));
+        });
+        bound_qlib.push_back(ql);
+        break;
+      }
       auto* sample = dynamic_cast<SampleSink*>(s);
       s = sample != nullptr ? &sample->inner() : nullptr;
     }
   }
-  // The snapshot lambda captures this frame by reference. Unbind on every
-  // exit — including an exception thrown mid-run, which skips the sinks'
-  // own on_run_end cleanup — so a caller-owned sink can never retain a
-  // dangling binding into a dead stack frame.
+  // The snapshot/publish lambdas capture this frame by reference. Unbind on
+  // every exit — including an exception thrown mid-run, which skips the
+  // sinks' own on_run_end cleanup — so a caller-owned sink can never retain
+  // a dangling binding into a dead stack frame.
   struct UnbindGuard {
     std::vector<CheckpointSink*>* sinks;
+    std::vector<qlib::QlibSink*>* qlib_sinks;
     ~UnbindGuard() {
       for (CheckpointSink* ck : *sinks) ck->bind(nullptr);
+      for (qlib::QlibSink* ql : *qlib_sinks) ql->bind(nullptr);
     }
-  } unbind_guard{&bound};
+  } unbind_guard{&bound, &bound_qlib};
 
   RunEmitter emitter(result, sinks, ctx);
 

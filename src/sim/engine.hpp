@@ -120,6 +120,19 @@ struct RunOptions {
   /// length, and the reset_* flags are ignored (the restored state *is* the
   /// pre-run state). Empty disables resume.
   std::string resume_from;
+
+  // --- Warm start (qlib/policy.hpp) ------------------------------------------
+
+  /// Start the governor from a policy-library entry instead of tabula rasa:
+  /// a `.qpol` file path, or a library directory to search by the run's own
+  /// identity (governor display name, platform shape fingerprint, workload
+  /// class, fps band — ambiguous or absent matches throw qlib::QlibError).
+  /// Unlike resume_from this transfers *knowledge only*: resets still apply
+  /// first, the frame stream starts at 0, and aggregates start empty — it is
+  /// a fresh run that begins having already learned. The entry's governor
+  /// name and platform shape must match (QlibError otherwise). Mutually
+  /// exclusive with resume_from (std::invalid_argument). Empty disables.
+  std::string warm_start_from;
 };
 
 /// \brief Run \p app on \p platform under \p governor.

@@ -2,7 +2,10 @@
 /// \brief Unit tests for ExperimentBuilder and the multi-threaded sweep runner.
 #include <gtest/gtest.h>
 
+#include <filesystem>
+
 #include "hw/platform.hpp"
+#include "qlib/library.hpp"
 #include "sim/builder.hpp"
 #include "sim/report.hpp"
 
@@ -276,6 +279,30 @@ TEST(ExperimentBuilder, StreamingSweepMatchesMaterialisedSweep) {
     EXPECT_DOUBLE_EQ(a.oracle_runs[c].total_energy,
                      b.oracle_runs[c].total_energy);
   }
+}
+
+TEST(ExperimentBuilder, PublishThenWarmStartRoundTrips) {
+  const std::string dir = testing::TempDir() + "builder-qlib";
+  std::filesystem::remove_all(dir);
+
+  // Train: every scenario publishes its final governor state; the Oracle
+  // baseline deliberately does not.
+  ExperimentBuilder train;
+  train.workload("fft").fps(25.0).frames(80).governors({"rtm", "performance"});
+  (void)train.publish_policies(dir).run();
+  const qlib::PolicyLibrary lib(dir);
+  EXPECT_EQ(lib.list().size(), 2u);
+
+  // Warm: the same matrix warm-starts each scenario from its exact key.
+  ExperimentBuilder warm;
+  warm.workload("fft").fps(25.0).frames(80).governors({"rtm", "performance"});
+  const SweepResult sweep = warm.warm_start(dir).run();
+  EXPECT_EQ(sweep.results.size(), 2u);
+
+  // A scenario with no published entry fails closed, naming the key.
+  ExperimentBuilder missing;
+  missing.workload("h264").fps(25.0).frames(80).governor("rtm");
+  EXPECT_THROW((void)missing.warm_start(dir).run(), qlib::QlibError);
 }
 
 TEST(ExperimentBuilder, StreamSetterAppliesToEveryWorkload) {

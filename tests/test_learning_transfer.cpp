@@ -11,6 +11,10 @@
 /// across processes.
 #include <gtest/gtest.h>
 
+#include <filesystem>
+
+#include "gov/merge.hpp"
+#include "qlib/policy.hpp"
 #include "rtm/manycore.hpp"
 #include "sim/experiment.hpp"
 #include "sim/telemetry.hpp"
@@ -77,6 +81,60 @@ TEST(LearningTransfer, WarmStartMissesFewerEarlyDeadlines) {
 
   EXPECT_LT(early_misses(warm_trace.records()),
             early_misses(cold_trace.records()));
+}
+
+TEST(LearningTransfer, QlibWarmStartBeatsColdForEveryMergeableGovernor) {
+  // The policy-library generalisation of the warm-start tests above: for
+  // every registered governor with mergeable learning state, train on one
+  // application, publish a leaf `.qpol`, warm-start a *fresh instance* from
+  // the file on a second application, and compare early deadline misses
+  // against a cold start. Warm must never be worse, and must strictly beat
+  // cold for at least one governor (in practice all Q-learners do).
+  const std::string dir = testing::TempDir() + "learning-transfer-qlib/";
+  std::filesystem::create_directories(dir);
+  auto platform = hw::Platform::odroid_xu3_a15();
+  const wl::Application first = make_app("mpeg4", 1, *platform);
+  const wl::Application second = make_app("h264", 2, *platform);
+
+  std::size_t mergeable = 0;
+  std::size_t strictly_better = 0;
+  for (const std::string& name : governor_names()) {
+    {
+      const auto probe = make_governor(name, 7);
+      if (probe->make_state_merger() == nullptr) continue;  // not a learner
+    }
+    ++mergeable;
+
+    // Cold: fresh governor directly on the second application.
+    const auto cold = make_governor(name, 7);
+    TraceSink cold_trace;
+    RunOptions cold_opt;
+    cold_opt.sinks = {&cold_trace};
+    (void)run_simulation(*platform, second, *cold, cold_opt);
+
+    // Warm: train on the first application, publish, warm-start from disk.
+    const auto trained = make_governor(name, 7);
+    const RunResult train_run = run_simulation(*platform, first, *trained);
+    const qlib::PolicyEntry leaf = qlib::make_leaf_entry(
+        *platform, *trained, "h264", 25.0, name, train_run.epoch_count);
+    const std::string path = dir + name + ".qpol";
+    leaf.save_file(path);
+
+    const auto warm = make_governor(name, 7);
+    TraceSink warm_trace;
+    RunOptions warm_opt;
+    warm_opt.sinks = {&warm_trace};
+    warm_opt.warm_start_from = path;
+    (void)run_simulation(*platform, second, *warm, warm_opt);
+
+    const std::size_t cold_misses = early_misses(cold_trace.records());
+    const std::size_t warm_misses = early_misses(warm_trace.records());
+    EXPECT_LE(warm_misses, cold_misses)
+        << name << ": warm start missed more early deadlines than cold";
+    if (warm_misses < cold_misses) ++strictly_better;
+  }
+  EXPECT_GE(mergeable, 4u);  // rtm family, shen-rl, mcdvfs at minimum
+  EXPECT_GT(strictly_better, 0u);
 }
 
 TEST(LearningTransfer, QTablePersistsAcrossProcessesViaCsv) {
