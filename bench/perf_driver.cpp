@@ -1,17 +1,20 @@
 /// \file perf_driver.cpp
-/// \brief Simulator throughput bench: emits BENCH_7.json for CI tracking.
+/// \brief Simulator throughput bench: emits BENCH_8.json for CI tracking.
 ///
 /// Population mode's cost model is "devices × frames / simulator throughput",
 /// so this driver measures, per governor: end-to-end simulated frames per
-/// wall-clock second (with p50/p95/p99 of ns/frame across repetitions), and
-/// the governor's bare decision cost (ns per decide() call on a synthetic
-/// feedback loop, amortised over a long loop). Results land in a small
-/// hand-rolled JSON file CI uploads as an artifact, so regressions in the
-/// engine hot path or a governor's decision path show up as a diffable
-/// number rather than a vague "CI got slower".
+/// wall-clock second (with p50/p95/p99 of ns/frame across repetitions), the
+/// same metric swept across FrameBlock batch sizes (RunOptions::block_frames)
+/// so the zero-allocation hot path's scaling stays visible, and the
+/// governor's bare decision cost (ns per decide() call on a synthetic
+/// feedback loop, amortised over a long loop). Headline numbers use the
+/// engine's default block size. Results land in a small hand-rolled JSON
+/// file CI uploads as an artifact, so regressions in the engine hot path or
+/// a governor's decision path show up as a diffable number rather than a
+/// vague "CI got slower".
 ///
-/// Usage: bench_perf_driver [out=BENCH_7.json] [frames=2000] [reps=5]
-///                          [decisions=2000000]
+/// Usage: bench_perf_driver [out=BENCH_8.json] [frames=2000] [reps=5]
+///                          [decisions=2000000] [blocks=1,16,64,256]
 ///                          [governors=ondemand,schedutil,rtm,rtm-manycore]
 #include <algorithm>
 #include <chrono>
@@ -45,9 +48,10 @@ std::string json_number(double value) {
 }
 
 /// Wall-clock seconds to simulate \p frames frames under \p name, streaming
-/// workload, fresh platform/app/governor — the full engine hot path.
+/// workload, fresh platform/app/governor — the full engine hot path at the
+/// given FrameBlock batch size.
 double time_run(const std::string& name, std::size_t frames,
-                std::uint64_t seed) {
+                std::uint64_t seed, std::size_t block_frames) {
   const auto platform = hw::Platform::odroid_xu3_a15(seed);
   sim::ExperimentSpec spec;
   spec.workload = "h264";
@@ -58,6 +62,7 @@ double time_run(const std::string& name, std::size_t frames,
   const auto governor = sim::make_governor(name, seed);
   sim::RunOptions opts;
   opts.max_frames = frames;
+  opts.block_frames = block_frames;
   const auto start = Clock::now();
   const sim::RunResult result =
       sim::run_simulation(*platform, app, *governor, opts);
@@ -109,7 +114,7 @@ double time_decisions(const std::string& name, std::size_t decisions) {
 int main(int argc, char** argv) {
   common::Config cfg;
   cfg.parse_args(argc, argv);
-  const std::string out_path = cfg.get_string("out", "BENCH_7.json");
+  const std::string out_path = cfg.get_string("out", "BENCH_8.json");
   const auto frames = static_cast<std::size_t>(cfg.get_int("frames", 2000));
   const auto reps = static_cast<std::size_t>(cfg.get_int("reps", 5));
   const auto decisions =
@@ -121,32 +126,62 @@ int main(int argc, char** argv) {
     const std::string token = common::trim(field);
     if (!token.empty()) governors.push_back(token);
   }
+  std::vector<std::size_t> blocks;
+  for (const auto& field : common::split_outside_parens(
+           cfg.get_string("blocks", "1,16,64,256"), ',')) {
+    const std::string token = common::trim(field);
+    if (!token.empty())
+      blocks.push_back(static_cast<std::size_t>(std::stoull(token)));
+  }
+  // Headline throughput is measured at the engine's shipped default, so the
+  // number CI tracks is the number every caller actually gets.
+  const std::size_t default_block = sim::RunOptions{}.block_frames;
 
   try {
     std::string json = "{\n  \"bench\": \"perf_driver\",\n";
     json += "  \"frames_per_run\": " + std::to_string(frames) + ",\n";
     json += "  \"reps\": " + std::to_string(reps) + ",\n";
     json += "  \"decision_loop\": " + std::to_string(decisions) + ",\n";
+    json += "  \"default_block\": " + std::to_string(default_block) + ",\n";
     json += "  \"governors\": [\n";
     for (std::size_t g = 0; g < governors.size(); ++g) {
       const std::string& name = governors[g];
       std::cerr << "perf_driver: " << name << " ..." << std::endl;
-      std::vector<double> ns_per_frame;
-      ns_per_frame.reserve(reps);
-      for (std::size_t rep = 0; rep < reps; ++rep) {
-        const double elapsed = time_run(name, frames, 1000 + rep);
-        ns_per_frame.push_back(elapsed * 1e9 /
-                               static_cast<double>(frames));
-      }
-      const std::vector<double> pct =
-          common::percentiles_of(ns_per_frame, {50.0, 95.0, 99.0});
+      // Best-of-reps (min ns/frame) is the headline: wall-clock minima are
+      // the contention-robust estimator of the code's true cost on a shared
+      // CI host, while the percentiles keep the spread visible.
+      const auto best_at = [&](std::size_t block, std::vector<double>* all_pct) {
+        std::vector<double> ns_per_frame;
+        ns_per_frame.reserve(reps);
+        for (std::size_t rep = 0; rep < reps; ++rep) {
+          const double elapsed = time_run(name, frames, 1000 + rep, block);
+          ns_per_frame.push_back(elapsed * 1e9 /
+                                 static_cast<double>(frames));
+        }
+        if (all_pct != nullptr) {
+          *all_pct = common::percentiles_of(ns_per_frame, {50.0, 95.0, 99.0});
+        }
+        return *std::min_element(ns_per_frame.begin(), ns_per_frame.end());
+      };
+      std::vector<double> pct;
+      const double ns_best = best_at(default_block, &pct);
       const double ns_decide = time_decisions(name, decisions);
       json += "    {\"name\": \"" + name + "\", ";
-      json += "\"frames_per_sec\": " + json_number(1e9 / pct[0]) + ", ";
+      json += "\"frames_per_sec\": " + json_number(1e9 / ns_best) + ", ";
+      json += "\"ns_per_frame_min\": " + json_number(ns_best) + ", ";
       json += "\"ns_per_frame_p50\": " + json_number(pct[0]) + ", ";
       json += "\"ns_per_frame_p95\": " + json_number(pct[1]) + ", ";
       json += "\"ns_per_frame_p99\": " + json_number(pct[2]) + ", ";
-      json += "\"ns_per_decision\": " + json_number(ns_decide) + "}";
+      json += "\"ns_per_decision\": " + json_number(ns_decide) + ",\n";
+      json += "     \"blocks\": [";
+      for (std::size_t b = 0; b < blocks.size(); ++b) {
+        const double best = best_at(blocks[b], nullptr);
+        json += "{\"block\": " + std::to_string(blocks[b]) + ", ";
+        json += "\"frames_per_sec\": " + json_number(1e9 / best) + ", ";
+        json += "\"ns_per_frame_min\": " + json_number(best) + "}";
+        if (b + 1 < blocks.size()) json += ", ";
+      }
+      json += "]}";
       json += (g + 1 < governors.size()) ? ",\n" : "\n";
     }
     json += "  ]\n}\n";

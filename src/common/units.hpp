@@ -56,4 +56,12 @@ using Cycles = std::uint64_t;
   return static_cast<double>(c) / f;
 }
 
+/// \brief Frames-per-second implied by a frame period (deadline), 0 for a
+///        non-positive period. The single definition of the period→fps
+///        derivation used wherever a run's fps is recovered from its deadline
+///        (warm-start lookup, policy publication keys).
+[[nodiscard]] constexpr double fps_from_period(Seconds period) noexcept {
+  return period > 0.0 ? 1.0 / period : 0.0;
+}
+
 }  // namespace prime::common

@@ -11,6 +11,7 @@
 #pragma once
 
 #include <cstddef>
+#include <initializer_list>
 #include <iosfwd>
 #include <memory>
 #include <optional>
@@ -24,6 +25,79 @@ namespace prime::gov {
 
 class StateMerger;  // gov/merge.hpp
 
+/// \brief Per-core cycle counts as an owned-or-borrowed view.
+///
+/// Governors only ever *read* core cycles, so the engine's batched hot loop
+/// binds the observation to the cluster's reused scratch buffer instead of
+/// copying a vector per frame (bind() borrows; the buffer must stay valid
+/// and unchanged until the next epoch overwrites the observation). Assigning
+/// a vector or initializer list owns the elements — the natural form for
+/// tests and checkpoint restore. Copying always deep-copies into owned
+/// storage, so a stored copy (checkpoint snapshot) can never dangle.
+class CycleSpan {
+ public:
+  CycleSpan() = default;
+  CycleSpan(std::vector<common::Cycles> v) : owned_(std::move(v)) {
+    data_ = owned_.data();
+    size_ = owned_.size();
+  }
+  CycleSpan(std::initializer_list<common::Cycles> v)
+      : CycleSpan(std::vector<common::Cycles>(v)) {}
+  CycleSpan(const CycleSpan& other) { *this = other; }
+  CycleSpan(CycleSpan&& other) noexcept { *this = std::move(other); }
+  CycleSpan& operator=(const CycleSpan& other) {
+    if (this != &other) {
+      owned_.assign(other.begin(), other.end());
+      data_ = owned_.data();
+      size_ = owned_.size();
+    }
+    return *this;
+  }
+  CycleSpan& operator=(CycleSpan&& other) noexcept {
+    if (this != &other) {
+      if (other.data_ == other.owned_.data() && !other.owned_.empty()) {
+        owned_ = std::move(other.owned_);
+        data_ = owned_.data();
+      } else {
+        owned_.clear();
+        data_ = other.data_;
+      }
+      size_ = other.size_;
+    }
+    return *this;
+  }
+
+  /// \brief Borrow \p n counts at \p data without copying (engine hot path).
+  void bind(const common::Cycles* data, std::size_t n) noexcept {
+    owned_.clear();  // keeps capacity; just marks "not owning"
+    data_ = data;
+    size_ = n;
+  }
+
+  [[nodiscard]] std::size_t size() const noexcept { return size_; }
+  [[nodiscard]] bool empty() const noexcept { return size_ == 0; }
+  [[nodiscard]] const common::Cycles* data() const noexcept { return data_; }
+  [[nodiscard]] const common::Cycles* begin() const noexcept { return data_; }
+  [[nodiscard]] const common::Cycles* end() const noexcept {
+    return data_ + size_;
+  }
+  [[nodiscard]] common::Cycles operator[](std::size_t i) const noexcept {
+    return data_[i];
+  }
+  [[nodiscard]] bool operator==(const CycleSpan& other) const noexcept {
+    if (size_ != other.size_) return false;
+    for (std::size_t i = 0; i < size_; ++i) {
+      if (data_[i] != other.data_[i]) return false;
+    }
+    return true;
+  }
+
+ private:
+  std::vector<common::Cycles> owned_;
+  const common::Cycles* data_ = nullptr;
+  std::size_t size_ = 0;
+};
+
 /// \brief Hardware/application feedback for one completed decision epoch.
 struct EpochObservation {
   std::size_t epoch = 0;            ///< Index of the completed epoch.
@@ -31,7 +105,7 @@ struct EpochObservation {
   common::Seconds frame_time = 0.0; ///< Time to finish the frame (inc. stall).
   common::Seconds window = 0.0;     ///< Wall-clock epoch length.
   common::Cycles total_cycles = 0;  ///< Cycles summed over all cores (the paper's CC).
-  std::vector<common::Cycles> core_cycles; ///< Per-core cycle counts.
+  CycleSpan core_cycles;            ///< Per-core cycle counts (view).
   std::size_t opp_index = 0;        ///< OPP that executed the epoch.
   common::Watt avg_power = 0.0;     ///< Sensor-measured average power.
   common::Celsius temperature = 0.0;///< Die temperature after the epoch.

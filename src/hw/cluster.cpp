@@ -15,6 +15,16 @@ Cluster::Cluster(const OppTable& table, const ClusterParams& params)
       initial_opp_(params.initial_opp) {
   cores_.reserve(params.cores);
   for (std::size_t i = 0; i < params.cores; ++i) cores_.emplace_back(i, power_);
+  coeffs_.reserve(table.size());
+  for (std::size_t i = 0; i < table.size(); ++i) {
+    const Opp& opp = table.at(i);
+    OppCoeffs c;
+    c.active_power = power_.active_power(opp);
+    c.idle_power = power_.idle_power(opp);
+    c.uncore_power = power_.uncore_power(opp);
+    c.leak_base = power_.leakage_base(opp.voltage);
+    coeffs_.push_back(c);
+  }
 }
 
 common::Seconds Cluster::set_opp(std::size_t index) noexcept {
@@ -27,24 +37,36 @@ ClusterEpochResult Cluster::run_epoch(const std::vector<common::Cycles>& work,
                                       common::Seconds period,
                                       double mem_fraction,
                                       common::Hertz ref_frequency) {
+  ClusterEpochResult r;
+  run_epoch_into(work.data(), work.size(), period, mem_fraction, ref_frequency,
+                 r);
+  return r;
+}
+
+void Cluster::run_epoch_into(const common::Cycles* work,
+                             std::size_t work_count, common::Seconds period,
+                             double mem_fraction,
+                             common::Hertz ref_frequency, EpochScratch& r) {
   const Opp& opp = dvfs_.current();
+  const OppCoeffs& co = coeffs_[dvfs_.current_index()];
   const common::Celsius temp_before = thermal_.temperature();
 
-  ClusterEpochResult r;
   r.dvfs_stall = pending_stall_;
   pending_stall_ = 0.0;
-  r.core_cycles.resize(cores_.size(), 0);
-  r.core_busy.resize(cores_.size(), 0.0);
+  r.core_cycles.resize(cores_.size());
+  r.core_busy.resize(cores_.size());
 
   // Memory stalls do not scale with frequency: a frame of w base cycles
   // retires as w * ((1-m) + m * f/f_ref) effective (PMU-visible) cycles.
+  // The division by ref_frequency stays inside the expression — hoisting
+  // f/f_ref would reassociate the product and change bits.
   const double eff_scale = (1.0 - mem_fraction) +
                            mem_fraction * opp.frequency / ref_frequency;
 
   // First pass: per-core busy times determine the frame time.
   common::Seconds longest_busy = 0.0;
   for (std::size_t i = 0; i < cores_.size(); ++i) {
-    const common::Cycles base = i < work.size() ? work[i] : 0;
+    const common::Cycles base = i < work_count ? work[i] : 0;
     const auto w =
         static_cast<common::Cycles>(static_cast<double>(base) * eff_scale);
     r.core_cycles[i] = w;
@@ -57,16 +79,24 @@ ClusterEpochResult Cluster::run_epoch(const std::vector<common::Cycles>& work,
   r.window = std::max(r.frame_time, period);
   r.deadline_met = r.frame_time <= period;
 
-  // Second pass: execute cores within the window and accumulate energy.
+  // Second pass: account cores within the window and accumulate energy. All
+  // cores share one rail and one die temperature, so the per-core power terms
+  // Core::run_epoch would derive are epoch constants — taken from the per-OPP
+  // table (active/idle/leak_base) with only the leakage temperature factor
+  // evaluated here. Same expressions, same association order, same bits.
+  const common::Watt p_leak = co.leak_base * power_.leakage_tempf(temp_before);
   common::Joule energy = 0.0;
   for (std::size_t i = 0; i < cores_.size(); ++i) {
-    const CoreEpochResult cr =
-        cores_[i].run_epoch(r.core_cycles[i], opp, r.window, temp_before);
-    energy += cr.energy;
+    const common::Seconds busy = r.core_busy[i];
+    const common::Seconds idle = std::max(0.0, r.window - busy);
+    const common::Joule core_energy =
+        co.active_power * busy + co.idle_power * idle + p_leak * (busy + idle);
+    cores_[i].account(r.core_cycles[i], busy, idle, core_energy);
+    energy += core_energy;
   }
   // Shared uncore power runs for the whole window; the DVFS stall burns
   // active-level uncore power but no core work.
-  energy += power_.uncore_power(opp) * r.window;
+  energy += co.uncore_power * r.window;
 
   r.energy = energy;
   r.avg_power = r.window > 0.0 ? energy / r.window : 0.0;
@@ -76,7 +106,6 @@ ClusterEpochResult Cluster::run_epoch(const std::vector<common::Cycles>& work,
 
   total_energy_ += energy;
   total_time_ += r.window;
-  return r;
 }
 
 void Cluster::reset() {

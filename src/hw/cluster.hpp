@@ -45,6 +45,24 @@ struct ClusterEpochResult {
   bool deadline_met = true;
 };
 
+/// \brief Reusable epoch output: same fields as a fresh ClusterEpochResult,
+///        but the per-core vectors keep their capacity across epochs, so
+///        run_epoch_into() does no allocation after the first call. Declare
+///        one outside the loop and pass it to every epoch.
+using EpochScratch = ClusterEpochResult;
+
+/// \brief Per-OPP coefficients hoisted out of the per-frame path: every term
+///        of the power model that depends only on the operating point is
+///        evaluated once at construction (with the exact same expressions the
+///        PowerModel would use per frame, so results stay bit-identical).
+///        Only the temperature factor of leakage remains per-epoch.
+struct OppCoeffs {
+  common::Watt active_power = 0.0;  ///< PowerModel::active_power(opp).
+  common::Watt idle_power = 0.0;    ///< PowerModel::idle_power(opp).
+  common::Watt uncore_power = 0.0;  ///< PowerModel::uncore_power(opp).
+  common::Watt leak_base = 0.0;     ///< PowerModel::leakage_base(voltage).
+};
+
 /// \brief Construction parameters for a cluster.
 struct ClusterParams {
   std::size_t cores = 4;                ///< Number of cores in the V-F domain.
@@ -77,6 +95,18 @@ class Cluster {
   [[nodiscard]] ClusterEpochResult run_epoch(
       const std::vector<common::Cycles>& work, common::Seconds period,
       double mem_fraction = 0.0, common::Hertz ref_frequency = 1.0e9);
+
+  /// \brief Allocation-free form of run_epoch(): identical semantics and
+  ///        bit-identical results, but reads \p work_count base cycle counts
+  ///        from a raw row (missing entries mean idle) and writes into \p out,
+  ///        whose `core_cycles`/`core_busy` buffers are reused across epochs.
+  ///        Power terms come from the per-OPP coefficient table built at
+  ///        construction instead of being re-derived per frame (only the
+  ///        leakage temperature factor is per-epoch). The batched engine loop
+  ///        calls this once per frame with one long-lived EpochScratch.
+  void run_epoch_into(const common::Cycles* work, std::size_t work_count,
+                      common::Seconds period, double mem_fraction,
+                      common::Hertz ref_frequency, EpochScratch& out);
 
   /// \brief Number of cores.
   [[nodiscard]] std::size_t core_count() const noexcept { return cores_.size(); }
@@ -115,6 +145,9 @@ class Cluster {
  private:
   const OppTable* table_;
   PowerModel power_;
+  /// OPP-invariant power terms, indexed by OPP table index (immutable after
+  /// construction — the table is fixed, only the *current* index moves).
+  std::vector<OppCoeffs> coeffs_;
   ThermalModel thermal_;
   DvfsDriver dvfs_;
   std::vector<Core> cores_;

@@ -43,6 +43,13 @@ class Core {
                             common::Seconds window,
                             common::Celsius temperature) noexcept;
 
+  /// \brief Record an epoch whose busy/idle/energy split was already computed
+  ///        by the caller (the cluster's coefficient-hoisted batch path):
+  ///        updates the PMU and energy counters exactly as run_epoch() would
+  ///        for the same values, without re-deriving power terms per core.
+  void account(common::Cycles work, common::Seconds busy_time,
+               common::Seconds idle_time, common::Joule energy) noexcept;
+
   /// \brief Core identifier (0-based).
   [[nodiscard]] std::size_t id() const noexcept { return id_; }
   /// \brief This core's PMU (read-only).

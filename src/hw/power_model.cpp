@@ -19,9 +19,19 @@ Watt PowerModel::idle_power(const Opp& opp) const noexcept {
 }
 
 Watt PowerModel::leakage_power(Volt v, Celsius t) const noexcept {
+  // `(v * i0 * exp(kv*v)) * tempf` associates left-to-right, so splitting at
+  // the temperature factor keeps the product bit-identical to the original
+  // single expression — the invariant the per-OPP coefficient hoist relies on.
+  return leakage_base(v) * leakage_tempf(t);
+}
+
+Watt PowerModel::leakage_base(Volt v) const noexcept {
+  return v * params_.leak_i0 * std::exp(params_.leak_kv * v);
+}
+
+double PowerModel::leakage_tempf(Celsius t) const noexcept {
   const double tempf = 1.0 + params_.leak_kt * (t - params_.leak_t0);
-  const double clamped_tempf = tempf < 0.1 ? 0.1 : tempf;
-  return v * params_.leak_i0 * std::exp(params_.leak_kv * v) * clamped_tempf;
+  return tempf < 0.1 ? 0.1 : tempf;
 }
 
 Watt PowerModel::uncore_power(const Opp& opp) const noexcept {

@@ -49,6 +49,15 @@ class PowerModel {
   /// \brief Per-core leakage power at the given voltage and temperature.
   [[nodiscard]] common::Watt leakage_power(common::Volt v,
                                            common::Celsius t) const noexcept;
+  /// \brief The temperature-independent factor of leakage_power():
+  ///        `V * i0 * exp(kv*V)`. Hoistable per operating point — leakage at
+  ///        temperature t is exactly `leakage_base(v) * clamped tempf(t)`
+  ///        (same association order, so the product is bit-identical to
+  ///        leakage_power()). The cluster's per-OPP coefficient table caches
+  ///        this to keep exp() out of the per-frame path.
+  [[nodiscard]] common::Watt leakage_base(common::Volt v) const noexcept;
+  /// \brief The clamped temperature factor of leakage_power() at \p t.
+  [[nodiscard]] double leakage_tempf(common::Celsius t) const noexcept;
   /// \brief Cluster-shared uncore power while the cluster is clocked.
   [[nodiscard]] common::Watt uncore_power(const Opp& opp) const noexcept;
 

@@ -9,8 +9,11 @@ namespace prime::hw {
 void ThermalModel::step(common::Watt p, common::Seconds dt) noexcept {
   if (dt <= 0.0) return;
   const common::Celsius target = steady_state(p);
-  const double decay = std::exp(-dt / params_.tau);
-  temperature_ = target + (temperature_ - target) * decay;
+  if (dt != memo_dt_) {
+    memo_dt_ = dt;
+    memo_decay_ = std::exp(-dt / params_.tau);
+  }
+  temperature_ = target + (temperature_ - target) * memo_decay_;
 }
 
 common::Celsius ThermalModel::steady_state(common::Watt p) const noexcept {

@@ -59,6 +59,11 @@ class ThermalModel {
  private:
   ThermalModelParams params_;
   common::Celsius temperature_;
+  // One-entry decay memo: epochs overwhelmingly share the same wall-clock
+  // length (the deadline), so exp(-dt/tau) is cached keyed on the exact dt
+  // bits. Derived state only — never serialised, recomputed on first miss.
+  common::Seconds memo_dt_ = -1.0;
+  double memo_decay_ = 0.0;
 };
 
 }  // namespace prime::hw

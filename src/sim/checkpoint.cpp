@@ -47,7 +47,10 @@ void write_observation(common::StateWriter& w,
   w.f64(obs.frame_time);
   w.f64(obs.window);
   w.u64(obs.total_cycles);
-  w.vec_u64(obs.core_cycles);
+  // Same byte layout as StateWriter::vec_u64 (count + elements); core_cycles
+  // is a CycleSpan view now, so the elements are written directly.
+  w.u64(obs.core_cycles.size());
+  for (const common::Cycles c : obs.core_cycles) w.u64(c);
   w.size(obs.opp_index);
   w.f64(obs.avg_power);
   w.f64(obs.temperature);

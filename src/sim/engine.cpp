@@ -65,8 +65,7 @@ qlib::PolicyEntry resolve_warm_start(const std::string& from,
       from.size() > 5 && from.compare(from.size() - 5, 5, ".qpol") == 0;
   if (is_file) return qlib::PolicyEntry::load_file(from);
   const qlib::PolicyLibrary lib(from);
-  const double fps =
-      app.deadline_at(0) > 0.0 ? 1.0 / app.deadline_at(0) : 0.0;
+  const double fps = common::fps_from_period(app.deadline_at(0));
   auto matches = lib.find(governor.name(), platform.shape_fingerprint(),
                           qlib::PolicyKey::workload_class_of(app.name()),
                           qlib::PolicyKey::fps_band_of(fps));
@@ -276,10 +275,7 @@ RunResult run_simulation(hw::Platform& platform, const wl::Application& app,
         ql->bind([&platform, &governor, &app, ql](const RunResult& run)
                      -> std::string {
           double fps = ql->fps();
-          if (fps <= 0.0) {
-            const common::Seconds period = app.deadline_at(0);
-            fps = period > 0.0 ? 1.0 / period : 0.0;
-          }
+          if (fps <= 0.0) fps = common::fps_from_period(app.deadline_at(0));
           const std::string workload =
               ql->workload().empty() ? app.name() : ql->workload();
           const qlib::PolicyLibrary lib(ql->dir());
@@ -309,71 +305,163 @@ RunResult run_simulation(hw::Platform& platform, const wl::Application& app,
 
   RunEmitter emitter(result, sinks, ctx);
 
-  for (std::size_t i = start; i < frames; ++i) {
-    const common::Seconds period = app.deadline_at(i);
-    std::vector<common::Cycles> work = app.core_work(i, cluster.core_count());
-    const common::Cycles demand =
-        std::accumulate(work.begin(), work.end(), common::Cycles{0});
+  // Batch scratch state lives at function scope, not inside the batched
+  // branch: `last` may hold a CycleSpan view into scratch.core_cycles, and
+  // the final checkpoint snapshot (emitter.finish -> on_run_end) deep-copies
+  // that observation after the loop — the viewed storage must still be alive.
+  wl::FrameBlock block;
+  hw::EpochScratch scratch;
 
-    if (clairvoyant != nullptr) {
-      gov::FramePreview preview;
-      preview.max_core_cycles =
-          work.empty() ? 0 : *std::max_element(work.begin(), work.end());
-      preview.total_cycles = demand;
-      preview.mem_fraction = app.mem_fraction();
-      clairvoyant->preview_next_frame(preview);
+  if (options.block_frames == 0) {
+    // Per-frame reference path: the pre-batching loop, kept verbatim as the
+    // differential baseline the batched path below is pinned against.
+    for (std::size_t i = start; i < frames; ++i) {
+      const common::Seconds period = app.deadline_at(i);
+      std::vector<common::Cycles> work =
+          app.core_work(i, cluster.core_count());
+      const common::Cycles demand =
+          std::accumulate(work.begin(), work.end(), common::Cycles{0});
+
+      if (clairvoyant != nullptr) {
+        gov::FramePreview preview;
+        preview.max_core_cycles =
+            work.empty() ? 0 : *std::max_element(work.begin(), work.end());
+        preview.total_cycles = demand;
+        preview.mem_fraction = app.mem_fraction();
+        clairvoyant->preview_next_frame(preview);
+      }
+
+      gov::DecisionContext dctx;
+      dctx.epoch = i;
+      dctx.period = period;
+      dctx.cores = cluster.core_count();
+      dctx.opps = &opps;
+      const std::size_t action = governor.decide(dctx, last);
+      cluster.set_opp(action);
+
+      // The governor's processing overhead executes as cycles on core 0 at the
+      // chosen frequency, consuming both time and energy (T_OVH, Section III-D).
+      const common::Seconds ovh = governor.epoch_overhead();
+      if (!work.empty() && ovh > 0.0) {
+        work[0] += common::cycles_at(cluster.current_opp().frequency, ovh);
+      }
+
+      const hw::ClusterEpochResult epoch =
+          cluster.run_epoch(work, period, app.mem_fraction());
+      const common::Watt reading =
+          platform.power_sensor().integrate(epoch.avg_power, epoch.window);
+
+      EpochRecord rec;
+      rec.epoch = i;
+      rec.period = period;
+      rec.opp_index = cluster.current_opp_index();
+      rec.frequency = cluster.current_opp().frequency;
+      rec.demand = demand;
+      rec.executed =
+          std::accumulate(epoch.core_cycles.begin(), epoch.core_cycles.end(),
+                          common::Cycles{0});
+      rec.frame_time = epoch.frame_time;
+      rec.window = epoch.window;
+      rec.energy = epoch.energy;
+      rec.sensor_power = reading;
+      rec.temperature = epoch.temperature;
+      rec.slack = period > 0.0 ? (period - epoch.frame_time) / period : 0.0;
+      rec.deadline_met = epoch.deadline_met;
+
+      gov::EpochObservation obs;
+      obs.epoch = i;
+      obs.period = period;
+      obs.frame_time = epoch.frame_time;
+      obs.window = epoch.window;
+      obs.total_cycles = rec.executed;
+      obs.core_cycles = epoch.core_cycles;
+      obs.opp_index = rec.opp_index;
+      obs.avg_power = reading;
+      obs.temperature = epoch.temperature;
+      obs.deadline_met = epoch.deadline_met;
+      last = std::move(obs);
+
+      emitter.emit(rec, governor);
     }
-
-    gov::DecisionContext dctx;
-    dctx.epoch = i;
-    dctx.period = period;
-    dctx.cores = cluster.core_count();
-    dctx.opps = &opps;
-    const std::size_t action = governor.decide(dctx, last);
-    cluster.set_opp(action);
-
-    // The governor's processing overhead executes as cycles on core 0 at the
-    // chosen frequency, consuming both time and energy (T_OVH, Section III-D).
-    const common::Seconds ovh = governor.epoch_overhead();
-    if (!work.empty() && ovh > 0.0) {
-      work[0] += common::cycles_at(cluster.current_opp().frequency, ovh);
-    }
-
-    const hw::ClusterEpochResult epoch =
-        cluster.run_epoch(work, period, app.mem_fraction());
-    const common::Watt reading =
-        platform.power_sensor().integrate(epoch.avg_power, epoch.window);
-
+  } else {
+    // Batched zero-allocation path: pull frames in FrameBlock batches and
+    // execute each epoch against one long-lived EpochScratch, reusing one
+    // EpochRecord and one EpochObservation. Everything observable stays
+    // per-epoch — decisions, emission (and with it checkpoint cadence) — so
+    // the block size can never shift a snapshot or a record; prefetching
+    // frames only moves the stream's replay cursor, which resume re-derives
+    // from the frame position anyway.
+    const std::size_t cores = cluster.core_count();
     EpochRecord rec;
-    rec.epoch = i;
-    rec.period = period;
-    rec.opp_index = cluster.current_opp_index();
-    rec.frequency = cluster.current_opp().frequency;
-    rec.demand = demand;
-    rec.executed = std::accumulate(epoch.core_cycles.begin(),
-                                   epoch.core_cycles.end(), common::Cycles{0});
-    rec.frame_time = epoch.frame_time;
-    rec.window = epoch.window;
-    rec.energy = epoch.energy;
-    rec.sensor_power = reading;
-    rec.temperature = epoch.temperature;
-    rec.slack = period > 0.0 ? (period - epoch.frame_time) / period : 0.0;
-    rec.deadline_met = epoch.deadline_met;
+    for (std::size_t i = start; i < frames;) {
+      const std::size_t n = std::min(options.block_frames, frames - i);
+      app.fill_block(i, n, cores, block);
+      for (std::size_t b = 0; b < n; ++b, ++i) {
+        const common::Seconds period = block.periods[b];
+        common::Cycles* row = block.row(b);
+        const common::Cycles demand = block.demand[b];
 
-    gov::EpochObservation obs;
-    obs.epoch = i;
-    obs.period = period;
-    obs.frame_time = epoch.frame_time;
-    obs.window = epoch.window;
-    obs.total_cycles = rec.executed;
-    obs.core_cycles = epoch.core_cycles;
-    obs.opp_index = rec.opp_index;
-    obs.avg_power = reading;
-    obs.temperature = epoch.temperature;
-    obs.deadline_met = epoch.deadline_met;
-    last = std::move(obs);
+        if (clairvoyant != nullptr) {
+          gov::FramePreview preview;
+          preview.max_core_cycles =
+              cores == 0 ? 0 : *std::max_element(row, row + cores);
+          preview.total_cycles = demand;
+          preview.mem_fraction = block.mem_fraction;
+          clairvoyant->preview_next_frame(preview);
+        }
 
-    emitter.emit(rec, governor);
+        gov::DecisionContext dctx;
+        dctx.epoch = i;
+        dctx.period = period;
+        dctx.cores = cores;
+        dctx.opps = &opps;
+        const std::size_t action = governor.decide(dctx, last);
+        cluster.set_opp(action);
+
+        const common::Seconds ovh = governor.epoch_overhead();
+        if (cores != 0 && ovh > 0.0) {
+          row[0] += common::cycles_at(cluster.current_opp().frequency, ovh);
+        }
+
+        cluster.run_epoch_into(row, cores, period, block.mem_fraction, 1.0e9,
+                               scratch);
+        const common::Watt reading = platform.power_sensor().integrate(
+            scratch.avg_power, scratch.window);
+
+        rec.epoch = i;
+        rec.period = period;
+        rec.opp_index = cluster.current_opp_index();
+        rec.frequency = cluster.current_opp().frequency;
+        rec.demand = demand;
+        rec.executed = std::accumulate(scratch.core_cycles.begin(),
+                                       scratch.core_cycles.end(),
+                                       common::Cycles{0});
+        rec.frame_time = scratch.frame_time;
+        rec.window = scratch.window;
+        rec.energy = scratch.energy;
+        rec.sensor_power = reading;
+        rec.temperature = scratch.temperature;
+        rec.slack =
+            period > 0.0 ? (period - scratch.frame_time) / period : 0.0;
+        rec.deadline_met = scratch.deadline_met;
+
+        if (!last) last.emplace();
+        gov::EpochObservation& obs = *last;
+        obs.epoch = i;
+        obs.period = period;
+        obs.frame_time = scratch.frame_time;
+        obs.window = scratch.window;
+        obs.total_cycles = rec.executed;
+        obs.core_cycles.bind(scratch.core_cycles.data(),
+                             scratch.core_cycles.size());
+        obs.opp_index = rec.opp_index;
+        obs.avg_power = reading;
+        obs.temperature = scratch.temperature;
+        obs.deadline_met = scratch.deadline_met;
+
+        emitter.emit(rec, governor);
+      }
+    }
   }
   emitter.finish(platform.power_sensor().measured_energy());
   return result;

@@ -102,6 +102,16 @@ struct RunOptions {
   bool reset_platform = true;   ///< Reset hardware state before the run.
   bool reset_governor = true;   ///< Reset governor learning before the run.
 
+  /// Frames pulled per wl::FrameBlock batch in the zero-allocation hot loop.
+  /// Purely an execution-strategy knob: every block size (and the scalar
+  /// path) produces bit-identical results, records and artifacts — governor
+  /// decisions, telemetry emission and checkpoint cadence all remain
+  /// per-epoch, pinned by the batched-vs-scalar differential tests. 0 selects
+  /// the per-frame reference path (one core_work vector and one
+  /// ClusterEpochResult allocated per frame), kept as the differential
+  /// baseline the batched path is tested against.
+  std::size_t block_frames = 64;
+
   // --- Checkpoint/resume (sim/checkpoint.hpp) --------------------------------
 
   /// Write a resumable `.ckpt` snapshot here (atomic overwrite). Implemented

@@ -107,9 +107,22 @@ MultiAppResult run_multi_simulation(
 
   std::vector<std::optional<gov::EpochObservation>> last(n_apps);
 
+  // Scratch buffers hoisted out of the frame loop (the same zero-allocation
+  // epoch path the single-app engine batches through): the combined work
+  // vector, per-app split buffers, per-app observation cycle buffers and one
+  // EpochScratch are sized once and reused every frame.
+  std::vector<std::size_t> requests(n_apps, 0);
+  std::vector<common::Cycles> work(cluster.core_count(), 0);
+  std::vector<std::vector<common::Cycles>> app_work(n_apps);
+  std::vector<std::vector<common::Cycles>> app_cycles_buf(n_apps);
+  for (std::size_t a = 0; a < n_apps; ++a) {
+    app_work[a].resize(placements[a].cores.size(), 0);
+    app_cycles_buf[a].resize(placements[a].cores.size(), 0);
+  }
+  hw::EpochScratch scratch;
+
   for (std::size_t i = 0; i < frames; ++i) {
     // --- Per-app decisions, arbitrated by max (shared V-F rail).
-    std::vector<std::size_t> requests(n_apps, 0);
     std::size_t applied = 0;
     common::Seconds ovh_total = 0.0;
     for (std::size_t a = 0; a < n_apps; ++a) {
@@ -125,17 +138,18 @@ MultiAppResult run_multi_simulation(
     cluster.set_opp(applied);
 
     // --- Assemble the combined work vector.
-    std::vector<common::Cycles> work(cluster.core_count(), 0);
+    std::fill(work.begin(), work.end(), common::Cycles{0});
     double mem_weighted = 0.0;
     double demand_total = 0.0;
     for (std::size_t a = 0; a < n_apps; ++a) {
-      const auto app_work =
-          placements[a].app->core_work(i, placements[a].cores.size());
+      placements[a].app->core_work_into(i, placements[a].cores.size(),
+                                        app_work[a].data());
       for (std::size_t j = 0; j < placements[a].cores.size(); ++j) {
-        work[placements[a].cores[j]] = app_work[j];
+        work[placements[a].cores[j]] = app_work[a][j];
       }
-      const double d = static_cast<double>(std::accumulate(
-          app_work.begin(), app_work.end(), common::Cycles{0}));
+      const double d = static_cast<double>(
+          std::accumulate(app_work[a].begin(), app_work[a].end(),
+                          common::Cycles{0}));
       mem_weighted += placements[a].app->mem_fraction() * d;
       demand_total += d;
     }
@@ -149,8 +163,9 @@ MultiAppResult run_multi_simulation(
     }
 
     const common::Seconds period = placements.front().app->deadline_at(i);
-    const hw::ClusterEpochResult epoch =
-        cluster.run_epoch(work, period, mem_fraction);
+    cluster.run_epoch_into(work.data(), work.size(), period, mem_fraction,
+                           1.0e9, scratch);
+    const hw::EpochScratch& epoch = scratch;
     const common::Watt reading =
         platform.power_sensor().integrate(epoch.avg_power, epoch.window);
 
@@ -166,12 +181,11 @@ MultiAppResult run_multi_simulation(
       const auto& p = placements[a];
       common::Seconds app_busy = 0.0;
       common::Cycles app_cycles = 0;
-      std::vector<common::Cycles> app_core_cycles;
-      app_core_cycles.reserve(p.cores.size());
-      for (const std::size_t c : p.cores) {
+      for (std::size_t j = 0; j < p.cores.size(); ++j) {
+        const std::size_t c = p.cores[j];
         app_busy = std::max(app_busy, epoch.core_busy[c]);
         app_cycles += epoch.core_cycles[c];
-        app_core_cycles.push_back(epoch.core_cycles[c]);
+        app_cycles_buf[a][j] = epoch.core_cycles[c];
       }
       const common::Seconds app_frame_time = app_busy + epoch.dvfs_stall;
       const common::Seconds app_period = p.app->deadline_at(i);
@@ -200,18 +214,18 @@ MultiAppResult run_multi_simulation(
 
       if (requests[a] < applied) ++result.overridden_epochs[a];
 
-      gov::EpochObservation obs;
+      if (!last[a]) last[a].emplace();
+      gov::EpochObservation& obs = *last[a];
       obs.epoch = i;
       obs.period = app_period;
       obs.frame_time = app_frame_time;
       obs.window = epoch.window;
       obs.total_cycles = app_cycles;
-      obs.core_cycles = std::move(app_core_cycles);
+      obs.core_cycles.bind(app_cycles_buf[a].data(), app_cycles_buf[a].size());
       obs.opp_index = rec.opp_index;
       obs.avg_power = rec.sensor_power;
       obs.temperature = epoch.temperature;
       obs.deadline_met = met;
-      last[a] = std::move(obs);
 
       emitters[a].emit(rec, *governors[a]);
     }

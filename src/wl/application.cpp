@@ -125,27 +125,108 @@ PerformanceRequirement Application::requirement_at(std::size_t frame) const {
 
 std::vector<common::Cycles> Application::core_work(std::size_t frame,
                                                    std::size_t cores) const {
-  const std::size_t workers = std::min(threads_, std::max<std::size_t>(1, cores));
   std::vector<common::Cycles> work(cores, 0);
-  if (cores == 0 || (!streaming() && trace_.empty())) return work;
+  core_work_into(frame, cores, work.data());
+  return work;
+}
 
-  const auto total = static_cast<double>(demand_at(frame).cycles);
+void Application::core_work_into(std::size_t frame, std::size_t cores,
+                                 common::Cycles* out) const {
+  std::fill_n(out, cores, common::Cycles{0});
+  if (cores == 0 || (!streaming() && trace_.empty())) return;
+  split_total_into(frame, static_cast<double>(demand_at(frame).cycles), cores,
+                   out);
+}
+
+void Application::split_total_into(std::size_t frame, double total,
+                                   std::size_t cores,
+                                   common::Cycles* out) const {
+  const std::size_t workers =
+      std::min(threads_, std::max<std::size_t>(1, cores));
 
   // Deterministic per-(frame, worker) imbalance: hash through SplitMix64 so
-  // replays are independent of call order.
-  std::vector<double> share(workers, 0.0);
-  double sum = 0.0;
-  for (std::size_t j = 0; j < workers; ++j) {
+  // replays are independent of call order. The share of worker j is a pure
+  // function of (frame, j), so the second pass recomputes each share
+  // bit-identically instead of keeping a materialised share vector.
+  auto share_of = [this, frame](std::size_t j) {
     std::uint64_t h = frame * 0x9E3779B97F4A7C15ULL + j + 1;
     const double u =
         static_cast<double>(common::splitmix64_next(h) >> 11) * 0x1.0p-53;
-    share[j] = 1.0 + imbalance_ * (2.0 * u - 1.0);
-    sum += share[j];
-  }
+    return 1.0 + imbalance_ * (2.0 * u - 1.0);
+  };
+  double sum = 0.0;
+  for (std::size_t j = 0; j < workers; ++j) sum += share_of(j);
   for (std::size_t j = 0; j < workers; ++j) {
-    work[j] = static_cast<common::Cycles>(total * share[j] / sum);
+    out[j] = static_cast<common::Cycles>(total * share_of(j) / sum);
   }
-  return work;
+}
+
+void Application::fill_block(std::size_t start, std::size_t frames,
+                             std::size_t cores, FrameBlock& block) const {
+  block.reshape(frames, cores);
+  block.start = start;
+  block.mem_fraction = mem_fraction_;
+  for (std::size_t i = 0; i < frames; ++i) {
+    block.periods[i] = deadline_at(start + i);
+  }
+
+  const bool no_work = cores == 0 || (!streaming() && trace_.empty());
+  if (!no_work) {
+    if (!streaming()) {
+      for (std::size_t i = 0; i < frames; ++i) {
+        common::Cycles* row = block.row(i);
+        std::fill_n(row, cores, common::Cycles{0});
+        split_total_into(start + i,
+                         static_cast<double>(trace_.at(start + i).cycles),
+                         cores, row);
+      }
+    } else {
+      // Position the replay cursor at `start` (same rewind/skip semantics as
+      // demand_at), then pull the whole batch through one next_block call.
+      if (source_ == nullptr || next_index_ > start) {
+        source_ = source_factory_();
+        next_index_ = 0;
+        current_ = FrameDemand{};
+      }
+      if (next_index_ < start) {
+        if (!source_->skip_to(start)) {
+          throw std::out_of_range("Application '" + name_ +
+                                  "': frame source exhausted at frame " +
+                                  std::to_string(source_->position()) +
+                                  " while skipping to " +
+                                  std::to_string(start));
+        }
+        next_index_ = start;
+        current_ = FrameDemand{};
+      }
+      const std::size_t got = source_->next_block(block.raw.data(), frames);
+      next_index_ += got;
+      if (got > 0) current_ = block.raw[got - 1];
+      if (got < frames) {
+        throw std::out_of_range("Application '" + name_ +
+                                "': frame source exhausted at frame " +
+                                std::to_string(next_index_));
+      }
+      for (std::size_t i = 0; i < frames; ++i) {
+        common::Cycles* row = block.row(i);
+        std::fill_n(row, cores, common::Cycles{0});
+        split_total_into(start + i,
+                         static_cast<double>(block.raw[i].cycles), cores, row);
+      }
+    }
+  } else {
+    std::fill(block.work.begin(), block.work.end(), common::Cycles{0});
+  }
+
+  // Per-frame demand is the sum of the row's split (not the raw frame
+  // cycles): integer truncation in the split makes the sum slightly smaller,
+  // and the engine has always reported the split sum.
+  for (std::size_t i = 0; i < frames; ++i) {
+    const common::Cycles* row = block.row(i);
+    common::Cycles d = 0;
+    for (std::size_t j = 0; j < cores; ++j) d += row[j];
+    block.demand[i] = d;
+  }
 }
 
 }  // namespace prime::wl

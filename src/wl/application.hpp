@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "common/units.hpp"
+#include "wl/frame_block.hpp"
 #include "wl/frame_source.hpp"
 #include "wl/trace.hpp"
 
@@ -81,6 +82,25 @@ class Application {
   [[nodiscard]] std::vector<common::Cycles> core_work(std::size_t frame,
                                                       std::size_t cores) const;
 
+  /// \brief Allocation-free core_work(): writes the identical \p cores-entry
+  ///        split into \p out (caller-owned, at least \p cores long). The
+  ///        batched engine paths call this into reused row buffers.
+  void core_work_into(std::size_t frame, std::size_t cores,
+                      common::Cycles* out) const;
+
+  /// \brief Fill \p block with \p frames consecutive frames starting at
+  ///        absolute frame \p start: per-frame deadline, per-core split over
+  ///        \p cores cores (exactly what core_work() returns per frame) and
+  ///        the split's pre-overhead sum, plus the application mem-fraction.
+  ///        Streaming applications pull the batch through
+  ///        FrameSource::next_block (one virtual hop per batch, not per
+  ///        frame) and keep the same replay-cursor semantics as demand_at:
+  ///        sequential access is O(1), a lower \p start rewinds by
+  ///        re-creating the source. Throws std::out_of_range when a bounded
+  ///        source or trace exhausts before `start + frames`.
+  void fill_block(std::size_t start, std::size_t frames, std::size_t cores,
+                  FrameBlock& block) const;
+
   /// \brief Memory-boundedness: the fraction of frame execution time spent
   ///        in memory stalls at the 1 GHz reference frequency. Stall time is
   ///        frequency-independent, so the PMU-visible cycle count of a frame
@@ -129,6 +149,15 @@ class Application {
   ///        source and fast-forwards. NOT thread-safe in streaming mode —
   ///        give each concurrent run its own Application.
   [[nodiscard]] const FrameDemand& demand_at(std::size_t frame) const;
+
+  /// \brief The deterministic per-(frame, worker) split shared by core_work
+  ///        and fill_block: distribute \p total cycles over \p cores entries
+  ///        of \p out (min(threads, cores) workers, SplitMix64 imbalance).
+  ///        \p out must already be zeroed; entries past the worker count stay
+  ///        untouched. Recomputes the per-worker shares in a second pass
+  ///        instead of materialising them — same values, no allocation.
+  void split_total_into(std::size_t frame, double total, std::size_t cores,
+                        common::Cycles* out) const;
 
   std::string name_;
   WorkloadTrace trace_;

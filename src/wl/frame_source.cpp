@@ -12,6 +12,23 @@ std::optional<FrameDemand> FrameSource::next() {
   return frame;
 }
 
+std::size_t FrameSource::next_block(FrameDemand* out, std::size_t n) {
+  return generate_block(out, n);
+}
+
+std::size_t FrameSource::generate_block(FrameDemand* out, std::size_t n) {
+  // Default: the batch IS n next() calls, so every source — including
+  // sequential RNG generator streams — keeps its exact frame sequence.
+  // next() maintains the position cursor.
+  std::size_t i = 0;
+  for (; i < n; ++i) {
+    std::optional<FrameDemand> frame = next();
+    if (!frame) break;
+    out[i] = *frame;
+  }
+  return i;
+}
+
 bool FrameSource::skip_to(std::size_t frame_index) {
   if (frame_index < position_) {
     throw std::invalid_argument(
@@ -43,6 +60,13 @@ std::size_t TraceFrameSource::discard(std::size_t n) {
   return std::min(n, trace_.size() - position());
 }
 
+std::size_t TraceFrameSource::generate_block(FrameDemand* out, std::size_t n) {
+  const std::size_t got = std::min(n, trace_.size() - position());
+  for (std::size_t i = 0; i < got; ++i) out[i] = trace_.at(position() + i);
+  advance(got);
+  return got;
+}
+
 ScaledFrameSource::ScaledFrameSource(std::unique_ptr<FrameSource> inner,
                                      double scale)
     : inner_(std::move(inner)), scale_(scale) {
@@ -61,6 +85,18 @@ std::optional<FrameDemand> ScaledFrameSource::generate() {
         std::llround(static_cast<double>(frame->cycles) * scale_));
   }
   return frame;
+}
+
+std::size_t ScaledFrameSource::generate_block(FrameDemand* out,
+                                              std::size_t n) {
+  const std::size_t got = inner_->next_block(out, n);
+  for (std::size_t i = 0; i < got; ++i) {
+    // Same rounding expression as generate(), applied to the same frames.
+    out[i].cycles = static_cast<common::Cycles>(
+        std::llround(static_cast<double>(out[i].cycles) * scale_));
+  }
+  advance(got);
+  return got;
 }
 
 std::size_t ScaledFrameSource::discard(std::size_t n) {

@@ -44,6 +44,14 @@ class FrameSource {
   ///        Generator-backed sources are unbounded and never return nullopt.
   [[nodiscard]] std::optional<FrameDemand> next();
 
+  /// \brief Pull up to \p n consecutive frames into \p out, returning how
+  ///        many were produced (fewer only on exhaustion). Yields exactly the
+  ///        frames n successive next() calls would — the default
+  ///        generate_block() *is* a loop over next(), so every source keeps
+  ///        its exact semantics; random-access-backed sources override it to
+  ///        skip the per-frame virtual hop. Advances position() by the count.
+  [[nodiscard]] std::size_t next_block(FrameDemand* out, std::size_t n);
+
   /// \brief Index of the frame the next `next()` call will yield (frames
   ///        consumed so far, counting skipped ones).
   [[nodiscard]] std::size_t position() const noexcept { return position_; }
@@ -66,6 +74,16 @@ class FrameSource {
   ///        (fewer only on exhaustion). Default replays generate(); sources
   ///        with random-access backends override for O(1).
   [[nodiscard]] virtual std::size_t discard(std::size_t n);
+
+  /// \brief Batch-production step behind next_block(). The default loops the
+  ///        public next() (which maintains position()); overrides that bypass
+  ///        next() must call advance() with the produced count themselves.
+  [[nodiscard]] virtual std::size_t generate_block(FrameDemand* out,
+                                                   std::size_t n);
+
+  /// \brief Advance the position cursor — for generate_block()/batch
+  ///        overrides that produce frames without going through next().
+  void advance(std::size_t n) noexcept { position_ += n; }
 
  private:
   std::size_t position_ = 0;
@@ -93,6 +111,8 @@ class TraceFrameSource final : public FrameSource {
   // random-access trace with it directly instead of tracking a duplicate.
   [[nodiscard]] std::optional<FrameDemand> generate() override;
   [[nodiscard]] std::size_t discard(std::size_t n) override;
+  [[nodiscard]] std::size_t generate_block(FrameDemand* out,
+                                           std::size_t n) override;
 
  private:
   WorkloadTrace trace_;
@@ -114,6 +134,8 @@ class ScaledFrameSource final : public FrameSource {
  protected:
   [[nodiscard]] std::optional<FrameDemand> generate() override;
   [[nodiscard]] std::size_t discard(std::size_t n) override;
+  [[nodiscard]] std::size_t generate_block(FrameDemand* out,
+                                           std::size_t n) override;
 
  private:
   std::unique_ptr<FrameSource> inner_;

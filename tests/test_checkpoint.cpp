@@ -111,13 +111,14 @@ gov::EpochObservation synthetic_obs(std::size_t epoch, std::size_t action,
   obs.window = obs.frame_time > period ? obs.frame_time : period;
   obs.opp_index = action;
   const double freq = opps.at(action).frequency;
-  obs.core_cycles.resize(4);
+  std::vector<common::Cycles> cycles(4);
   obs.total_cycles = 0;
-  for (std::size_t i = 0; i < obs.core_cycles.size(); ++i) {
-    obs.core_cycles[i] = static_cast<common::Cycles>(
+  for (std::size_t i = 0; i < cycles.size(); ++i) {
+    cycles[i] = static_cast<common::Cycles>(
         obs.frame_time * freq * (0.70 + 0.06 * static_cast<double>(i)));
-    obs.total_cycles += obs.core_cycles[i];
+    obs.total_cycles += cycles[i];
   }
+  obs.core_cycles = std::move(cycles);
   obs.avg_power = 1.0 + 0.2 * static_cast<double>(action);
   // 70..94 degC: crosses the thermal-cap trip (85) and release (78) points,
   // so the decorator's cap state machine actually exercises.
