@@ -1,5 +1,5 @@
 /// \file perf_driver.cpp
-/// \brief Simulator throughput bench: emits BENCH_8.json for CI tracking.
+/// \brief Simulator throughput bench: emits BENCH_9.json for CI tracking.
 ///
 /// Population mode's cost model is "devices × frames / simulator throughput",
 /// so this driver measures, per governor: end-to-end simulated frames per
@@ -8,14 +8,18 @@
 /// so the zero-allocation hot path's scaling stays visible, and the
 /// governor's bare decision cost (ns per decide() call on a synthetic
 /// feedback loop, amortised over a long loop). Headline numbers use the
-/// engine's default block size. Results land in a small hand-rolled JSON
+/// engine's default block size. A separate domains axis times the
+/// multi-cluster engine path (one decision per DVFS domain per epoch) across
+/// domain counts and placement policies, so the per-domain dispatch overhead
+/// stays a tracked number too. Results land in a small hand-rolled JSON
 /// file CI uploads as an artifact, so regressions in the engine hot path or
 /// a governor's decision path show up as a diffable number rather than a
 /// vague "CI got slower".
 ///
-/// Usage: bench_perf_driver [out=BENCH_8.json] [frames=2000] [reps=5]
+/// Usage: bench_perf_driver [out=BENCH_9.json] [frames=2000] [reps=5]
 ///                          [decisions=2000000] [blocks=1,16,64,256]
 ///                          [governors=ondemand,schedutil,rtm,rtm-manycore]
+///                          [domains=1,2,4] [placements=packed,spread,rect]
 #include <algorithm>
 #include <chrono>
 #include <cstdint>
@@ -76,6 +80,39 @@ double time_run(const std::string& name, std::size_t frames,
   return elapsed;
 }
 
+/// Wall-clock seconds to simulate \p frames frames on a board with
+/// \p domains DVFS domains (4 cores each) under \p placement — the
+/// multi-domain engine path with its per-domain decide/epoch dispatch.
+double time_domain_run(const std::string& name, std::size_t frames,
+                       std::uint64_t seed, std::size_t domains,
+                       const std::string& placement) {
+  common::Config hw;
+  hw.set_int("hw.clusters", static_cast<long long>(domains));
+  hw.set_int("hw.sensor_seed", static_cast<long long>(seed));
+  const auto platform = hw::Platform::from_config(hw);
+  sim::ExperimentSpec spec;
+  spec.workload = "h264";
+  spec.stream = true;
+  spec.frames = frames;
+  spec.seed = seed;
+  const wl::Application app = sim::make_application(spec, *platform);
+  const auto governor = sim::make_governor(name, seed);
+  sim::RunOptions opts;
+  opts.max_frames = frames;
+  opts.placement = placement;
+  const auto start = Clock::now();
+  const sim::RunResult result =
+      sim::run_simulation(*platform, app, *governor, opts);
+  const double elapsed = seconds_since(start);
+  if (result.epoch_count != frames) {
+    throw std::runtime_error("perf_driver: domain run under '" + name +
+                             "' executed " +
+                             std::to_string(result.epoch_count) + " of " +
+                             std::to_string(frames) + " frames");
+  }
+  return elapsed;
+}
+
 /// ns per decide() call on a synthetic feedback loop: the governor sees a
 /// plausible alternating-slack observation stream, isolated from the
 /// platform/workload cost that time_run measures.
@@ -114,7 +151,7 @@ double time_decisions(const std::string& name, std::size_t decisions) {
 int main(int argc, char** argv) {
   common::Config cfg;
   cfg.parse_args(argc, argv);
-  const std::string out_path = cfg.get_string("out", "BENCH_8.json");
+  const std::string out_path = cfg.get_string("out", "BENCH_9.json");
   const auto frames = static_cast<std::size_t>(cfg.get_int("frames", 2000));
   const auto reps = static_cast<std::size_t>(cfg.get_int("reps", 5));
   const auto decisions =
@@ -132,6 +169,19 @@ int main(int argc, char** argv) {
     const std::string token = common::trim(field);
     if (!token.empty())
       blocks.push_back(static_cast<std::size_t>(std::stoull(token)));
+  }
+  std::vector<std::size_t> domain_counts;
+  for (const auto& field :
+       common::split_outside_parens(cfg.get_string("domains", "1,2,4"), ',')) {
+    const std::string token = common::trim(field);
+    if (!token.empty())
+      domain_counts.push_back(static_cast<std::size_t>(std::stoull(token)));
+  }
+  std::vector<std::string> placements;
+  for (const auto& field : common::split_outside_parens(
+           cfg.get_string("placements", "packed,spread,rect"), ',')) {
+    const std::string token = common::trim(field);
+    if (!token.empty()) placements.push_back(token);
   }
   // Headline throughput is measured at the engine's shipped default, so the
   // number CI tracks is the number every caller actually gets.
@@ -183,6 +233,42 @@ int main(int argc, char** argv) {
       }
       json += "]}";
       json += (g + 1 < governors.size()) ? ",\n" : "\n";
+    }
+    json += "  ],\n";
+    // Domains axis: one representative governor through the multi-domain
+    // engine path. Single-domain boards ignore the placement knob (the run
+    // takes the historical path), so domains=1 is timed once as the anchor
+    // the multi-domain numbers are read against.
+    const std::string domain_gov = governors.empty() ? "ondemand"
+                                                     : governors.front();
+    json += "  \"domains_governor\": \"" + domain_gov + "\",\n";
+    json += "  \"domains\": [\n";
+    std::vector<std::string> domain_rows;
+    for (const std::size_t d : domain_counts) {
+      const std::vector<std::string> row_placements =
+          d <= 1 ? std::vector<std::string>{"packed"} : placements;
+      for (const std::string& place : row_placements) {
+        std::cerr << "perf_driver: domains=" << d << " placement=" << place
+                  << " ..." << std::endl;
+        std::vector<double> ns_per_frame;
+        ns_per_frame.reserve(reps);
+        for (std::size_t rep = 0; rep < reps; ++rep) {
+          const double elapsed =
+              time_domain_run(domain_gov, frames, 1000 + rep, d, place);
+          ns_per_frame.push_back(elapsed * 1e9 / static_cast<double>(frames));
+        }
+        const double best =
+            *std::min_element(ns_per_frame.begin(), ns_per_frame.end());
+        std::string row = "    {\"domains\": " + std::to_string(d) + ", ";
+        row += "\"placement\": \"" + place + "\", ";
+        row += "\"frames_per_sec\": " + json_number(1e9 / best) + ", ";
+        row += "\"ns_per_frame_min\": " + json_number(best) + "}";
+        domain_rows.push_back(std::move(row));
+      }
+    }
+    for (std::size_t r = 0; r < domain_rows.size(); ++r) {
+      json += domain_rows[r];
+      json += (r + 1 < domain_rows.size()) ? ",\n" : "\n";
     }
     json += "  ]\n}\n";
 

@@ -104,7 +104,10 @@ double Histogram::percentile(double p) const {
   double cum = 0.0;
   for (std::size_t i = 0; i < counts_.size(); ++i) {
     const double next = cum + static_cast<double>(counts_[i]);
-    if (next >= target) {
+    // Empty bins can never hold the target mass: without the counts_ guard,
+    // p=0 (target 0) would report the range floor even when the lowest
+    // populated sample sits bins above it.
+    if (next >= target && counts_[i] > 0) {
       const double frac =
           counts_[i] == 0 ? 0.0 : (target - cum) / static_cast<double>(counts_[i]);
       return bin_lo(i) + frac * width_;

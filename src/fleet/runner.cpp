@@ -93,7 +93,7 @@ DeviceOutcome run_device_outcome(const PopulationSpec& pop,
     out.governor_state = state.str();
   }
   out.opp_count = platform->opp_table().size();
-  out.core_count = platform->cluster().core_count();
+  out.core_count = platform->total_cores();
   out.platform_fingerprint = platform->shape_fingerprint();
   return out;
 }

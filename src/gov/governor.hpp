@@ -125,6 +125,15 @@ struct DecisionContext {
   common::Seconds period = 0.0;        ///< Deadline (Tref) for it.
   std::size_t cores = 1;               ///< Cores available in the cluster.
   const hw::OppTable* opps = nullptr;  ///< The action space.
+  /// DVFS domain this decision applies to. On multi-domain platforms the
+  /// engine calls decide() once per domain per epoch (same governor instance,
+  /// so learning state is shared and the decision stream interleaves domain
+  /// observations — the rtm family co-learns placement x per-domain V-F
+  /// through the per-domain feedback it receives). Always 0 on the paper's
+  /// single-domain platform.
+  std::size_t domain = 0;
+  /// Independent DVFS domains on the platform (1 = the paper's board).
+  std::size_t domains = 1;
 };
 
 /// \brief Abstract power governor.

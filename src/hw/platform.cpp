@@ -1,5 +1,7 @@
 #include "hw/platform.hpp"
 
+#include <stdexcept>
+
 #include "common/hash.hpp"
 #include "common/serial.hpp"
 
@@ -7,10 +9,17 @@ namespace prime::hw {
 
 Platform::Platform(OppTable table, const ClusterParams& cluster_params,
                    const PowerSensorParams& sensor_params,
-                   std::uint64_t sensor_seed)
-    : table_(std::move(table)),
-      cluster_(std::make_unique<Cluster>(table_, cluster_params)),
-      sensor_(sensor_params, sensor_seed) {}
+                   std::uint64_t sensor_seed, std::size_t clusters)
+    : table_(std::move(table)), sensor_(sensor_params, sensor_seed) {
+  if (clusters == 0) {
+    throw std::invalid_argument("Platform: at least one cluster required");
+  }
+  clusters_.reserve(clusters);
+  for (std::size_t d = 0; d < clusters; ++d) {
+    clusters_.push_back(std::make_unique<Cluster>(table_, cluster_params));
+  }
+  total_cores_ = clusters * cluster_params.cores;
+}
 
 std::unique_ptr<Platform> Platform::odroid_xu3_a15(std::uint64_t sensor_seed) {
   ClusterParams params;
@@ -24,6 +33,7 @@ std::unique_ptr<Platform> Platform::odroid_xu3_a15(std::uint64_t sensor_seed) {
 }
 
 std::unique_ptr<Platform> Platform::from_config(const common::Config& cfg) {
+  const auto clusters = static_cast<std::size_t>(cfg.get_int("hw.clusters", 1));
   const auto cores = static_cast<std::size_t>(cfg.get_int("hw.cores", 4));
   const auto opps = static_cast<std::size_t>(cfg.get_int("hw.opps", 19));
   const double fmin = cfg.get_double("hw.fmin_mhz", 200.0);
@@ -45,36 +55,47 @@ std::unique_ptr<Platform> Platform::from_config(const common::Config& cfg) {
   const auto seed =
       static_cast<std::uint64_t>(cfg.get_int("hw.sensor_seed", 0xC0FFEE));
   auto platform = std::make_unique<Platform>(std::move(table), params,
-                                             PowerSensorParams{}, seed);
+                                             PowerSensorParams{}, seed,
+                                             clusters);
   platform->set_name(cfg.get_string("hw.name", "sim-board"));
   return platform;
 }
 
 std::uint64_t Platform::shape_fingerprint() const noexcept {
   common::Fnv1a64 h;
-  h.u64(static_cast<std::uint64_t>(cluster_->core_count()));
+  h.u64(static_cast<std::uint64_t>(total_cores_));
   h.u64(static_cast<std::uint64_t>(table_.size()));
   for (const Opp& opp : table_.points()) {
     h.f64(opp.frequency);
     h.f64(opp.voltage);
   }
+  // Domain structure only enters the hash on multi-domain boards: a 2x4
+  // platform must never share `.ckpt`/`.qpol` keys with a 1x8 one (per-domain
+  // decisions make learned state non-interchangeable), while single-domain
+  // fingerprints stay exactly the historical value.
+  if (clusters_.size() > 1) {
+    h.u64(static_cast<std::uint64_t>(clusters_.size()));
+    for (const auto& c : clusters_) {
+      h.u64(static_cast<std::uint64_t>(c->core_count()));
+    }
+  }
   return h.value();
 }
 
 void Platform::reset() {
-  cluster_->reset();
+  for (const auto& c : clusters_) c->reset();
   sensor_.reset();
 }
 
 void Platform::save_state(std::ostream& out) const {
   common::StateWriter w(out);
-  cluster_->save_state(w);
+  for (const auto& c : clusters_) c->save_state(w);
   sensor_.save_state(w);
 }
 
 void Platform::load_state(std::istream& in) {
   common::StateReader r(in);
-  cluster_->load_state(r);
+  for (const auto& c : clusters_) c->load_state(r);
   sensor_.load_state(r);
 }
 

@@ -1,14 +1,25 @@
 /// \file platform.hpp
 /// \brief Board-level assembly of the simulated hardware.
 ///
-/// `Platform` bundles an OPP table, a cluster and a power sensor into the
-/// "board" the run-time layer manages, with named factories for the
+/// `Platform` bundles an OPP table, one or more clusters and a power sensor
+/// into the "board" the run-time layer manages, with named factories for the
 /// configurations used in the paper (ODROID-XU3 A15 quad) and in tests.
+///
+/// The paper's platform has a single V-F domain; real many-cores ship several
+/// independent per-cluster DVFS domains. A `Platform` therefore owns N
+/// homogeneous `Cluster`s ("domains"), each with its own OPP index,
+/// DvfsDriver, thermal state and per-OPP power coefficients — governors
+/// decide per domain (gov::DecisionContext::domain) and the placement layer
+/// (sim/placement.hpp) partitions an application's work slots across them.
+/// The default N=1 configuration is bit-identical to the historical
+/// single-cluster platform in construction, state serialisation and shape
+/// fingerprint.
 #pragma once
 
 #include <iosfwd>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "common/config.hpp"
 #include "hw/cluster.hpp"
@@ -17,16 +28,19 @@
 
 namespace prime::hw {
 
-/// \brief A simulated board: OPP table + cluster + power sensor.
+/// \brief A simulated board: OPP table + clusters (DVFS domains) + sensor.
 ///
-/// Owns the OPP table so the cluster's pointer stays valid for the platform's
-/// lifetime. Non-copyable (the cluster holds a reference to the table).
+/// Owns the OPP table so the clusters' pointers stay valid for the platform's
+/// lifetime. Non-copyable (the clusters hold references to the table).
 class Platform {
  public:
-  /// \brief Build from an OPP table and cluster parameters.
+  /// \brief Build from an OPP table and cluster parameters. \p clusters
+  ///        independent DVFS domains are created, each with `cluster_params`
+  ///        (homogeneous domains: same core count, power/thermal/DVFS
+  ///        parameters and shared OPP table, but fully independent state).
   Platform(OppTable table, const ClusterParams& cluster_params,
            const PowerSensorParams& sensor_params = {},
-           std::uint64_t sensor_seed = 0xC0FFEE);
+           std::uint64_t sensor_seed = 0xC0FFEE, std::size_t clusters = 1);
 
   Platform(const Platform&) = delete;
   Platform& operator=(const Platform&) = delete;
@@ -37,38 +51,76 @@ class Platform {
       std::uint64_t sensor_seed = 0xC0FFEE);
 
   /// \brief Config-driven factory. Recognised keys (all optional):
-  ///        hw.cores, hw.opps, hw.fmin_mhz, hw.fmax_mhz, hw.ceff,
+  ///        hw.clusters (DVFS domains, default 1), hw.cores (cores per
+  ///        domain), hw.opps, hw.fmin_mhz, hw.fmax_mhz, hw.ceff,
   ///        hw.idle_fraction, hw.ambient, hw.sensor_seed.
   [[nodiscard]] static std::unique_ptr<Platform> from_config(
       const common::Config& cfg);
 
-  /// \brief The managed cluster.
-  [[nodiscard]] Cluster& cluster() noexcept { return *cluster_; }
+  /// \brief Number of independent DVFS domains on the board.
+  [[nodiscard]] std::size_t domain_count() const noexcept {
+    return clusters_.size();
+  }
+  /// \brief DVFS domain \p d.
+  [[nodiscard]] Cluster& domain(std::size_t d) { return *clusters_.at(d); }
+  /// \brief DVFS domain \p d (read-only).
+  [[nodiscard]] const Cluster& domain(std::size_t d) const {
+    return *clusters_.at(d);
+  }
+  /// \brief Total cores across all domains (the board's core count — what an
+  ///        application's work is split across).
+  [[nodiscard]] std::size_t total_cores() const noexcept {
+    return total_cores_;
+  }
+  /// \brief Domain owning global core \p core (domain-major numbering:
+  ///        domain 0 holds cores [0, c0), domain 1 holds [c0, c0+c1), ...).
+  [[nodiscard]] std::size_t domain_of_core(std::size_t core) const noexcept {
+    return core / clusters_.front()->core_count();
+  }
+  /// \brief Domain-local index of global core \p core.
+  [[nodiscard]] std::size_t local_of_core(std::size_t core) const noexcept {
+    return core % clusters_.front()->core_count();
+  }
+
+  /// \brief The first (for single-domain platforms: the only) cluster. The
+  ///        historical accessor — single-domain code paths drive the board
+  ///        through it unchanged.
+  [[nodiscard]] Cluster& cluster() noexcept { return *clusters_.front(); }
   /// \brief The managed cluster (read-only).
-  [[nodiscard]] const Cluster& cluster() const noexcept { return *cluster_; }
-  /// \brief The OPP table (stable address for the platform's lifetime).
+  [[nodiscard]] const Cluster& cluster() const noexcept {
+    return *clusters_.front();
+  }
+  /// \brief The OPP table (stable address for the platform's lifetime),
+  ///        shared by every domain.
   [[nodiscard]] const OppTable& opp_table() const noexcept { return table_; }
   /// \brief The on-board power sensor.
   [[nodiscard]] PowerSensor& power_sensor() noexcept { return sensor_; }
   /// \brief Board name for reports.
   [[nodiscard]] const std::string& name() const noexcept { return name_; }
-  /// \brief FNV-1a fingerprint of the platform *shape*: core count plus every
-  ///        OPP's frequency/voltage bit pattern. Two platforms fingerprint
-  ///        equal iff a governor's action space and learning-state geometry
-  ///        are interchangeable between them — the identity that checkpoints
-  ///        and policy-library entries are keyed by. Deliberately excludes
-  ///        mutable state, seeds and the display name.
+  /// \brief FNV-1a fingerprint of the platform *shape*: total core count plus
+  ///        every OPP's frequency/voltage bit pattern, and — for multi-domain
+  ///        boards — the domain structure (domain count and per-domain core
+  ///        counts). Two platforms fingerprint equal iff a governor's action
+  ///        space and learning-state geometry are interchangeable between
+  ///        them — the identity that checkpoints and policy-library entries
+  ///        are keyed by; platforms that differ only in how the same cores
+  ///        are partitioned into domains (2x4 vs 1x8) fingerprint
+  ///        differently. Single-domain boards hash exactly the historical
+  ///        fields, so existing `.ckpt`/`.qpol` keys stay valid.
+  ///        Deliberately excludes mutable state, seeds and the display name.
   [[nodiscard]] std::uint64_t shape_fingerprint() const noexcept;
   /// \brief Set the board name.
   void set_name(std::string name) { name_ = std::move(name); }
-  /// \brief Reset cluster state and sensor integration.
+  /// \brief Reset every domain's state and the sensor integration.
   void reset();
 
-  /// \brief Serialise all mutable board state (cluster + power sensor), so a
-  ///        run resumed from a checkpoint (sim/checkpoint.hpp) sees the exact
-  ///        thermal, DVFS and sensor-noise trajectory an uninterrupted run
-  ///        would. Configuration (OPP table, model parameters) is not stored:
-  ///        a payload is only valid for an identically constructed platform.
+  /// \brief Serialise all mutable board state (every cluster + power sensor),
+  ///        so a run resumed from a checkpoint (sim/checkpoint.hpp) sees the
+  ///        exact thermal, DVFS and sensor-noise trajectory an uninterrupted
+  ///        run would. Configuration (OPP table, model parameters) is not
+  ///        stored: a payload is only valid for an identically constructed
+  ///        platform. Single-domain payloads are byte-identical to the
+  ///        historical format (cluster state, then sensor state).
   void save_state(std::ostream& out) const;
   /// \brief Restore state written by save_state(). Throws
   ///        common::SerialError on truncated payloads or core-count mismatch.
@@ -76,7 +128,8 @@ class Platform {
 
  private:
   OppTable table_;
-  std::unique_ptr<Cluster> cluster_;
+  std::vector<std::unique_ptr<Cluster>> clusters_;
+  std::size_t total_cores_ = 0;
   PowerSensor sensor_;
   std::string name_ = "sim-board";
 };

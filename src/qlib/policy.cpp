@@ -319,7 +319,7 @@ PolicyEntry make_leaf_entry(const hw::Platform& platform,
       governor_spec.empty() ? governor.name() : governor_spec);
   entry.governor_name = governor.name();
   entry.opp_count = platform.opp_table().size();
-  entry.core_count = platform.cluster().core_count();
+  entry.core_count = platform.total_cores();
   entry.kind = PolicyBlobKind::kLeaf;
   {
     std::ostringstream out(std::ios::binary);

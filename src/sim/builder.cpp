@@ -84,12 +84,13 @@ void replace_all(std::string& text, const std::string& from,
   }
 }
 
-/// Expand the {governor}/{workload}/{fps}/{cell} placeholders of a telemetry
-/// spec with the scenario's coordinates.
+/// Expand the {governor}/{workload}/{fps}/{placement}/{cell} placeholders of
+/// a telemetry spec with the scenario's coordinates.
 std::string expand_spec(std::string spec, const Scenario& scenario) {
   replace_all(spec, "{governor}", sanitize_token(scenario.governor));
   replace_all(spec, "{workload}", sanitize_token(scenario.workload));
   replace_all(spec, "{fps}", format_fps_token(scenario.fps));
+  replace_all(spec, "{placement}", sanitize_token(scenario.placement));
   replace_all(spec, "{cell}", std::to_string(scenario.cell));
   return spec;
 }
@@ -178,6 +179,12 @@ ExperimentBuilder& ExperimentBuilder::cores(std::size_t n) {
   return *this;
 }
 
+ExperimentBuilder& ExperimentBuilder::clusters(std::size_t n) {
+  platform_cfg_.set_int("hw.clusters", static_cast<long long>(n));
+  custom_platform_ = true;
+  return *this;
+}
+
 ExperimentBuilder& ExperimentBuilder::governor(const std::string& spec) {
   governors_.push_back(spec);
   return *this;
@@ -244,6 +251,17 @@ ExperimentBuilder& ExperimentBuilder::fps_set(const std::vector<double>& fs) {
   return *this;
 }
 
+ExperimentBuilder& ExperimentBuilder::placement(const std::string& spec) {
+  placements_.push_back(spec);
+  return *this;
+}
+
+ExperimentBuilder& ExperimentBuilder::placements(
+    const std::vector<std::string>& specs) {
+  placements_.insert(placements_.end(), specs.begin(), specs.end());
+  return *this;
+}
+
 ExperimentBuilder& ExperimentBuilder::frames(std::size_t n) {
   base_.frames = n;
   return *this;
@@ -293,6 +311,11 @@ std::vector<double> ExperimentBuilder::fps_list() const {
   return fps_.empty() ? std::vector<double>{base_.fps} : fps_;
 }
 
+std::vector<std::string> ExperimentBuilder::placement_list() const {
+  return placements_.empty() ? std::vector<std::string>{"packed"}
+                             : placements_;
+}
+
 std::unique_ptr<hw::Platform> ExperimentBuilder::make_platform() const {
   return custom_platform_ ? hw::Platform::from_config(platform_cfg_)
                           : hw::Platform::odroid_xu3_a15();
@@ -327,22 +350,27 @@ std::vector<Scenario> ExperimentBuilder::scenarios() const {
   }
   std::vector<Scenario> out;
   const std::vector<double> rates = fps_list();
-  out.reserve(workloads_.size() * rates.size() * governors_.size());
+  const std::vector<std::string> places = placement_list();
+  out.reserve(workloads_.size() * rates.size() * places.size() *
+              governors_.size());
   std::size_t cell = 0;
   for (const auto& workload : workloads_) {
     for (const double rate : rates) {
-      for (const auto& governor : governors_) {
-        Scenario s;
-        s.governor = governor;
-        s.workload = workload;
-        s.fps = rate;
-        s.cell = cell;
-        s.app = base_;
-        s.app.workload = workload;
-        s.app.fps = rate;
-        out.push_back(std::move(s));
+      for (const auto& place : places) {
+        for (const auto& governor : governors_) {
+          Scenario s;
+          s.governor = governor;
+          s.workload = workload;
+          s.fps = rate;
+          s.placement = place;
+          s.cell = cell;
+          s.app = base_;
+          s.app.workload = workload;
+          s.app.fps = rate;
+          out.push_back(std::move(s));
+        }
+        ++cell;
       }
-      ++cell;
     }
   }
   return out;
@@ -350,7 +378,8 @@ std::vector<Scenario> ExperimentBuilder::scenarios() const {
 
 SweepResult ExperimentBuilder::run() const {
   const std::vector<Scenario> matrix = scenarios();
-  const std::size_t cell_count = workloads_.size() * fps_list().size();
+  const std::size_t cell_count =
+      workloads_.size() * fps_list().size() * placement_list().size();
   const std::size_t per_cell_runs = governors_.size();
 
   if (!telemetry_.empty()) {
@@ -392,6 +421,7 @@ SweepResult ExperimentBuilder::run() const {
       coords.governor = "oracle";
       cells[i].oracle_telemetry = make_sinks(coords, /*publish=*/false);
       RunOptions opt;
+      opt.placement = first.placement;
       // Streaming applications are unbounded: the configured trace length is
       // the run length (a no-op for materialised apps, whose trace is exactly
       // that long already).
@@ -415,6 +445,7 @@ SweepResult ExperimentBuilder::run() const {
     ScenarioResult& result = sweep.results[i];
     result.telemetry = make_sinks(scenario, /*publish=*/true);
     RunOptions opt;
+    opt.placement = scenario.placement;
     for (const auto& sink : result.telemetry) opt.sinks.push_back(sink.get());
     if (!warm_start_dir_.empty()) {
       const qlib::PolicyLibrary lib(warm_start_dir_);
@@ -475,6 +506,11 @@ Comparison ExperimentBuilder::compare() const {
     throw std::invalid_argument(
         "ExperimentBuilder::compare: warm_start/publish_policies are wired "
         "by run(); use run() for policy-library sweeps");
+  }
+  if (!placements_.empty()) {
+    throw std::invalid_argument(
+        "ExperimentBuilder::compare: the placement axis is wired by run(); "
+        "use run() for multi-domain sweeps");
   }
   ExperimentSpec spec = base_;
   spec.workload = workloads_.front();

@@ -34,11 +34,15 @@ namespace prime::sim {
 
 /// \brief One point of the scenario matrix.
 struct Scenario {
-  std::string governor;  ///< Governor spec string.
-  std::string workload;  ///< Workload spec string.
-  double fps = 25.0;     ///< Performance requirement.
-  std::size_t cell = 0;  ///< Index of the (workload, fps) cell.
-  ExperimentSpec app;    ///< Fully resolved application spec.
+  std::string governor;   ///< Governor spec string.
+  std::string workload;   ///< Workload spec string.
+  double fps = 25.0;      ///< Performance requirement.
+  /// Placement policy partitioning work across DVFS domains (sim/placement.hpp).
+  /// Only meaningful on multi-domain platforms; "packed" (the default axis)
+  /// leaves single-domain sweeps bit-identical to their historical runs.
+  std::string placement = "packed";
+  std::size_t cell = 0;   ///< Index of the (workload, fps, placement) cell.
+  ExperimentSpec app;     ///< Fully resolved application spec.
 };
 
 /// \brief Outcome of one scenario.
@@ -98,6 +102,9 @@ class ExperimentBuilder {
   ExperimentBuilder& platform(const common::Config& cfg);
   /// \brief Shorthand: config-driven platform with `hw.cores` cores.
   ExperimentBuilder& cores(std::size_t n);
+  /// \brief Shorthand: config-driven platform with `hw.clusters` independent
+  ///        DVFS domains (hw.cores cores *each*; see hw::Platform).
+  ExperimentBuilder& clusters(std::size_t n);
 
   /// \brief Add one governor spec (e.g. "rtm(policy=upd)").
   ExperimentBuilder& governor(const std::string& spec);
@@ -111,6 +118,16 @@ class ExperimentBuilder {
   ExperimentBuilder& fps(double f);
   /// \brief Add several frame-rate requirements.
   ExperimentBuilder& fps_set(const std::vector<double>& fs);
+  /// \brief Add one placement-policy spec to the scenario axis ("packed",
+  ///        "spread", "rect"; default when none added: "packed"). Each
+  ///        placement forms its own (workload, fps, placement) cell with its
+  ///        own Oracle baseline, so normalised rows always compare runs under
+  ///        the same partitioning. Only meaningful with a multi-domain
+  ///        platform (clusters(n>1) / hw.clusters); single-domain sweeps
+  ///        ignore the policy and stay bit-identical.
+  ExperimentBuilder& placement(const std::string& spec);
+  /// \brief Add several placement-policy specs.
+  ExperimentBuilder& placements(const std::vector<std::string>& specs);
 
   /// \brief Attach one telemetry sink spec (e.g. "trace", "tail(n=256)",
   ///        "csv(path=out/{governor}-{workload}.csv)") to every scenario of
@@ -118,8 +135,9 @@ class ExperimentBuilder {
   ///        sink is constructed per run, so concurrent scenarios never share
   ///        sink state; the instances are returned in
   ///        ScenarioResult::telemetry / SweepResult::oracle_telemetry. The
-  ///        placeholders {governor}, {workload}, {fps} and {cell} expand to
-  ///        the (sanitised) scenario coordinates before the spec is parsed.
+  ///        placeholders {governor}, {workload}, {fps}, {placement} and
+  ///        {cell} expand to the (sanitised) scenario coordinates before the
+  ///        spec is parsed.
   ///        Unknown names/keys throw with did-you-mean suggestions; a csv
   ///        spec whose expanded path= is not unique per run (or absent, i.e.
   ///        stdout) is rejected in multi-run sweeps, since concurrent runs
@@ -201,6 +219,7 @@ class ExperimentBuilder {
 
  private:
   [[nodiscard]] std::vector<double> fps_list() const;
+  [[nodiscard]] std::vector<std::string> placement_list() const;
   [[nodiscard]] std::unique_ptr<hw::Platform> make_platform() const;
 
   /// \brief Instantiate the telemetry specs for one scenario's coordinates.
@@ -217,6 +236,7 @@ class ExperimentBuilder {
   std::string warm_start_dir_;
   std::string publish_dir_;
   std::vector<double> fps_;
+  std::vector<std::string> placements_;
   ExperimentSpec base_;
   std::uint64_t governor_seed_ = 0x271828;
   std::size_t parallelism_ = 0;

@@ -9,6 +9,7 @@
 #include "qlib/library.hpp"
 #include "qlib/sink.hpp"
 #include "sim/checkpoint.hpp"
+#include "sim/placement.hpp"
 #include "sim/telemetry.hpp"
 
 namespace prime::sim {
@@ -96,6 +97,17 @@ RunResult run_simulation(hw::Platform& platform, const wl::Application& app,
         "run_simulation: warm_start_from and resume_from are mutually "
         "exclusive — a resume already restores the learned state");
   }
+  const std::size_t domains = platform.domain_count();
+  if (domains > 1 &&
+      (!options.resume_from.empty() || !options.checkpoint_path.empty())) {
+    // The checkpoint format stores one pending observation; multi-domain runs
+    // carry one per domain. Fail loudly rather than resume with domains 1..N
+    // silently re-observing from scratch.
+    throw std::invalid_argument(
+        "run_simulation: checkpoint/resume is not yet supported on "
+        "multi-domain platforms (" +
+        std::to_string(domains) + " DVFS domains configured)");
+  }
   // Resume first: the restored state supersedes the reset_* flags (resetting
   // after loading would discard exactly the state the caller asked to keep).
   std::optional<Checkpoint> resume;
@@ -113,13 +125,13 @@ RunResult run_simulation(hw::Platform& platform, const wl::Application& app,
     // space; a shape mismatch would silently re-initialise the restored
     // state on the first decision, so reject it up front.
     if (resume->opp_count != platform.opp_table().size() ||
-        resume->core_count != platform.cluster().core_count()) {
+        resume->core_count != platform.total_cores()) {
       throw CheckpointError(
           "checkpoint '" + options.resume_from + "': saved on a platform "
           "with " + std::to_string(resume->opp_count) + " OPPs and " +
           std::to_string(resume->core_count) + " cores, cannot resume on " +
           std::to_string(platform.opp_table().size()) + " OPPs and " +
-          std::to_string(platform.cluster().core_count()) + " cores");
+          std::to_string(platform.total_cores()) + " cores");
     }
     // Same table *size* is not same table: the V-F points themselves shape
     // what the learned state means, so the full shape fingerprint must match.
@@ -153,14 +165,14 @@ RunResult run_simulation(hw::Platform& platform, const wl::Application& app,
             "', cannot warm-start '" + governor.name() + "'");
       }
       if (entry.opp_count != platform.opp_table().size() ||
-          entry.core_count != platform.cluster().core_count()) {
+          entry.core_count != platform.total_cores()) {
         throw qlib::QlibError(
             "warm start '" + options.warm_start_from +
             "': entry trained on a platform with " +
             std::to_string(entry.opp_count) + " OPPs and " +
             std::to_string(entry.core_count) + " cores, cannot apply on " +
             std::to_string(platform.opp_table().size()) + " OPPs and " +
-            std::to_string(platform.cluster().core_count()) + " cores");
+            std::to_string(platform.total_cores()) + " cores");
       }
       if (entry.key.platform_fingerprint != platform.shape_fingerprint()) {
         throw qlib::QlibError(
@@ -239,7 +251,7 @@ RunResult run_simulation(hw::Platform& platform, const wl::Application& app,
     ck.governor = ctx.governor;
     ck.application = ctx.application;
     ck.opp_count = opps.size();
-    ck.core_count = cluster.core_count();
+    ck.core_count = platform.total_cores();
     ck.platform_fingerprint = platform.shape_fingerprint();
     // result accumulates one epoch per emitted record across sessions, so
     // its epoch count *is* the absolute frame position.
@@ -263,6 +275,15 @@ RunResult run_simulation(hw::Platform& platform, const wl::Application& app,
     TelemetrySink* s = sink;
     while (s != nullptr) {
       if (auto* ck = dynamic_cast<CheckpointSink*>(s)) {
+        if (domains > 1) {
+          // Spec-driven form of the checkpoint_path rejection above: a
+          // checkpoint(...) sink attached through RunOptions::sinks must fail
+          // just as loudly as the engine-owned one.
+          throw std::invalid_argument(
+              "run_simulation: checkpoint sinks are not yet supported on "
+              "multi-domain platforms (" +
+              std::to_string(domains) + " DVFS domains configured)");
+        }
         ck->bind(snapshot);
         bound.push_back(ck);
         break;
@@ -312,7 +333,145 @@ RunResult run_simulation(hw::Platform& platform, const wl::Application& app,
   wl::FrameBlock block;
   hw::EpochScratch scratch;
 
-  if (options.block_frames == 0) {
+  if (domains > 1) {
+    // Multi-domain path: the placement layer maps the frame's work slots onto
+    // (domain, local core) pairs once up front; each epoch then runs one
+    // decision + one run_epoch_into per domain, and the per-domain outcomes
+    // combine into a single EpochRecord (the frame completes when the slowest
+    // domain does). Always batched — single-domain runs never reach here, so
+    // the historical paths below stay bit-identical.
+    const Placement place = make_placement(options.placement, platform, &app);
+    const std::size_t total = platform.total_cores();
+    std::vector<std::size_t> dcores(domains);
+    std::vector<std::vector<common::Cycles>> dwork(domains);
+    std::vector<hw::EpochScratch> dscratch(domains);
+    std::vector<std::optional<gov::EpochObservation>> dlast(domains);
+    for (std::size_t d = 0; d < domains; ++d) {
+      dcores[d] = platform.domain(d).core_count();
+      dwork[d].resize(dcores[d]);
+    }
+    const std::size_t block_frames =
+        std::max<std::size_t>(1, options.block_frames);
+    EpochRecord rec;
+    for (std::size_t i = start; i < frames;) {
+      const std::size_t n = std::min(block_frames, frames - i);
+      app.fill_block(i, n, total, block);
+      for (std::size_t b = 0; b < n; ++b, ++i) {
+        const common::Seconds period = block.periods[b];
+        common::Cycles* row = block.row(b);
+        const common::Cycles demand = block.demand[b];
+
+        if (clairvoyant != nullptr) {
+          gov::FramePreview preview;
+          preview.max_core_cycles =
+              total == 0 ? 0 : *std::max_element(row, row + total);
+          preview.total_cycles = demand;
+          preview.mem_fraction = block.mem_fraction;
+          clairvoyant->preview_next_frame(preview);
+        }
+
+        // Scatter the frame's work slots onto their physical cores.
+        for (std::size_t d = 0; d < domains; ++d) {
+          std::fill(dwork[d].begin(), dwork[d].end(), common::Cycles{0});
+        }
+        for (std::size_t j = 0; j < total; ++j) {
+          dwork[place.slot_domain[j]][place.slot_local[j]] += row[j];
+        }
+
+        // One decision per domain (shared governor instance: learning state
+        // interleaves the per-domain observation streams).
+        for (std::size_t d = 0; d < domains; ++d) {
+          gov::DecisionContext dctx;
+          dctx.epoch = i;
+          dctx.period = period;
+          dctx.cores = dcores[d];
+          dctx.opps = &opps;
+          dctx.domain = d;
+          dctx.domains = domains;
+          platform.domain(d).set_opp(governor.decide(dctx, dlast[d]));
+        }
+
+        // T_OVH executes where slot 0 was placed, at that domain's chosen
+        // frequency — the RTM runs on the core hosting the first worker.
+        const common::Seconds ovh = governor.epoch_overhead();
+        if (total != 0 && ovh > 0.0) {
+          const std::size_t hd = place.slot_domain[0];
+          dwork[hd][place.slot_local[0]] += common::cycles_at(
+              platform.domain(hd).current_opp().frequency, ovh);
+        }
+
+        // Execute every domain's epoch and combine: frame time / window /
+        // temperature take the max, energy and cycles sum, and the OPP
+        // reported for the epoch is the bottleneck domain's (largest frame
+        // time, lowest index on ties).
+        common::Seconds frame_time = 0.0;
+        common::Seconds window = 0.0;
+        common::Joule energy = 0.0;
+        common::Cycles executed = 0;
+        common::Celsius temperature = 0.0;
+        std::size_t bottleneck = 0;
+        for (std::size_t d = 0; d < domains; ++d) {
+          hw::EpochScratch& sc = dscratch[d];
+          platform.domain(d).run_epoch_into(dwork[d].data(), dcores[d], period,
+                                            block.mem_fraction, 1.0e9, sc);
+          if (sc.frame_time > frame_time) {
+            frame_time = sc.frame_time;
+            bottleneck = d;
+          }
+          window = std::max(window, sc.window);
+          temperature = std::max(temperature, sc.temperature);
+          energy += sc.energy;
+          executed += std::accumulate(sc.core_cycles.begin(),
+                                      sc.core_cycles.end(), common::Cycles{0});
+        }
+
+        // One board-level sensor reading over the combined epoch: total
+        // energy spread over the longest domain window.
+        const common::Watt avg_power = window > 0.0 ? energy / window : 0.0;
+        const common::Watt reading =
+            platform.power_sensor().integrate(avg_power, window);
+
+        rec.epoch = i;
+        rec.period = period;
+        rec.opp_index = platform.domain(bottleneck).current_opp_index();
+        rec.frequency = platform.domain(bottleneck).current_opp().frequency;
+        rec.demand = demand;
+        rec.executed = executed;
+        rec.frame_time = frame_time;
+        rec.window = window;
+        rec.energy = energy;
+        rec.sensor_power = reading;
+        rec.temperature = temperature;
+        rec.slack = period > 0.0 ? (period - frame_time) / period : 0.0;
+        rec.deadline_met = frame_time <= period;
+
+        // Per-domain feedback: each domain's next decision sees its own
+        // frame time, cycles and deadline outcome, with the board reading
+        // attributed by energy share (every domain shares one sensor).
+        for (std::size_t d = 0; d < domains; ++d) {
+          hw::EpochScratch& sc = dscratch[d];
+          if (!dlast[d]) dlast[d].emplace();
+          gov::EpochObservation& obs = *dlast[d];
+          obs.epoch = i;
+          obs.period = period;
+          obs.frame_time = sc.frame_time;
+          obs.window = sc.window;
+          obs.total_cycles =
+              std::accumulate(sc.core_cycles.begin(), sc.core_cycles.end(),
+                              common::Cycles{0});
+          obs.core_cycles.bind(sc.core_cycles.data(), sc.core_cycles.size());
+          obs.opp_index = platform.domain(d).current_opp_index();
+          obs.avg_power = energy > 0.0
+                              ? reading * (sc.energy / energy)
+                              : reading / static_cast<double>(domains);
+          obs.temperature = sc.temperature;
+          obs.deadline_met = sc.deadline_met;
+        }
+
+        emitter.emit(rec, governor);
+      }
+    }
+  } else if (options.block_frames == 0) {
     // Per-frame reference path: the pre-batching loop, kept verbatim as the
     // differential baseline the batched path below is pinned against.
     for (std::size_t i = start; i < frames; ++i) {

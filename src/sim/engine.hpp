@@ -112,6 +112,14 @@ struct RunOptions {
   /// baseline the batched path is tested against.
   std::size_t block_frames = 64;
 
+  /// Placement policy partitioning the application's work slots across the
+  /// platform's DVFS domains ("packed", "spread", "rect" — see
+  /// sim/placement.hpp). Only consulted on multi-domain platforms
+  /// (hw.clusters > 1): a single-domain board has exactly one valid
+  /// placement, and the engine then runs the historical single-cluster path
+  /// bit-identically. Unknown names throw common::UnknownNameError.
+  std::string placement = "packed";
+
   // --- Checkpoint/resume (sim/checkpoint.hpp) --------------------------------
 
   /// Write a resumable `.ckpt` snapshot here (atomic overwrite). Implemented

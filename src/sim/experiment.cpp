@@ -26,7 +26,7 @@ common::Spec spec_without_key(const common::Spec& spec, const std::string& key) 
 
 /// Platform cycle capacity per frame at the fastest OPP.
 double frame_capacity(const hw::Platform& platform, double fps) {
-  return static_cast<double>(platform.cluster().core_count()) *
+  return static_cast<double>(platform.total_cores()) *
          platform.opp_table().max().frequency * (1.0 / fps);
 }
 

@@ -62,7 +62,14 @@ struct MultiAppOptions {
 ///
 /// Requirements (checked, std::invalid_argument on violation): at least one
 /// placement; one governor per placement; core sets disjoint and within the
-/// cluster; all applications demand the same frame rate.
+/// platform; all applications demand the same frame rate over their *entire*
+/// requirement schedules — a mid-run add_requirement_change that forks the
+/// rates is rejected up front, not discovered at the divergent frame.
+///
+/// On a multi-domain platform (hw.clusters > 1) placements address cores by
+/// global index; per-app OPP requests arbitrate per V-F domain (max among
+/// the apps occupying it), and domains hosting no application keep their
+/// current OPP.
 [[nodiscard]] MultiAppResult run_multi_simulation(
     hw::Platform& platform, const std::vector<AppPlacement>& placements,
     const std::vector<std::unique_ptr<gov::Governor>>& governors,

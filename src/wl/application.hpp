@@ -71,6 +71,15 @@ class Application {
 
   /// \brief The requirement in force at \p frame.
   [[nodiscard]] PerformanceRequirement requirement_at(std::size_t frame) const;
+  /// \brief The full requirement schedule as sorted (start-frame, fps)
+  ///        breakpoints; the first entry is always frame 0 (the construction
+  ///        requirement). Lets consumers that must hold an invariant across
+  ///        the whole run — the multi-app engine's equal-rate check — inspect
+  ///        every scheduled change instead of sampling frame by frame.
+  [[nodiscard]] const std::vector<std::pair<std::size_t, double>>&
+  requirement_schedule() const noexcept {
+    return schedule_;
+  }
   /// \brief Deadline (Tref) in force at \p frame.
   [[nodiscard]] common::Seconds deadline_at(std::size_t frame) const {
     return requirement_at(frame).deadline();

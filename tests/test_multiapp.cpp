@@ -60,6 +60,41 @@ TEST(MultiApp, MismatchedRatesRejected) {
                std::invalid_argument);
 }
 
+// Regression: the equal-rate check used to sample only frame 0, so an
+// add_requirement_change forking the rates mid-run slipped past validation
+// and silently mis-cadenced every epoch after the divergent breakpoint.
+TEST(MultiApp, MidRunRateForkRejected) {
+  auto platform = hw::Platform::odroid_xu3_a15();
+  const wl::Application a = make_app("mpeg4", 25.0, 50, 1, *platform);
+  wl::Application b = make_app("fft", 25.0, 50, 2, *platform);
+  b.add_requirement_change(20, 30.0);  // same rate at frame 0, forks at 20
+  std::vector<std::unique_ptr<gov::Governor>> governors;
+  governors.push_back(make_governor("rtm"));
+  governors.push_back(make_governor("rtm"));
+  std::vector<AppPlacement> placements = {{&a, {0, 1}}, {&b, {2, 3}}};
+  EXPECT_THROW(run_multi_simulation(*platform, placements, governors),
+               std::invalid_argument);
+}
+
+// Schedules that differ in representation but agree at every frame are fine:
+// both apps switch 25 -> 30 at frame 20, one of them through a redundant
+// extra breakpoint.
+TEST(MultiApp, EquivalentSchedulesAccepted) {
+  auto platform = hw::Platform::odroid_xu3_a15();
+  wl::Application a = make_app("mpeg4", 25.0, 50, 1, *platform);
+  wl::Application b = make_app("fft", 25.0, 50, 2, *platform);
+  a.add_requirement_change(20, 30.0);
+  b.add_requirement_change(10, 25.0);  // redundant: rate unchanged
+  b.add_requirement_change(20, 30.0);
+  std::vector<std::unique_ptr<gov::Governor>> governors;
+  governors.push_back(make_governor("rtm", 11));
+  governors.push_back(make_governor("rtm", 22));
+  std::vector<AppPlacement> placements = {{&a, {0, 1}}, {&b, {2, 3}}};
+  const MultiAppResult r =
+      run_multi_simulation(*platform, placements, governors);
+  EXPECT_EQ(r.per_app[0].epoch_count, 50u);
+}
+
 TEST(MultiApp, TwoAppsRunToCompletion) {
   auto platform = hw::Platform::odroid_xu3_a15();
   const wl::Application a = make_app("mpeg4", 25.0, 300, 1, *platform);

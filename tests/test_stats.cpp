@@ -111,6 +111,32 @@ TEST(Histogram, PercentileEmptyReturnsLo) {
   EXPECT_DOUBLE_EQ(h.percentile(50.0), 5.0);
 }
 
+// Regression: p0 used to report lo_ unconditionally (target 0 matched the
+// first bin even when empty) instead of the lowest populated bin.
+TEST(Histogram, PercentileZeroSkipsEmptyLeadingBins) {
+  Histogram h(0.0, 10.0, 10);
+  h.add(7.5);  // bin 7: everything below is empty
+  h.add(7.5);
+  EXPECT_DOUBLE_EQ(h.percentile(0.0), 7.0);
+  EXPECT_DOUBLE_EQ(h.percentile(100.0), 8.0);
+}
+
+TEST(Histogram, PercentileAllMassInTopBin) {
+  Histogram h(0.0, 10.0, 10);
+  h.add(50.0);  // clamps into bin 9
+  h.add(60.0);
+  EXPECT_DOUBLE_EQ(h.percentile(0.0), 9.0);
+  EXPECT_DOUBLE_EQ(h.percentile(50.0), 9.5);
+  EXPECT_DOUBLE_EQ(h.percentile(100.0), 10.0);
+}
+
+TEST(Histogram, PercentileSingleBin) {
+  Histogram h(2.0, 4.0, 1);
+  h.add(3.0);
+  EXPECT_DOUBLE_EQ(h.percentile(0.0), 2.0);
+  EXPECT_DOUBLE_EQ(h.percentile(100.0), 4.0);
+}
+
 TEST(MovingAverage, WindowEviction) {
   MovingAverage m(3);
   m.add(1.0);
