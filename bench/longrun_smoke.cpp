@@ -34,23 +34,38 @@
 /// the identical demand sequence — the application, like the governor, must
 /// be reconstructed identically for a resume to be bit-identical.
 ///
+/// Live dashboard: dashboard-port= attaches a dashboard(port=) sink to the
+/// run (dashboard-every= sets its SSE cadence). After the run the bench
+/// fetches its own /snapshot over real HTTP and byte-compares the served
+/// aggregates object against sim::snapshot_aggregates_json of the run's
+/// RunResult — the final snapshot must equal the sealed aggregate exactly.
+/// dashboard-linger-ms= keeps the server alive after that check until an
+/// external client (CI's dash_tool poller) has been answered or the budget
+/// expires, so background pollers cannot race the run's exit.
+///
 /// Usage: longrun_smoke [frames=200000] [fps=25] [workload=h264]
 ///                      [governor=ondemand] [stream=0] [tail=0]
 ///                      [sample-every=0] [sample-path=longrun_sample.csv]
 ///                      [bintrace=] [max-rss-mb=0]
 ///                      [checkpoint=] [checkpoint-every=0]
 ///                      [resume=] [verify-tail=] [calib-frames=0]
+///                      [dashboard-port=0] [dashboard-every=100000]
+///                      [dashboard-linger-ms=0]
+#include <chrono>
 #include <cstring>
 #include <iostream>
 #include <streambuf>
 #include <string>
+#include <thread>
 
 #include <sys/resource.h>
 
 #include "common/config.hpp"
+#include "common/http.hpp"
 #include "common/strings.hpp"
 #include "hw/platform.hpp"
 #include "sim/bintrace.hpp"
+#include "sim/dashboard.hpp"
 #include "sim/experiment.hpp"
 #include "sim/telemetry.hpp"
 
@@ -148,6 +163,18 @@ int main(int argc, char** argv) {
                                  ",inner=csv(path=" + path + "))");
     options.sinks.push_back(sample_sink.get());
   }
+  const auto dashboard_port =
+      static_cast<std::uint16_t>(cfg.get_int("dashboard-port", 0));
+  std::unique_ptr<sim::DashboardSink> dashboard;
+  if (dashboard_port != 0 || cfg.has("dashboard-port")) {
+    // Constructed directly (not via make_sink) for bound_port() and the
+    // post-run self-check below. Constant-memory like every other sink
+    // here, so it rides inside the same RSS bound.
+    dashboard = std::make_unique<sim::DashboardSink>(
+        dashboard_port,
+        static_cast<std::size_t>(cfg.get_int("dashboard-every", 100000)));
+    options.sinks.push_back(dashboard.get());
+  }
   const sim::RunResult run =
       sim::run_simulation(*platform, app, *governor, options);
 
@@ -244,6 +271,39 @@ int main(int argc, char** argv) {
       std::cout << "  verify-tail:   " << reader.record_count()
                 << " records bit-identical to " << ref_path << " at offset "
                 << resume_start << "\n";
+    }
+  }
+
+  if (dashboard) {
+    // Final-snapshot self-check over real HTTP: the aggregates object the
+    // server hands a client after run end must be byte-identical to the
+    // sealed RunResult's encoding — the dashboard cannot drift from the
+    // aggregate sink even at the end of a million-epoch run.
+    const std::uint64_t requests_before = dashboard->requests_served();
+    const common::HttpResult snap =
+        common::http_get("127.0.0.1", dashboard->bound_port(), "/snapshot");
+    const std::string want =
+        "\"aggregates\":" + sim::snapshot_aggregates_json(run);
+    if (snap.status != 200 || snap.body.find(want) == std::string::npos) {
+      std::cerr << "FAIL: final /snapshot (status " << snap.status
+                << ") does not carry the sealed aggregates\n  want "
+                << want << "\n  got  " << snap.body << "\n";
+      return 1;
+    }
+    std::cout << "  dashboard:     port " << dashboard->bound_port()
+              << ", final snapshot matches the sealed aggregates\n";
+    // Linger: a background poller (CI's dash_tool) may still be between
+    // retries when a short run ends. If nobody polled during the run, keep
+    // the server up until one external request lands or the budget expires.
+    const long long linger_ms = cfg.get_int("dashboard-linger-ms", 0);
+    if (linger_ms > 0 && requests_before == 0) {
+      const auto deadline = std::chrono::steady_clock::now() +
+                            std::chrono::milliseconds(linger_ms);
+      // +1 for our own self-check request above.
+      while (dashboard->requests_served() <= requests_before + 1 &&
+             std::chrono::steady_clock::now() < deadline) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(50));
+      }
     }
   }
 

@@ -15,10 +15,14 @@
 ///              [report=report.csv]    write the population report CSV here
 ///              [max-rss-mb=0]         fail if peak RSS (self+children)
 ///                                     exceeds this bound (0 = no check)
+///              [dashboard-port-base=0] shard i serves live snapshots on
+///                                     loopback port base+i (dash_tool reads
+///                                     them; 0 = off)
 ///
 /// Internal worker invocation (what the driver execs; not for direct use):
 ///   fleet_tool mode=worker <population args> shard=I shards=N out=DIR
 ///              checkpoint-every=K attempt=A [fail-after=D]
+///              [dashboard-port=P] [dashboard-every=N]
 #include <sys/resource.h>
 
 #include <algorithm>
@@ -61,6 +65,10 @@ int worker_main(const prime::common::Config& cfg) {
   opts.attempt = static_cast<std::size_t>(cfg.get_int("attempt", 0));
   opts.fail_after_devices =
       static_cast<std::size_t>(cfg.get_int("fail-after", 0));
+  opts.dashboard_port =
+      static_cast<std::uint16_t>(cfg.get_int("dashboard-port", 0));
+  opts.dashboard_every =
+      static_cast<std::size_t>(cfg.get_int("dashboard-every", 1000));
   return fleet::run_worker(pop, plan.shard(shard_index), opts);
 }
 
@@ -80,7 +88,8 @@ int main(int argc, char** argv) {
       std::cerr << "Usage: fleet_tool governors=ondemand,rtm workloads=h264 "
                    "[fps=25] [devices-per-cell=8] [frames=200] [shards=4] "
                    "[workers=4] [retries=2] [out=fleet-out] "
-                   "[checkpoint-every=0] [report=report.csv] [max-rss-mb=0]\n";
+                   "[checkpoint-every=0] [report=report.csv] [max-rss-mb=0] "
+                   "[dashboard-port-base=0]\n";
       return 2;
     }
 
@@ -94,6 +103,8 @@ int main(int argc, char** argv) {
         static_cast<std::size_t>(cfg.get_int("checkpoint-every", 0));
     options.fail_first_attempt_after =
         static_cast<std::size_t>(cfg.get_int("fail-after", 0));
+    options.dashboard_port_base =
+        static_cast<std::uint32_t>(cfg.get_int("dashboard-port-base", 0));
     if (options.workers > 0) {
       options.worker_argv = {argv[0], "mode=worker"};
       for (const auto& arg : pop.to_args()) {

@@ -1,6 +1,8 @@
 #include "common/csv.hpp"
 
+#include <cerrno>
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <sstream>
 #include <stdexcept>
@@ -8,6 +10,33 @@
 #include "common/strings.hpp"
 
 namespace prime::common {
+
+namespace {
+
+/// Parse one cell strictly as a double: surrounding whitespace tolerated
+/// (strtod always accepted it), whole cell, finite-range. strtod with a null
+/// endptr would silently turn "abc" into 0.0 — a corrupt table must throw,
+/// not feed zeroes into downstream statistics.
+double parse_double_cell(const std::string& raw, const std::string& column,
+                         std::size_t row) {
+  const std::string cell = trim(raw);
+  errno = 0;
+  char* end = nullptr;
+  const double value = std::strtod(cell.c_str(), &end);
+  if (cell.empty() || end != cell.c_str() + cell.size()) {
+    throw std::runtime_error("CsvTable: malformed value '" + raw +
+                             "' in column '" + column + "', data row " +
+                             std::to_string(row));
+  }
+  if (errno == ERANGE) {
+    throw std::runtime_error("CsvTable: value '" + raw + "' in column '" +
+                             column + "', data row " + std::to_string(row) +
+                             " is out of double range");
+  }
+  return value;
+}
+
+}  // namespace
 
 void CsvWriter::header(std::initializer_list<std::string> names) {
   header(std::vector<std::string>(names));
@@ -55,10 +84,16 @@ std::vector<double> CsvTable::column_as_double(const std::string& name) const {
   const int idx = column_index(name);
   std::vector<double> out;
   if (idx < 0) return out;
+  const auto col = static_cast<std::size_t>(idx);
   out.reserve(rows.size());
-  for (const auto& r : rows) {
-    const auto col = static_cast<std::size_t>(idx);
-    out.push_back(col < r.size() ? std::strtod(r[col].c_str(), nullptr) : 0.0);
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    if (col >= rows[i].size()) {
+      throw std::runtime_error(
+          "CsvTable: data row " + std::to_string(i) + " has " +
+          std::to_string(rows[i].size()) + " cell(s), too short for column '" +
+          name + "' (index " + std::to_string(col) + ")");
+    }
+    out.push_back(parse_double_cell(rows[i][col], name, i));
   }
   return out;
 }

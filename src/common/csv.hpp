@@ -43,7 +43,11 @@ struct CsvTable {
 
   /// \brief Index of the named column, or -1 if absent.
   [[nodiscard]] int column_index(const std::string& name) const;
-  /// \brief Column \p name converted to doubles (missing cells -> 0).
+  /// \brief Column \p name converted to doubles. An absent column yields an
+  ///        empty vector (callers probe with column_index first); a row too
+  ///        short to hold the column, or a cell that is not entirely a
+  ///        number, throws std::runtime_error naming the row and column —
+  ///        corrupt tables fail closed instead of reading as zeroes.
   [[nodiscard]] std::vector<double> column_as_double(const std::string& name) const;
 };
 

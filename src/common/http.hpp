@@ -1,0 +1,127 @@
+/// \file http.hpp
+/// \brief Minimal blocking HTTP/1.1 server and client over POSIX sockets.
+///
+/// The transport under the live dashboard telemetry sink (sim/dashboard.hpp):
+/// a deliberately small, dependency-free subset of HTTP — GET requests, fixed
+/// responses with Content-Length, and Server-Sent-Event streams delimited by
+/// connection close. The server binds the loopback interface only (telemetry
+/// is an operator surface, not a public one), accepts on a background thread
+/// and handles each connection on its own thread, so a long-lived SSE watcher
+/// never blocks one-shot snapshot polls. Everything is synchronous and
+/// blocking per connection; there is no pipelining, keep-alive, TLS or
+/// request-body handling — the dashboard's clients (dash_tool, curl, a
+/// browser EventSource) need none of it.
+///
+/// The client half (http_get / http_get_stream) exists for dash_tool and the
+/// tests; it speaks exactly the subset the server serves.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <stdexcept>
+#include <string>
+
+namespace prime::common {
+
+/// \brief Error thrown by the HTTP client and server setup paths (bind
+///        failure, connect failure, malformed peer traffic). Messages name
+///        the endpoint and the operation that failed.
+class HttpError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// \brief One parsed request: method, target split into path + query map.
+struct HttpRequest {
+  std::string method;  ///< "GET", ... (uppercased as received).
+  std::string target;  ///< The raw request target ("/window?from=0&count=8").
+  std::string path;    ///< Target up to '?' ("/window").
+  std::map<std::string, std::string> query;  ///< Decoded query parameters.
+
+  /// \brief Query parameter \p key, or \p fallback when absent.
+  [[nodiscard]] std::string query_get(const std::string& key,
+                                      const std::string& fallback) const {
+    const auto it = query.find(key);
+    return it == query.end() ? fallback : it->second;
+  }
+};
+
+/// \brief A handler's reply. Leave \p next_chunk empty for a fixed body
+///        (served with Content-Length); set it for a streaming response
+///        (Server-Sent Events): the server writes the headers, then calls
+///        next_chunk repeatedly and writes each produced chunk until it
+///        returns false, the client disconnects, or the server stops.
+///        next_chunk must block (bounded — re-check cadence, not forever)
+///        while it has nothing to send, and should re-check its own source's
+///        liveness so a stopped producer ends the stream.
+struct HttpResponse {
+  int status = 200;
+  std::string content_type = "application/json";
+  std::string body;
+  std::function<bool(std::string& chunk)> next_chunk;
+};
+
+/// \brief Blocking loopback HTTP server: one accept thread, one thread per
+///        connection, synchronous handler dispatch.
+///
+/// The handler runs on connection threads — it must be thread-safe against
+/// the owner's mutations (the dashboard sink locks its snapshot state). A
+/// thrown handler exception becomes a 500 with the exception text; the
+/// server itself never propagates connection errors.
+class HttpServer {
+ public:
+  using Handler = std::function<HttpResponse(const HttpRequest&)>;
+
+  /// \brief Bind 127.0.0.1:\p port and start accepting. Port 0 binds an
+  ///        ephemeral port — read the chosen one back with port(). Throws
+  ///        HttpError when the socket cannot be bound (port in use, no
+  ///        permission).
+  HttpServer(std::uint16_t port, Handler handler);
+  /// \brief Stops the server (see stop()).
+  ~HttpServer();
+
+  HttpServer(const HttpServer&) = delete;
+  HttpServer& operator=(const HttpServer&) = delete;
+
+  /// \brief The bound port (the ephemeral choice when constructed with 0).
+  [[nodiscard]] std::uint16_t port() const noexcept;
+  /// \brief Requests served to completion so far (kept across connections).
+  [[nodiscard]] std::uint64_t requests_served() const noexcept;
+
+  /// \brief Stop accepting, shut every open connection, join all threads.
+  ///        Idempotent; called by the destructor. Streaming handlers are
+  ///        interrupted at their next chunk boundary.
+  void stop();
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+/// \brief A fixed (non-streaming) response received by the client.
+struct HttpResult {
+  int status = 0;
+  std::string body;
+};
+
+/// \brief Blocking GET of http://\p host:\p port\p target. Reads the whole
+///        body (Content-Length or until close). Throws HttpError on connect
+///        failure, timeout or a malformed response — an HTTP error status is
+///        returned, not thrown.
+[[nodiscard]] HttpResult http_get(const std::string& host, std::uint16_t port,
+                                  const std::string& target,
+                                  int timeout_ms = 5000);
+
+/// \brief Streaming GET: deliver the response body line by line (without the
+///        trailing newline) to \p on_line as it arrives — the client half of
+///        an SSE feed. Returns the response status once the stream ends;
+///        \p on_line returning false closes it early. \p timeout_ms bounds
+///        each read, not the whole stream.
+int http_get_stream(const std::string& host, std::uint16_t port,
+                    const std::string& target,
+                    const std::function<bool(const std::string& line)>& on_line,
+                    int timeout_ms = 5000);
+
+}  // namespace prime::common

@@ -18,9 +18,16 @@ namespace prime::common {
 template <typename T>
 class RingBuffer {
  public:
-  /// \brief Construct with the given capacity (>= 1).
-  explicit RingBuffer(std::size_t capacity)
-      : buf_(capacity == 0 ? 1 : capacity) {}
+  /// \brief Construct with the given capacity. Capacity 0 throws
+  ///        std::invalid_argument: a zero-capacity ring has no meaningful
+  ///        push/front/back semantics, and silently bumping it to 1 (the old
+  ///        behavior) turned a caller's sizing bug into a window that
+  ///        quietly retained one element.
+  explicit RingBuffer(std::size_t capacity) : buf_(capacity) {
+    if (capacity == 0) {
+      throw std::invalid_argument("RingBuffer: capacity must be >= 1");
+    }
+  }
 
   /// \brief Append an element, evicting the oldest if at capacity.
   void push(const T& value) {

@@ -63,6 +63,10 @@ ShardRunnerOptions worker_options(const FleetOptions& fleet,
   opts.checkpoint_every = fleet.checkpoint_every;
   opts.attempt = attempt;
   opts.fail_after_devices = fleet.fail_first_attempt_after;
+  if (fleet.dashboard_port_base != 0) {
+    opts.dashboard_port =
+        static_cast<std::uint16_t>(fleet.dashboard_port_base + shard_index);
+  }
   return opts;
 }
 
@@ -77,6 +81,10 @@ ShardRunnerOptions worker_options(const FleetOptions& fleet,
   if (fleet.fail_first_attempt_after > 0) {
     argv.push_back("fail-after=" +
                    std::to_string(fleet.fail_first_attempt_after));
+  }
+  if (fleet.dashboard_port_base != 0) {
+    argv.push_back("dashboard-port=" +
+                   std::to_string(fleet.dashboard_port_base + shard_index));
   }
   std::vector<char*> cargv;
   cargv.reserve(argv.size() + 1);
@@ -199,6 +207,14 @@ FleetDriver::FleetDriver(FleetOptions options) : options_(std::move(options)) {
 
 PopulationReport FleetDriver::run(const PopulationSpec& pop) {
   pop.validate();
+  if (options_.dashboard_port_base != 0 &&
+      options_.dashboard_port_base + options_.shards - 1 > 65535) {
+    throw std::invalid_argument(
+        "fleet: dashboard-port-base " +
+        std::to_string(options_.dashboard_port_base) + " + " +
+        std::to_string(options_.shards) +
+        " shards exceeds port 65535; pick a lower base");
+  }
   launches_ = 0;
   retries_ = 0;
   std::filesystem::create_directories(options_.out_dir);

@@ -55,6 +55,11 @@ struct FleetOptions {
   /// Test hook, forwarded to every shard's first attempt (see
   /// ShardRunnerOptions::fail_after_devices).
   std::size_t fail_first_attempt_after = 0;
+  /// Live progress dashboards: worker for shard i serves snapshots on
+  /// loopback port base + i (see ShardRunnerOptions::dashboard_port), so a
+  /// driver-side poller can watch every shard in flight. 0 disables. run()
+  /// rejects a base whose highest shard port would exceed 65535.
+  std::uint32_t dashboard_port_base = 0;
 };
 
 /// \brief One row of the population report: a cell's identity plus the

@@ -11,6 +11,7 @@
 
 #include "common/hash.hpp"
 #include "gov/merge.hpp"
+#include "sim/dashboard.hpp"
 #include "sim/engine.hpp"
 #include "sim/experiment.hpp"
 
@@ -66,7 +67,8 @@ std::optional<ResumedShard> try_resume(const std::string& checkpoint_path,
 }  // namespace
 
 DeviceOutcome run_device_outcome(const PopulationSpec& pop,
-                                 const DeviceSpec& dev) {
+                                 const DeviceSpec& dev,
+                                 const std::vector<sim::TelemetrySink*>& sinks) {
   // A fresh platform per device: every device is an independent board with
   // its own sensor-noise stream, thermal state and history.
   const auto platform = hw::Platform::odroid_xu3_a15(dev.platform_seed);
@@ -84,6 +86,7 @@ DeviceOutcome run_device_outcome(const PopulationSpec& pop,
 
   sim::RunOptions run_opts;
   run_opts.max_frames = pop.frames;
+  run_opts.sinks = sinks;
   DeviceOutcome out;
   out.result = sim::run_simulation(*platform, app, *governor, run_opts);
   out.governor_name = governor->name();
@@ -129,11 +132,22 @@ ShardSummary run_shard(const PopulationSpec& pop, const Shard& shard,
   }
   summary.started_at_device = summary.next_device;
 
+  // One dashboard for the whole shard session: the port stays bound across
+  // device runs, runs_completed counts devices finished, and a polling
+  // driver sees the in-flight device's live aggregates.
+  std::unique_ptr<sim::DashboardSink> dashboard;
+  std::vector<sim::TelemetrySink*> sinks;
+  if (opts.dashboard_port != 0) {
+    dashboard = std::make_unique<sim::DashboardSink>(opts.dashboard_port,
+                                                     opts.dashboard_every);
+    sinks.push_back(dashboard.get());
+  }
+
   std::size_t session_devices = 0;
   while (summary.next_device < shard.device_end) {
     const auto index = static_cast<std::size_t>(summary.next_device);
     const DeviceSpec dev = pop.device(index);
-    const DeviceOutcome outcome = run_device_outcome(pop, dev);
+    const DeviceOutcome outcome = run_device_outcome(pop, dev, sinks);
     const sim::RunResult& result = outcome.result;
 
     auto it = summary.cells.find(dev.cell);

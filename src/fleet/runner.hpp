@@ -19,6 +19,7 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "fleet/population.hpp"
 #include "fleet/summary.hpp"
@@ -42,6 +43,13 @@ struct ShardRunnerOptions {
   /// been simulated *this session*, but only when attempt == 0. 0 disables.
   /// Exercises the driver's retry + checkpoint-resume path end to end.
   std::size_t fail_after_devices = 0;
+  /// Serve live progress snapshots on this loopback port (sim::DashboardSink;
+  /// 0 = disabled). One dashboard persists across the shard's device runs, so
+  /// a driver polling /snapshot sees the current device's aggregates and a
+  /// runs_completed count of devices finished this session.
+  std::uint16_t dashboard_port = 0;
+  /// SSE publication cadence in epochs for dashboard_port.
+  std::size_t dashboard_every = 1000;
 };
 
 /// \brief One device's full outcome: the run aggregates plus the trained
@@ -66,9 +74,13 @@ struct DeviceOutcome {
 /// \brief run_device plus the trained governor state — what the shard
 ///        runner's per-cell policy accumulation consumes. The simulated
 ///        trajectory is identical to run_device's (the state capture happens
-///        after the run).
-[[nodiscard]] DeviceOutcome run_device_outcome(const PopulationSpec& pop,
-                                               const DeviceSpec& dev);
+///        after the run). \p sinks are observation-only telemetry attached to
+///        the device's run (the shard dashboard rides here) — sinks never
+///        influence the trajectory, so the bit-identity guarantees hold with
+///        or without them.
+[[nodiscard]] DeviceOutcome run_device_outcome(
+    const PopulationSpec& pop, const DeviceSpec& dev,
+    const std::vector<sim::TelemetrySink*>& sinks = {});
 
 /// \brief Run shard \p shard of \p pop: resume from the checkpoint when
 ///        possible, simulate the remaining devices in index order, write the

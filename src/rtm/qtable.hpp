@@ -67,8 +67,11 @@ class QTable {
 
   /// \brief Serialise as CSV ("state,action,q,visits").
   [[nodiscard]] std::string to_csv() const;
-  /// \brief Restore from to_csv() output. Throws std::runtime_error when the
-  ///        text does not match this table's dimensions.
+  /// \brief Restore from to_csv() output. Throws std::runtime_error — with
+  ///        the offending row and cell — when an entry is outside this
+  ///        table's dimensions, a cell is not entirely a number, a row is
+  ///        too short, or the same (state, action) pair appears twice. On
+  ///        throw the table is unchanged (rows are staged, then committed).
   void load_csv(const std::string& text);
 
   /// \brief Binary state serialisation (checkpoint/resume): dimensions,

@@ -135,7 +135,15 @@ void BinTraceWriter::seal() {
 
 // --- BinTraceReader ----------------------------------------------------------
 
-BinTraceReader::BinTraceReader(const std::string& path) : path_(path) {
+BinTraceReader::BinTraceReader(const std::string& path)
+    : BinTraceReader(path, false) {}
+
+BinTraceReader BinTraceReader::follow(const std::string& path) {
+  return BinTraceReader(path, true);
+}
+
+BinTraceReader::BinTraceReader(const std::string& path, bool follow)
+    : path_(path), follow_(follow) {
   in_.open(path, std::ios::binary);
   if (!in_) {
     throw BinTraceError("bintrace '" + path_ + "': cannot open for reading");
@@ -179,9 +187,29 @@ BinTraceReader::BinTraceReader(const std::string& path) : path_(path) {
   }
   count_ = load_u64(header.data() + kOffCount);
   if (count_ == kBinTraceUnsealed) {
-    throw BinTraceError("bintrace '" + path_ +
-                        "': unsealed — the producing run never finished "
-                        "(crashed or still writing?)");
+    if (!follow_) {
+      throw BinTraceError("bintrace '" + path_ +
+                          "': unsealed — the producing run never finished "
+                          "(crashed or still writing?)");
+    }
+    // Live trace: the visible count is what the file physically holds in
+    // *complete* records. The floor division drops a half-written tail
+    // record, so a torn read is impossible by construction.
+    sealed_ = false;
+    count_ = (size_ - kBinTraceHeaderSize) / kBinTraceRecordSize;
+    governor_ = load_name(header.data() + kOffGovernor);
+    application_ = load_name(header.data() + kOffApplication);
+    stream_pos_ = kBinTraceHeaderSize;  // the header read left us here
+    return;
+  }
+  if (follow_) {
+    // The size was statted before the header was read; a producer sealing
+    // in between (records flushed, then the count patched) leaves that stat
+    // stale. The count is final now, so re-stat before validating against it.
+    in_.clear();
+    in_.seekg(0, std::ios::end);
+    size_ = static_cast<std::uint64_t>(in_.tellg());
+    in_.seekg(static_cast<std::streamoff>(kBinTraceHeaderSize));
   }
   // Bound the count by what the file can physically hold *before* computing
   // count * record_size: a corrupt count field must not wrap the expected
@@ -205,6 +233,54 @@ BinTraceReader::BinTraceReader(const std::string& path) : path_(path) {
   governor_ = load_name(header.data() + kOffGovernor);
   application_ = load_name(header.data() + kOffApplication);
   stream_pos_ = kBinTraceHeaderSize;  // the header read left us here
+}
+
+std::size_t BinTraceReader::refresh() {
+  if (!follow_) {
+    throw std::logic_error("bintrace '" + path_ +
+                           "': refresh() is only valid in follow mode");
+  }
+  if (sealed_) return record_count();  // the count is final; nothing moves
+  // Read the count field *before* re-statting the size: the producer
+  // flushes all records before patching the count (seal() seeks, which
+  // drains the write buffer first), so a sealed count observed here
+  // guarantees the stat below sees the complete file.
+  in_.clear();
+  in_.seekg(static_cast<std::streamoff>(kOffCount));
+  std::array<unsigned char, 8> buf{};
+  in_.read(reinterpret_cast<char*>(buf.data()), buf.size());
+  stream_pos_ = kBinTraceUnsealed;  // position unknown after the seeks
+  if (static_cast<std::size_t>(in_.gcount()) != buf.size()) {
+    throw BinTraceError("bintrace '" + path_ +
+                        "': shrank below the header while following");
+  }
+  const std::uint64_t header_count = load_u64(buf.data());
+  in_.clear();
+  in_.seekg(0, std::ios::end);
+  const std::uint64_t new_size = static_cast<std::uint64_t>(in_.tellg());
+  if (new_size < size_) {
+    throw BinTraceError("bintrace '" + path_ + "': shrank from " +
+                        std::to_string(size_) + " to " +
+                        std::to_string(new_size) +
+                        " bytes while following — truncated underneath "
+                        "the reader");
+  }
+  size_ = new_size;
+  const std::uint64_t max_records =
+      (size_ - kBinTraceHeaderSize) / kBinTraceRecordSize;
+  if (header_count == kBinTraceUnsealed) {
+    count_ = max_records;
+  } else if (header_count > max_records) {
+    throw BinTraceError(
+        "bintrace '" + path_ + "': sealed count " +
+        std::to_string(header_count) + " exceeds the " +
+        std::to_string(max_records) +
+        " records the file holds — truncated after sealing");
+  } else {
+    count_ = header_count;
+    sealed_ = true;
+  }
+  return record_count();
 }
 
 EpochRecord BinTraceReader::read_record_at(std::uint64_t index) {

@@ -125,10 +125,28 @@ class BinTraceWriter {
 /// sizes, sealed count) and checks the file size against
 /// header + count * record, so a truncated final record or trailing garbage
 /// fails loudly up front — never silently yields partial records.
+///
+/// **Follow mode** (BinTraceReader::follow) relaxes exactly one rule for the
+/// live dashboard: an *unsealed* header is accepted, and the visible record
+/// count is derived from the file size instead — ⌊(size − header) / 96⌋, so
+/// a record the producer has only half-written is simply not visible yet and
+/// a torn read is impossible by construction. refresh() re-stats the file
+/// and re-reads the header's count field, so a follower sees the trace grow
+/// and notices the moment the producer seals it (sealed() flips true and the
+/// count snaps to the authoritative header value). All other header
+/// validation still applies in follow mode.
 class BinTraceReader {
  public:
-  /// \brief Open and validate \p path. Throws BinTraceError on any mismatch.
+  /// \brief Open and validate \p path. Throws BinTraceError on any mismatch,
+  ///        including an unsealed (still-growing or crashed-producer) file —
+  ///        use follow() to observe a live trace.
   explicit BinTraceReader(const std::string& path);
+
+  /// \brief Open \p path tolerating an unsealed header (live producer).
+  ///        Throws BinTraceError when the file is too short to hold a header
+  ///        yet (the producer may not have flushed it — callers retry) or on
+  ///        any magic/version/size mismatch.
+  [[nodiscard]] static BinTraceReader follow(const std::string& path);
 
   [[nodiscard]] const std::string& path() const noexcept { return path_; }
   [[nodiscard]] std::uint32_t version() const noexcept { return version_; }
@@ -138,12 +156,30 @@ class BinTraceReader {
   [[nodiscard]] const std::string& application() const noexcept {
     return application_;
   }
-  /// \brief Number of records in the file.
+  /// \brief Number of records in the file. In follow mode before sealing:
+  ///        the number of *complete* records the file held at open/refresh
+  ///        time (a half-written tail record is excluded).
   [[nodiscard]] std::size_t record_count() const noexcept {
     return static_cast<std::size_t>(count_);
   }
-  /// \brief Total file size in bytes (header + records).
+  /// \brief Total file size in bytes (header + records) as of open/refresh.
   [[nodiscard]] std::uint64_t file_size() const noexcept { return size_; }
+  /// \brief Whether the header carries a final record count. Always true for
+  ///        readers from the sealed-only constructor; in follow mode it
+  ///        flips true at the refresh() that observes the seal.
+  [[nodiscard]] bool sealed() const noexcept { return sealed_; }
+  /// \brief Whether this reader was opened with follow().
+  [[nodiscard]] bool following() const noexcept { return follow_; }
+
+  /// \brief Follow mode: re-stat the file and re-read the header's count
+  ///        field, growing record_count() to the last complete record (or
+  ///        snapping it to the sealed count once the producer seals).
+  ///        Returns the new record_count(). The streaming cursor keeps its
+  ///        position, so next() resumes where it left off across refreshes.
+  ///        Throws std::logic_error outside follow mode and BinTraceError
+  ///        when the file shrank or a sealed count exceeds what the file
+  ///        holds (a corrupt or truncated producer).
+  std::size_t refresh();
 
   /// \brief Random access: record \p index via one O(1) seek.
   ///        Throws std::out_of_range past record_count().
@@ -160,6 +196,8 @@ class BinTraceReader {
   void to_csv(std::ostream& out);
 
  private:
+  BinTraceReader(const std::string& path, bool follow);
+
   [[nodiscard]] EpochRecord read_record_at(std::uint64_t index);
 
   std::ifstream in_;
@@ -170,6 +208,8 @@ class BinTraceReader {
   std::uint64_t count_ = 0;
   std::uint64_t size_ = 0;
   std::uint64_t cursor_ = 0;
+  bool follow_ = false;
+  bool sealed_ = true;
   /// Current file offset of in_, so sequential reads skip the per-record
   /// seek (seekg would discard the filebuf's read-ahead every 96 bytes).
   std::uint64_t stream_pos_ = 0;

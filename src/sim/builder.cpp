@@ -113,6 +113,22 @@ void validate_sink_targets(const std::vector<std::string>& specs,
       const common::Spec parsed =
           common::Spec::parse(expand_spec(raw, scenario));
       const std::string& kind = parsed.name();
+      if (kind == "dashboard") {
+        // Ports collide exactly like file paths: two dashboards bound to one
+        // port means the second run's bind fails mid-sweep. port=0 is always
+        // unique (each bind picks a fresh ephemeral port). Pathless/invalid
+        // specs fall through to run()'s trial construction diagnostics.
+        const std::string port = parsed.get_string("port", "");
+        if (port.empty() || port == "0") continue;
+        if (!targets.insert("port:" + port).second) {
+          throw std::invalid_argument(
+              "ExperimentBuilder: dashboard port " + port +
+              " is bound more than once by this sweep (spec '" + raw +
+              "'); make ports unique per run with the {cell} placeholder, "
+              "e.g. dashboard(port=81{cell})");
+        }
+        continue;
+      }
       if (kind != "csv" && kind != "bintrace" && kind != "checkpoint") {
         break;  // same name for every expansion
       }
@@ -227,6 +243,13 @@ ExperimentBuilder& ExperimentBuilder::telemetry(
 ExperimentBuilder& ExperimentBuilder::checkpoint(const std::string& path,
                                                  std::size_t every) {
   telemetry_.push_back("checkpoint(path=" + path +
+                       ",every=" + std::to_string(every) + ")");
+  return *this;
+}
+
+ExperimentBuilder& ExperimentBuilder::dashboard(const std::string& port,
+                                                std::size_t every) {
+  telemetry_.push_back("dashboard(port=" + port +
                        ",every=" + std::to_string(every) + ")");
   return *this;
 }

@@ -161,6 +161,16 @@ class ExperimentBuilder {
   ExperimentBuilder& checkpoint(const std::string& path,
                                 std::size_t every = 0);
 
+  /// \brief Serve live snapshots per scenario: sugar for
+  ///        .telemetry("dashboard(port=<port>,every=<n>)"). \p port is a
+  ///        string so it can carry the {cell} placeholder — a sweep of
+  ///        concurrent runs needs one port per run, e.g. dashboard("81{cell}")
+  ///        binds 810, 811, ... per cell; multi-run sweeps reject non-unique
+  ///        literal ports up front. "0" binds a fresh ephemeral port per run
+  ///        (introspect it via find_sink<DashboardSink> + bound_port()).
+  ExperimentBuilder& dashboard(const std::string& port,
+                               std::size_t every = 1000);
+
   /// \brief Warm-start every scenario from the policy library at \p dir:
   ///        each (governor spec, workload, fps) looks up its exact
   ///        qlib::PolicyKey on the sweep's platform and runs with

@@ -8,7 +8,9 @@
 
 #include "qlib/library.hpp"
 #include "qlib/sink.hpp"
+#include "sim/bintrace.hpp"
 #include "sim/checkpoint.hpp"
+#include "sim/dashboard.hpp"
 #include "sim/placement.hpp"
 #include "sim/telemetry.hpp"
 
@@ -269,6 +271,7 @@ RunResult run_simulation(hw::Platform& platform, const wl::Application& app,
   };
   std::vector<CheckpointSink*> bound;
   std::vector<qlib::QlibSink*> bound_qlib;
+  std::vector<DashboardSink*> bound_dash;
   for (TelemetrySink* sink : sinks) {
     // Unwrap decimating pass-throughs so sample(inner=checkpoint(...)) binds
     // too — the sample cadence then gates how often snapshots are taken.
@@ -307,8 +310,45 @@ RunResult run_simulation(hw::Platform& platform, const wl::Application& app,
         bound_qlib.push_back(ql);
         break;
       }
+      if (auto* dash = dynamic_cast<DashboardSink*>(s)) {
+        // EpochRecord carries only the bottleneck domain's OPP; the probe
+        // reads every domain's live setting for the residency histogram
+        // (valid at on_epoch time — OPPs are set before the epoch executes
+        // and not touched again until the next decision).
+        dash->bind_domains([&platform](std::vector<std::size_t>& opps) {
+          opps.resize(platform.domain_count());
+          for (std::size_t d = 0; d < opps.size(); ++d) {
+            opps[d] = platform.domain(d).current_opp_index();
+          }
+        });
+        bound_dash.push_back(dash);
+        break;
+      }
       auto* sample = dynamic_cast<SampleSink*>(s);
       s = sample != nullptr ? &sample->inner() : nullptr;
+    }
+  }
+  if (!bound_dash.empty()) {
+    // Point /window scroll-back at the live trace of any bintrace sink
+    // riding in the same run (first one wins; a bt= spec key overrides). A
+    // run with no bintrace sink clears any path left over from a previous
+    // run, so /window never serves a trace unrelated to the current run.
+    const BinTraceSink* found = nullptr;
+    for (TelemetrySink* sink : sinks) {
+      TelemetrySink* s = sink;
+      while (s != nullptr && found == nullptr) {
+        found = dynamic_cast<const BinTraceSink*>(s);
+        auto* sample = dynamic_cast<SampleSink*>(s);
+        s = sample != nullptr ? &sample->inner() : nullptr;
+      }
+      if (found != nullptr) break;
+    }
+    for (DashboardSink* dash : bound_dash) {
+      if (found != nullptr) {
+        dash->bind_trace_path(found->path());
+      } else {
+        dash->unbind_trace_path();
+      }
     }
   }
   // The snapshot/publish lambdas capture this frame by reference. Unbind on
@@ -318,11 +358,16 @@ RunResult run_simulation(hw::Platform& platform, const wl::Application& app,
   struct UnbindGuard {
     std::vector<CheckpointSink*>* sinks;
     std::vector<qlib::QlibSink*>* qlib_sinks;
+    std::vector<DashboardSink*>* dash_sinks;
     ~UnbindGuard() {
       for (CheckpointSink* ck : *sinks) ck->bind(nullptr);
       for (qlib::QlibSink* ql : *qlib_sinks) ql->bind(nullptr);
+      // Domain probes capture this frame; the trace path is a plain string
+      // pointing at a file that outlives the run, so it stays bound —
+      // /window scroll-back keeps working on the sealed trace.
+      for (DashboardSink* dash : *dash_sinks) dash->unbind_domains();
     }
-  } unbind_guard{&bound, &bound_qlib};
+  } unbind_guard{&bound, &bound_qlib, &bound_dash};
 
   RunEmitter emitter(result, sinks, ctx);
 

@@ -69,12 +69,41 @@ TEST(ParseCsv, EmptyInput) {
   EXPECT_TRUE(t.rows.empty());
 }
 
-TEST(ParseCsv, RaggedRowsYieldZeroes) {
+TEST(ParseCsv, RaggedRowTooShortForColumnThrows) {
+  // A short row used to read as 0.0 — corrupt tables must fail closed.
   const CsvTable t = parse_csv("a,b\n1\n2,3\n");
-  const auto b = t.column_as_double("b");
-  ASSERT_EQ(b.size(), 2u);
-  EXPECT_DOUBLE_EQ(b[0], 0.0);
-  EXPECT_DOUBLE_EQ(b[1], 3.0);
+  EXPECT_NO_THROW(t.column_as_double("a"));  // Column 0 exists in every row.
+  try {
+    (void)t.column_as_double("b");
+    FAIL() << "short row did not throw";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("row 0"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("'b'"), std::string::npos);
+  }
+}
+
+TEST(ParseCsv, MalformedCellThrowsWithContext) {
+  const CsvTable t = parse_csv("a,b\n1,2\n3,oops\n");
+  try {
+    (void)t.column_as_double("b");
+    FAIL() << "malformed cell did not throw";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("oops"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("row 1"), std::string::npos);
+  }
+}
+
+TEST(ParseCsv, TrailingGarbageInCellThrows) {
+  // strtod would stop at the 'x' and silently keep the 3 — whole-cell only.
+  const CsvTable t = parse_csv("a\n3x\n");
+  EXPECT_THROW(t.column_as_double("a"), std::runtime_error);
+}
+
+TEST(ParseCsv, WhitespacePaddedCellsStillParse) {
+  const CsvTable t = parse_csv("a\n 2.5 \n");
+  const auto a = t.column_as_double("a");
+  ASSERT_EQ(a.size(), 1u);
+  EXPECT_DOUBLE_EQ(a[0], 2.5);
 }
 
 TEST(ReadCsvFile, MissingFileThrows) {

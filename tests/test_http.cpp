@@ -1,0 +1,220 @@
+/// \file test_http.cpp
+/// \brief Tests for the minimal loopback HTTP server/client pair under the
+///        dashboard sink: request parsing, fixed and streaming responses,
+///        handler errors, concurrent clients, and shutdown semantics.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/http.hpp"
+
+namespace prime::common {
+namespace {
+
+/// A server answering every request with a fixed body, plus the parsed
+/// request captured for inspection.
+class EchoFixture {
+ public:
+  EchoFixture()
+      : server_(0, [this](const HttpRequest& req) {
+          {
+            std::lock_guard<std::mutex> lock(mu_);
+            last_ = req;
+          }
+          HttpResponse res;
+          res.body = "hello";
+          res.content_type = "text/plain";
+          return res;
+        }) {}
+
+  HttpServer& server() { return server_; }
+  HttpRequest last() {
+    std::lock_guard<std::mutex> lock(mu_);
+    return last_;
+  }
+
+ private:
+  std::mutex mu_;
+  HttpRequest last_;
+  HttpServer server_;  // Last: joins its threads before last_ dies.
+};
+
+TEST(HttpServer, EphemeralPortRoundTrip) {
+  EchoFixture fx;
+  ASSERT_NE(fx.server().port(), 0);
+  const HttpResult result = http_get("127.0.0.1", fx.server().port(), "/");
+  EXPECT_EQ(result.status, 200);
+  EXPECT_EQ(result.body, "hello");
+  EXPECT_EQ(fx.server().requests_served(), 1u);
+}
+
+TEST(HttpServer, ParsesPathAndQuery) {
+  EchoFixture fx;
+  (void)http_get("127.0.0.1", fx.server().port(),
+                 "/window?from=12&count=8&label=a%20b");
+  const HttpRequest req = fx.last();
+  EXPECT_EQ(req.method, "GET");
+  EXPECT_EQ(req.path, "/window");
+  EXPECT_EQ(req.query_get("from", ""), "12");
+  EXPECT_EQ(req.query_get("count", ""), "8");
+  EXPECT_EQ(req.query_get("label", ""), "a b");  // %20 decoded
+  EXPECT_EQ(req.query_get("absent", "fallback"), "fallback");
+}
+
+TEST(HttpServer, HandlerStatusPassesThrough) {
+  HttpServer server(0, [](const HttpRequest& req) {
+    HttpResponse res;
+    res.status = req.path == "/ok" ? 200 : 404;
+    res.body = res.status == 200 ? "y" : "no such page";
+    return res;
+  });
+  EXPECT_EQ(http_get("127.0.0.1", server.port(), "/ok").status, 200);
+  const HttpResult missing = http_get("127.0.0.1", server.port(), "/nope");
+  EXPECT_EQ(missing.status, 404);
+  EXPECT_EQ(missing.body, "no such page");
+}
+
+TEST(HttpServer, HandlerExceptionBecomesA500) {
+  HttpServer server(0, [](const HttpRequest&) -> HttpResponse {
+    throw std::runtime_error("kaboom");
+  });
+  const HttpResult result = http_get("127.0.0.1", server.port(), "/");
+  EXPECT_EQ(result.status, 500);
+  EXPECT_NE(result.body.find("kaboom"), std::string::npos);
+}
+
+TEST(HttpServer, ConcurrentClientsAllAnswered) {
+  EchoFixture fx;
+  constexpr int kClients = 8;
+  std::atomic<int> ok{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kClients);
+  for (int i = 0; i < kClients; ++i) {
+    threads.emplace_back([&] {
+      const HttpResult r = http_get("127.0.0.1", fx.server().port(), "/");
+      if (r.status == 200 && r.body == "hello") ++ok;
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(ok.load(), kClients);
+  EXPECT_EQ(fx.server().requests_served(), static_cast<std::uint64_t>(kClients));
+}
+
+TEST(HttpServer, StreamingResponseDeliversChunksAsLines) {
+  // An SSE-shaped stream: three events, then the producer ends the stream.
+  HttpServer server(0, [](const HttpRequest&) {
+    HttpResponse res;
+    res.content_type = "text/event-stream";
+    res.body = "data: 0\n\n";
+    auto n = std::make_shared<int>(0);
+    res.next_chunk = [n](std::string& chunk) {
+      if (++*n > 2) return false;
+      chunk = "data: " + std::to_string(*n) + "\n\n";
+      return true;
+    };
+    return res;
+  });
+  std::vector<std::string> events;
+  const int status = http_get_stream(
+      "127.0.0.1", server.port(), "/events", [&](const std::string& line) {
+        if (line.rfind("data: ", 0) == 0) events.push_back(line.substr(6));
+        return true;
+      });
+  EXPECT_EQ(status, 200);
+  ASSERT_EQ(events.size(), 3u);
+  EXPECT_EQ(events[0], "0");
+  EXPECT_EQ(events[2], "2");
+}
+
+TEST(HttpServer, ClientCanCloseAStreamEarly) {
+  // An endless producer: only the client's on_line=false ends this stream.
+  HttpServer server(0, [](const HttpRequest&) {
+    HttpResponse res;
+    res.content_type = "text/event-stream";
+    res.body = "data: tick\n\n";
+    res.next_chunk = [](std::string& chunk) {
+      chunk = "data: tick\n\n";
+      return true;
+    };
+    return res;
+  });
+  int seen = 0;
+  const int status = http_get_stream(
+      "127.0.0.1", server.port(), "/events", [&](const std::string& line) {
+        if (line.rfind("data: ", 0) == 0) ++seen;
+        return seen < 3;
+      });
+  EXPECT_EQ(status, 200);
+  EXPECT_EQ(seen, 3);
+}
+
+TEST(HttpServer, StopInterruptsALiveStream) {
+  // stop() must cut a stream whose producer never finishes — the dashboard
+  // destructor relies on this to join SSE watchers at run teardown.
+  HttpServer server(0, [](const HttpRequest&) {
+    HttpResponse res;
+    res.content_type = "text/event-stream";
+    res.body = "data: first\n\n";
+    res.next_chunk = [](std::string& chunk) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(20));
+      chunk = "data: more\n\n";
+      return true;
+    };
+    return res;
+  });
+  std::atomic<bool> got_first{false};
+  std::thread client([&] {
+    (void)http_get_stream("127.0.0.1", server.port(), "/events",
+                          [&](const std::string& line) {
+                            if (line.rfind("data: ", 0) == 0) {
+                              got_first = true;
+                            }
+                            return true;  // never hang up from this side
+                          });
+  });
+  while (!got_first) std::this_thread::yield();
+  server.stop();   // must unblock the stream...
+  client.join();   // ...or this join would hang the test
+  SUCCEED();
+}
+
+TEST(HttpServer, StopIsIdempotentAndRefusesNewConnections) {
+  EchoFixture fx;
+  const std::uint16_t port = fx.server().port();
+  (void)http_get("127.0.0.1", port, "/");
+  fx.server().stop();
+  fx.server().stop();  // second stop is a no-op
+  EXPECT_THROW((void)http_get("127.0.0.1", port, "/"), HttpError);
+}
+
+TEST(HttpClient, ConnectFailureThrowsNamingTheEndpoint) {
+  // Grab an ephemeral port, then close the server so nothing listens on it.
+  std::uint16_t dead_port = 0;
+  {
+    HttpServer probe(0, [](const HttpRequest&) { return HttpResponse{}; });
+    dead_port = probe.port();
+  }
+  try {
+    (void)http_get("127.0.0.1", dead_port, "/");
+    FAIL() << "expected HttpError";
+  } catch (const HttpError& e) {
+    EXPECT_NE(std::string(e.what()).find(std::to_string(dead_port)),
+              std::string::npos);
+  }
+}
+
+TEST(HttpServer, PortCollisionThrows) {
+  EchoFixture fx;
+  EXPECT_THROW(HttpServer(fx.server().port(),
+                          [](const HttpRequest&) { return HttpResponse{}; }),
+               HttpError);
+}
+
+}  // namespace
+}  // namespace prime::common

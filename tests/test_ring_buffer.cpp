@@ -46,11 +46,17 @@ TEST(RingBuffer, OutOfRangeThrows) {
   EXPECT_THROW((void)empty.back(), std::out_of_range);
 }
 
-TEST(RingBuffer, ZeroCapacityClampedToOne) {
-  RingBuffer<int> rb(0);
-  EXPECT_EQ(rb.capacity(), 1u);
+TEST(RingBuffer, ZeroCapacityThrows) {
+  // A silent clamp to 1 hid caller bugs — a buffer that can hold nothing is
+  // a contradiction the constructor now rejects.
+  EXPECT_THROW(RingBuffer<int>(0), std::invalid_argument);
+}
+
+TEST(RingBuffer, CapacityOneEvicts) {
+  RingBuffer<int> rb(1);
   rb.push(1);
   rb.push(2);
+  EXPECT_EQ(rb.front(), 2);
   EXPECT_EQ(rb.back(), 2);
   EXPECT_EQ(rb.size(), 1u);
 }
@@ -92,11 +98,10 @@ TEST_P(RingBufferSweep, SizeInvariant) {
   const auto [cap, pushes] = GetParam();
   RingBuffer<std::size_t> rb(cap);
   for (std::size_t i = 0; i < pushes; ++i) rb.push(i);
-  const std::size_t effective_cap = cap == 0 ? 1 : cap;
-  EXPECT_EQ(rb.size(), std::min(pushes, effective_cap));
+  EXPECT_EQ(rb.size(), std::min(pushes, cap));
   if (pushes > 0) {
     EXPECT_EQ(rb.back(), pushes - 1);
-    EXPECT_EQ(rb.front(), pushes <= effective_cap ? 0 : pushes - effective_cap);
+    EXPECT_EQ(rb.front(), pushes <= cap ? 0 : pushes - cap);
   }
 }
 
