@@ -14,9 +14,9 @@
 #include <cerrno>
 #include <cstdlib>
 #include <cstring>
+#include <list>
 #include <mutex>
 #include <thread>
-#include <vector>
 
 namespace prime::common {
 namespace {
@@ -222,21 +222,33 @@ std::size_t parse_response_head(const std::string& buf, int& status,
 }  // namespace
 
 struct HttpServer::Impl {
+  /// \brief One live connection: its fd, its thread, and a done flag the
+  ///        thread raises as its very last action so the accept loop can
+  ///        join-and-erase it. `done` is only set after the thread's final
+  ///        conn_mu critical section, so joining a done connection can
+  ///        never deadlock against a thread still waiting on conn_mu.
+  struct Conn {
+    int fd = -1;
+    std::atomic<bool> done{false};
+    std::thread thread;
+  };
+
   Handler handler;
   int listen_fd = -1;
   std::uint16_t port = 0;
   std::atomic<bool> stopping{false};
   std::atomic<std::uint64_t> served{0};
   std::thread accept_thread;
-  std::mutex conn_mu;                    ///< Guards conn_fds + conn_threads.
-  std::vector<int> conn_fds;             ///< Live connection fds, slot per thread.
-  std::vector<std::thread> conn_threads;
+  std::mutex conn_mu;                      ///< Guards conns (list + fd fields).
+  std::list<std::unique_ptr<Conn>> conns;  ///< Live connections; reaped per accept.
 
-  void serve_connection(int fd, std::size_t slot);
+  void serve_connection(Conn* conn);
+  void reap_finished();
   void accept_loop();
 };
 
-void HttpServer::Impl::serve_connection(int fd, std::size_t slot) {
+void HttpServer::Impl::serve_connection(Conn* conn) {
+  const int fd = conn->fd;
   HttpRequest req;
   if (read_request(fd, req)) {
     HttpResponse resp;
@@ -256,6 +268,11 @@ void HttpServer::Impl::serve_connection(int fd, std::size_t slot) {
       }
     }
     const bool streaming = static_cast<bool>(resp.next_chunk);
+    // Count the request as served *before* dispatching the bytes: on
+    // loopback a client can read the complete body while this thread is
+    // still inside send(), so counting afterwards races any caller that
+    // checks requests_served() the moment its GET returns.
+    served.fetch_add(1, std::memory_order_relaxed);
     bool ok = send_all(
         fd, response_head(resp.status, resp.content_type, streaming,
                           resp.body.size()));
@@ -268,10 +285,32 @@ void HttpServer::Impl::serve_connection(int fd, std::size_t slot) {
         if (!chunk.empty() && !send_all(fd, chunk)) break;
       }
     }
-    if (ok) served.fetch_add(1, std::memory_order_relaxed);
   }
-  std::lock_guard<std::mutex> lock(conn_mu);
-  close_fd(conn_fds[slot]);
+  {
+    std::lock_guard<std::mutex> lock(conn_mu);
+    close_fd(conn->fd);
+  }
+  conn->done.store(true, std::memory_order_release);
+}
+
+void HttpServer::Impl::reap_finished() {
+  // Splice finished connections out under the lock, join them outside it:
+  // a long-poll dashboard then holds exactly its live connections, instead
+  // of one zombie thread + slot per request ever served.
+  std::list<std::unique_ptr<Conn>> finished;
+  {
+    std::lock_guard<std::mutex> lock(conn_mu);
+    for (auto it = conns.begin(); it != conns.end();) {
+      const auto next = std::next(it);
+      if ((*it)->done.load(std::memory_order_acquire)) {
+        finished.splice(finished.end(), conns, it);
+      }
+      it = next;
+    }
+  }
+  for (auto& conn : finished) {
+    if (conn->thread.joinable()) conn->thread.join();
+  }
 }
 
 void HttpServer::Impl::accept_loop() {
@@ -285,11 +324,33 @@ void HttpServer::Impl::accept_loop() {
       ::close(fd);
       break;
     }
-    std::lock_guard<std::mutex> lock(conn_mu);
-    const std::size_t slot = conn_fds.size();
-    conn_fds.push_back(fd);
-    conn_threads.emplace_back(
-        [this, fd, slot] { serve_connection(fd, slot); });
+    reap_finished();
+    // Bound how long a silent or stalled peer can pin this connection's
+    // thread: recv in read_request and send on a wedged client both time
+    // out instead of blocking until stop().
+    timeval tv{};
+    tv.tv_sec = 10;
+    ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof tv);
+    ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof tv);
+    auto conn = std::make_unique<Conn>();
+    conn->fd = fd;
+    Conn* raw = conn.get();
+    {
+      std::lock_guard<std::mutex> lock(conn_mu);
+      conns.push_back(std::move(conn));
+    }
+    try {
+      raw->thread = std::thread([this, raw] { serve_connection(raw); });
+    } catch (const std::system_error&) {
+      // Thread spawn failed (EAGAIN under resource pressure): drop this one
+      // connection and keep accepting rather than letting the exception
+      // escape the accept thread and terminate the monitored run.
+      std::lock_guard<std::mutex> lock(conn_mu);
+      close_fd(raw->fd);
+      conns.remove_if([raw](const std::unique_ptr<Conn>& c) {
+        return c.get() == raw;
+      });
+    }
   }
 }
 
@@ -345,16 +406,18 @@ void HttpServer::stop() {
   if (impl_->accept_thread.joinable()) impl_->accept_thread.join();
   {
     std::lock_guard<std::mutex> lock(impl_->conn_mu);
-    for (int& fd : impl_->conn_fds) {
-      if (fd >= 0) ::shutdown(fd, SHUT_RDWR);
+    for (auto& conn : impl_->conns) {
+      if (conn->fd >= 0) ::shutdown(conn->fd, SHUT_RDWR);
     }
   }
-  // accept_loop has exited, so conn_threads can no longer grow.
-  for (std::thread& t : impl_->conn_threads) {
-    if (t.joinable()) t.join();
+  // accept_loop has exited, so conns can no longer grow; connection threads
+  // only mutate their own fd/done fields, never the list itself.
+  for (auto& conn : impl_->conns) {
+    if (conn->thread.joinable()) conn->thread.join();
   }
   std::lock_guard<std::mutex> lock(impl_->conn_mu);
-  for (int& fd : impl_->conn_fds) close_fd(fd);
+  for (auto& conn : impl_->conns) close_fd(conn->fd);
+  impl_->conns.clear();
 }
 
 HttpResult http_get(const std::string& host, std::uint16_t port,

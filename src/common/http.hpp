@@ -87,7 +87,8 @@ class HttpServer {
 
   /// \brief The bound port (the ephemeral choice when constructed with 0).
   [[nodiscard]] std::uint16_t port() const noexcept;
-  /// \brief Requests served to completion so far (kept across connections).
+  /// \brief Requests answered so far (counted when the response is
+  ///        dispatched; kept across connections).
   [[nodiscard]] std::uint64_t requests_served() const noexcept;
 
   /// \brief Stop accepting, shut every open connection, join all threads.

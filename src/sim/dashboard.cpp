@@ -272,7 +272,14 @@ common::HttpResponse DashboardSink::handle(const common::HttpRequest& req) {
       // so an idle feed never wedges shutdown.
       cv_.wait_for(lock, std::chrono::milliseconds(250),
                    [this, last_version] { return version_ != last_version; });
-      if (version_ == last_version) return true;  // nothing new yet
+      if (version_ == last_version) {
+        // Nothing new (run finished, or a quiet stretch): emit an SSE
+        // comment heartbeat. Clients ignore it, but the send fails on a
+        // dead peer, so an abandoned watcher's thread exits instead of
+        // spinning until the sink is destroyed.
+        chunk = ": keep-alive\n\n";
+        return true;
+      }
       last_version = version_;
       chunk = "data: " + render_snapshot_locked() + "\n\n";
       return true;

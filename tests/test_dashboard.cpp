@@ -259,6 +259,31 @@ TEST(Dashboard, EventsStreamOpensWithTheCurrentSnapshot) {
             std::string::npos);
 }
 
+TEST(Dashboard, IdleEventsStreamEmitsKeepAliveHeartbeats) {
+  // Once a run finishes the snapshot version stops changing; the stream
+  // must still emit SSE comment heartbeats so a dead peer fails the next
+  // send and its connection thread exits instead of spinning forever.
+  auto platform = hw::Platform::odroid_xu3_a15();
+  DashboardSink dash(0, 1);
+  gov::PerformanceGovernor g;
+  RunOptions opt;
+  opt.sinks = {&dash};
+  (void)run_simulation(*platform, make_app(30), g, opt);
+
+  bool got_heartbeat = false;
+  const int status = common::http_get_stream(
+      "127.0.0.1", dash.bound_port(), "/events",
+      [&](const std::string& line) {
+        if (line.rfind(':', 0) == 0) {
+          got_heartbeat = true;
+          return false;
+        }
+        return true;  // skip the opening snapshot and blank separators
+      });
+  EXPECT_EQ(status, 200);
+  EXPECT_TRUE(got_heartbeat);
+}
+
 // --- Registry and lazy-open contract -----------------------------------------
 
 TEST(Dashboard, RegistrySpecDiagnostics) {

@@ -7,6 +7,7 @@
 #include <atomic>
 #include <chrono>
 #include <condition_variable>
+#include <fstream>
 #include <mutex>
 #include <string>
 #include <thread>
@@ -16,6 +17,18 @@
 
 namespace prime::common {
 namespace {
+
+/// \brief Number of mapped regions of this process (Linux), or 0 when
+///        /proc is unavailable. An exited-but-unjoined thread retains its
+///        stack mapping, so zombie connection threads show up here.
+std::size_t mapped_region_count() {
+  std::ifstream maps("/proc/self/maps");
+  if (!maps) return 0;
+  std::size_t n = 0;
+  std::string line;
+  while (std::getline(maps, line)) ++n;
+  return n;
+}
 
 /// A server answering every request with a fixed body, plus the parsed
 /// request captured for inspection.
@@ -104,6 +117,29 @@ TEST(HttpServer, ConcurrentClientsAllAnswered) {
   for (auto& t : threads) t.join();
   EXPECT_EQ(ok.load(), kClients);
   EXPECT_EQ(fx.server().requests_served(), static_cast<std::uint64_t>(kClients));
+}
+
+TEST(HttpServer, SequentialRequestsReapConnectionThreads) {
+  // A long-lived dashboard is polled for days: finished connection threads
+  // must be joined as the server runs, not accumulated until stop().
+  // An unjoined exited thread keeps its stack mapping, so a leak of one
+  // thread per request shows up as ~one new mapped region per request.
+  EchoFixture fx;
+  for (int i = 0; i < 8; ++i) {
+    (void)http_get("127.0.0.1", fx.server().port(), "/");  // warm up
+  }
+  const std::size_t before = mapped_region_count();
+  if (before == 0) GTEST_SKIP() << "/proc/self/maps unavailable";
+  constexpr int kRequests = 100;
+  for (int i = 0; i < kRequests; ++i) {
+    (void)http_get("127.0.0.1", fx.server().port(), "/");
+  }
+  // Each accept reaps the previously finished connections, so growth stays
+  // a small constant (in-flight stragglers), never O(requests). The old
+  // accumulate-until-stop behavior grows by >= kRequests mappings here.
+  const std::size_t after = mapped_region_count();
+  EXPECT_LT(after, before + kRequests / 2)
+      << "connection threads are not being reaped";
 }
 
 TEST(HttpServer, StreamingResponseDeliversChunksAsLines) {
